@@ -1,0 +1,146 @@
+"""Ablations for the paper's optional / future-work features.
+
+- same-function block sharing (Section 3.4's unexercised mode);
+- defragmentation through runtime relocation (Section 3.4 future work);
+- hardened system regions (Section 3.5.2 future work);
+- DRAM-contention-aware service model (service-region realism).
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.fabric.devices import make_xcvu37p
+from repro.fabric.partition import PartitionConstraints, PartitionPlanner
+from repro.runtime.controller import SystemController
+from repro.runtime.defrag import DefragmentingController
+from repro.runtime.sharing import FunctionSharingController
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import WorkloadGenerator
+
+
+def replay(cluster, apps, factory, set_index, interarrival,
+           replicas=3, requests=100):
+    generator = WorkloadGenerator(seed=31)
+    out = []
+    for replica in range(replicas):
+        reqs = generator.generate(set_index, num_requests=requests,
+                                  mean_interarrival_s=interarrival,
+                                  replica=replica)
+        out.append(run_experiment(factory(cluster), reqs, apps).summary)
+    return out
+
+
+def mean(summaries, attr):
+    return statistics.mean(getattr(s, attr) for s in summaries)
+
+
+def test_ablation_function_sharing(benchmark, cluster, apps, emit):
+    """Sharing admits more tenants under pressure at reduced per-tenant
+    throughput -- exactly the trade Section 3.4 describes."""
+    exclusive = replay(cluster, apps, SystemController, 3, 2.0)
+    sharing = benchmark.pedantic(
+        replay, args=(cluster, apps, FunctionSharingController, 3, 2.0),
+        rounds=1, iterations=1)
+
+    emit("ablation_sharing", format_table(
+        ["controller", "mean response (s)", "mean wait (s)",
+         "mean service (s)", "concurrency"],
+        [["exclusive (paper's choice)",
+          f"{mean(exclusive, 'mean_response_s'):.1f}",
+          f"{mean(exclusive, 'mean_wait_s'):.1f}",
+          f"{mean(exclusive, 'mean_service_s'):.1f}",
+          f"{mean(exclusive, 'mean_concurrency'):.1f}"],
+         ["function sharing (max 2)",
+          f"{mean(sharing, 'mean_response_s'):.1f}",
+          f"{mean(sharing, 'mean_wait_s'):.1f}",
+          f"{mean(sharing, 'mean_service_s'):.1f}",
+          f"{mean(sharing, 'mean_concurrency'):.1f}"]],
+        title="ablation -- same-function block sharing "
+              "(all-Large set under heavy load)"))
+
+    # sharing admits more tenants at once...
+    assert mean(sharing, "mean_concurrency") \
+        > mean(exclusive, "mean_concurrency")
+    # ...but multiplexing halves each sharer's throughput, so per-job
+    # service stretches and mean response does NOT improve -- which is
+    # precisely why Section 3.4 leaves the mode disabled
+    assert mean(sharing, "mean_service_s") \
+        > mean(exclusive, "mean_service_s")
+    assert mean(sharing, "mean_response_s") \
+        > mean(exclusive, "mean_response_s") * 0.95
+
+
+def test_ablation_defragmentation(benchmark, cluster, apps, emit):
+    """Consolidation halves board-spanning without hurting response."""
+    base = replay(cluster, apps, SystemController, 8, 4.0)
+    defrag = benchmark.pedantic(
+        replay, args=(cluster, apps, DefragmentingController, 8, 4.0),
+        rounds=1, iterations=1)
+
+    emit("ablation_defrag", format_table(
+        ["controller", "mean response (s)", "multi-FPGA deployments"],
+        [["base (span when fragmented)",
+          f"{mean(base, 'mean_response_s'):.1f}",
+          f"{mean(base, 'multi_fpga_fraction'):.0%}"],
+         ["defragmenting (migrate first)",
+          f"{mean(defrag, 'mean_response_s'):.1f}",
+          f"{mean(defrag, 'multi_fpga_fraction'):.0%}"]],
+        title="ablation -- defragmentation via runtime relocation "
+              "(L-heavy set)"))
+
+    assert mean(defrag, "multi_fpga_fraction") \
+        < mean(base, "multi_fpga_fraction")
+    assert mean(defrag, "mean_response_s") \
+        < mean(base, "mean_response_s") * 1.10
+
+
+def test_ablation_hardened_regions(benchmark, emit):
+    """Section 3.5.2: hard-IP system regions free more fabric."""
+    def plan(hardened):
+        cons = PartitionConstraints(hardened_system_regions=hardened)
+        return PartitionPlanner(make_xcvu37p(), cons).plan()
+
+    soft = plan(False)
+    hard = benchmark(plan, True)
+    emit("ablation_hardened", format_table(
+        ["system regions", "reserved", "user fraction",
+         "block BRAM (Mb)"],
+        [["in fabric (deployed system)",
+          f"{soft.reserved_fraction():.1%}",
+          f"{soft.user_fraction():.1%}",
+          f"{soft.block_capacity.bram_mb:.2f}"],
+         ["hard IP (future work)",
+          f"{hard.reserved_fraction():.1%}",
+          f"{hard.user_fraction():.1%}",
+          f"{hard.block_capacity.bram_mb:.2f}"]],
+        title="ablation -- hardened system regions (Section 3.5.2)"))
+    assert hard.reserved_fraction() < soft.reserved_fraction()
+    assert hard.user_fraction() >= soft.user_fraction()
+
+
+def test_ablation_dram_contention(benchmark, cluster, apps, emit):
+    """The memory-aware service model mildly penalizes packed boards."""
+    plain = replay(cluster, apps, SystemController, 9, 4.0,
+                   replicas=2)
+    contended = benchmark.pedantic(
+        replay,
+        args=(cluster, apps,
+              lambda c: SystemController(c, model_dram_contention=True),
+              9, 4.0),
+        kwargs={"replicas": 2}, rounds=1, iterations=1)
+
+    emit("ablation_dram", format_table(
+        ["service model", "mean service (s)", "mean response (s)"],
+        [["bandwidth-unaware",
+          f"{mean(plain, 'mean_service_s'):.1f}",
+          f"{mean(plain, 'mean_response_s'):.1f}"],
+         ["DRAM-contention-aware",
+          f"{mean(contended, 'mean_service_s'):.1f}",
+          f"{mean(contended, 'mean_response_s'):.1f}"]],
+        title="ablation -- DRAM bandwidth contention model (set #9)"))
+    # contention can only lengthen service, and only mildly (the blocks'
+    # aggregate demand roughly matches the DIMM bandwidth by design)
+    assert mean(contended, "mean_service_s") \
+        >= mean(plain, "mean_service_s")
+    assert mean(contended, "mean_service_s") \
+        < mean(plain, "mean_service_s") * 1.5

@@ -1,0 +1,75 @@
+"""Ablation -- physical-block granularity.
+
+ViTAL's DSE picks 15 blocks per FPGA (one clock-region row per block).
+This ablation builds the coarser legal alternative -- two clock-region
+rows per block, i.e. 4 usable blocks per FPGA -- recompiles the workload
+against it, and replays the same workload set: coarse blocks waste
+capacity to internal fragmentation and quantization, which shows up as
+longer response times.
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.cluster.cluster import make_cluster
+from repro.compiler.flow import CompilationFlow
+from repro.fabric.devices import make_xcvu37p
+from repro.fabric.partition import PartitionConstraints, PartitionPlanner
+from repro.hls.kernels import all_benchmarks
+from repro.runtime.controller import SystemController
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import WorkloadGenerator
+
+
+def coarse_cluster():
+    """A cluster whose partitions use 2-clock-region-row blocks."""
+    device = make_xcvu37p()
+    constraints = PartitionConstraints(block_height_choices=(2,),
+                                       min_blocks_per_device=4)
+    partition = PartitionPlanner(device, constraints).plan()
+    return make_cluster(num_boards=4, partition=partition)
+
+
+def replay(cluster, apps):
+    generator = WorkloadGenerator(seed=55)
+    summaries = []
+    for replica in range(2):
+        requests = generator.generate(9, num_requests=80,
+                                      replica=replica)
+        summaries.append(run_experiment(
+            SystemController(cluster), requests, apps).summary)
+    return summaries
+
+
+def test_ablation_block_granularity(benchmark, cluster, apps, emit):
+    coarse = coarse_cluster()
+    coarse_flow = CompilationFlow(fabric=coarse.partition)
+    coarse_apps = {spec.name: coarse_flow.compile(spec)
+                   for spec in all_benchmarks()}
+
+    fine_summaries = replay(cluster, apps)
+    coarse_summaries = benchmark.pedantic(
+        replay, args=(coarse, coarse_apps), rounds=1, iterations=1)
+
+    mean = lambda ss, attr: statistics.mean(getattr(s, attr)
+                                            for s in ss)
+    rows = [
+        [f"{cluster.blocks_per_board} blocks/FPGA (chosen)",
+         f"{cluster.partition.block_capacity.bram_mb:.2f}Mb",
+         f"{mean(fine_summaries, 'mean_response_s'):.1f}",
+         f"{mean(fine_summaries, 'mean_wait_s'):.1f}"],
+        [f"{coarse.blocks_per_board} blocks/FPGA (coarse)",
+         f"{coarse.partition.block_capacity.bram_mb:.2f}Mb",
+         f"{mean(coarse_summaries, 'mean_response_s'):.1f}",
+         f"{mean(coarse_summaries, 'mean_wait_s'):.1f}"],
+    ]
+    emit("ablation_granularity", format_table(
+        ["partition", "block BRAM", "mean response (s)",
+         "mean wait (s)"], rows,
+        title="ablation -- physical-block granularity "
+              "(workload set #9)"))
+
+    assert coarse.blocks_per_board < cluster.blocks_per_board
+    # finer blocks => less internal fragmentation => better QoS
+    assert mean(fine_summaries, "mean_response_s") \
+        < mean(coarse_summaries, "mean_response_s")

@@ -1,0 +1,43 @@
+"""Fig. 1 -- the motivation figures.
+
+(a) Representative FPGA applications use widely varying, mostly small
+    fractions of a VU13P -> per-device allocation fragments internally.
+(b) FPGA capacity keeps growing across generations -> the fragmentation
+    worsens over time.
+"""
+
+from repro.analysis.report import format_bar_series
+from repro.fabric.devices import CAPACITY_TIMELINE, make_vu13p
+from repro.hls.kernels import REPRESENTATIVE_APPS
+
+
+def fig1a_series():
+    cap = make_vu13p().capacity
+    labels = [a.name for a in REPRESENTATIVE_APPS]
+    values = [a.resources.utilization_of(cap)
+              for a in REPRESENTATIVE_APPS]
+    return labels, values
+
+
+def test_fig1a_app_footprints(benchmark, emit):
+    labels, values = benchmark(fig1a_series)
+    emit("fig1a", format_bar_series(
+        labels, values,
+        title="Fig. 1a -- resource usage normalized to VU13P "
+              "(max per-type fraction)"))
+    # the paper's point: most applications use a small fraction of the
+    # device, and usage varies widely
+    assert sum(1 for v in values if v < 0.5) >= len(values) * 0.6
+    assert max(values) / min(values) > 4
+
+
+def test_fig1b_capacity_growth(benchmark, emit):
+    series = benchmark(lambda: [(p.year, p.family, p.logic_cells_k)
+                                for p in CAPACITY_TIMELINE])
+    emit("fig1b", format_bar_series(
+        [f"{year} {family}" for year, family, _ in series],
+        [cells for *_, cells in series],
+        title="Fig. 1b -- flagship capacity by generation (k logic "
+              "cells)", unit="k"))
+    first, last_peak = series[0][2], max(c for *_, c in series)
+    assert last_peak / first > 100

@@ -1,0 +1,84 @@
+"""Fig. 7 / Section 5.3 -- the optimal FPGA partition.
+
+Regenerates the design-space exploration over the legal partitions of an
+XCVU37P, the chosen partition's region inventory, the system-reserved
+fraction (<10%), and the buffer-removal optimization's reduction of
+system-reserved resources (paper: 82.3%).
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.fabric.devices import make_xcvu37p
+from repro.fabric.partition import (
+    BufferModel,
+    PartitionConstraints,
+    PartitionPlanner,
+)
+from repro.fabric.resources import ResourceVector
+
+
+def run_dse():
+    device = make_xcvu37p()
+    planner = PartitionPlanner(device)
+    return planner.candidates(), planner.plan()
+
+
+def reserved_demand_reduction():
+    """Weighted system-reserved demand, with vs without the
+    Section 3.5.2 optimization."""
+    bm = BufferModel()
+    cons = PartitionConstraints()
+    fixed_lut = cons.service_luts + cons.pipeline_luts
+    fixed = ResourceVector(lut=fixed_lut, dff=fixed_lut * 2,
+                           bram_mb=cons.service_bram_mb)
+    with_opt = (bm.communication_demand(15, 3, True) + fixed).total_cost()
+    without = (bm.communication_demand(15, 3, False) + fixed).total_cost()
+    return 1 - with_opt / without
+
+
+def test_fig7_partition_dse(benchmark, emit):
+    candidates, best = benchmark(run_dse)
+
+    rows = [[f"{c.blocks_per_die} blocks/die x {c.device.num_dies} dies",
+             c.num_blocks, f"{c.user_fraction():.1%}",
+             f"{c.reserved_fraction():.1%}",
+             "<- chosen" if c.num_blocks == best.num_blocks else ""]
+            for c in candidates]
+    reduction = reserved_demand_reduction()
+    text = format_table(
+        ["candidate", "#blocks", "user fraction", "reserved",
+         ""], rows,
+        title="Fig. 7 -- partition design-space exploration (XCVU37P)")
+    text += "\n\n" + best.describe()
+    text += (f"\n\nbuffer-removal optimization cuts system-reserved "
+             f"demand by {reduction:.1%} (paper: 82.3%)")
+    emit("fig7", text)
+
+    # Section 5.3's claims
+    assert len(candidates) < 10
+    assert best.num_blocks == 15
+    assert best.reserved_fraction() < 0.10
+    assert 0.60 < reduction < 0.95
+
+
+def test_fig7_unoptimized_partition_cost(benchmark, emit):
+    """Without buffer removal, the communication region starves users."""
+    def plan_unoptimized():
+        device = make_xcvu37p()
+        cons = PartitionConstraints(remove_intra_fpga_buffers=False,
+                                    max_reserved_fraction=1.0)
+        return PartitionPlanner(device, cons).plan()
+
+    unopt = benchmark(plan_unoptimized)
+    opt = PartitionPlanner(make_xcvu37p()).plan()
+    emit("fig7_ablation", format_table(
+        ["variant", "reserved", "block BRAM (Mb)"],
+        [["with buffer removal", f"{opt.reserved_fraction():.1%}",
+          f"{opt.block_capacity.bram_mb:.2f}"],
+         ["without", f"{unopt.reserved_fraction():.1%}",
+          f"{unopt.block_capacity.bram_mb:.2f}"]],
+        title="ablation -- intra-FPGA buffer removal (Section 3.5.2)"))
+    assert unopt.reserved_fraction() > opt.reserved_fraction()
+    assert unopt.block_capacity.bram_mb \
+        < opt.block_capacity.bram_mb

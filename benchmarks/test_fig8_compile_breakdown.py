@@ -1,0 +1,109 @@
+"""Fig. 8 / Section 5.4 -- the compilation-layer evaluation.
+
+Regenerates three results over the full 21-design benchmark set:
+
+- the compile-time breakdown (paper: P&R 83.9% of total, ViTAL's custom
+  tools 1.6%);
+- the partition quality: required inter-block bandwidth versus an
+  unoptimized (random) partition (paper: 2.1x reduction on average);
+- the combination blow-up AmorphOS's coupled compilation would need for
+  the same benchmark set ("hundreds of combinations"), versus ViTAL's
+  one compile per design.
+"""
+
+import math
+
+from repro.analysis.report import format_table
+from repro.compiler.partitioner import (
+    NetlistPartitioner,
+    blocks_for,
+    random_partition,
+)
+from repro.compiler.timing import CompileTimeBreakdown
+from repro.hls.frontend import synthesize
+from repro.hls.kernels import all_benchmarks
+
+
+def test_fig8_compile_time_breakdown(benchmark, cluster, apps, emit):
+    breakdowns = [app.breakdown for app in apps.values()]
+    total = CompileTimeBreakdown.aggregate(breakdowns)
+
+    def aggregate():
+        return CompileTimeBreakdown.aggregate(breakdowns)
+
+    benchmark(aggregate)
+
+    rows = [[step, f"{seconds / 3600:.2f} h",
+             f"{seconds / total.total_s:.1%}"]
+            for step, seconds in total.as_dict().items()]
+    text = format_table(
+        ["step", "time (21 designs)", "share"], rows,
+        title="Fig. 8 -- compilation time breakdown "
+              "(paper: P&R 83.9%, custom tools 1.6%)")
+    per_design = [[name,
+                   f"{app.breakdown.total_s / 60:.0f} min",
+                   f"{app.breakdown.pnr_fraction:.1%}",
+                   f"{app.breakdown.custom_fraction:.1%}"]
+                  for name, app in sorted(apps.items())]
+    text += "\n\n" + format_table(
+        ["design", "total", "P&R share", "custom share"], per_design,
+        title="per-design breakdown")
+    text += (f"\n\nvendor P&R share: {total.pnr_fraction:.1%}   "
+             f"custom-tool share: {total.custom_fraction:.1%}   "
+             f"measured wall time of our custom tools: "
+             f"{total.measured_custom_s:.1f} s")
+    emit("fig8", text)
+
+    assert 0.80 < total.pnr_fraction < 0.88
+    assert 0.005 < total.custom_fraction < 0.03
+
+
+def test_fig8_partition_quality(benchmark, cluster, emit):
+    """Section 5.4: partition cuts required inter-block bandwidth ~2.1x."""
+    capacity = cluster.partition.block_capacity
+    multi = [s for s in all_benchmarks()
+             if blocks_for(s.resources, capacity) >= 2]
+
+    def measure_one(spec):
+        netlist = synthesize(spec)
+        n = blocks_for(spec.resources, capacity)
+        ours = NetlistPartitioner(capacity).partition(netlist,
+                                                      num_blocks=n)
+        rand = random_partition(netlist, n, capacity)
+        return (rand.cut_bandwidth_bits
+                / max(1.0, ours.cut_bandwidth_bits))
+
+    benchmark(measure_one, multi[0])
+
+    ratios = {spec.name: measure_one(spec) for spec in multi}
+    geomean = math.exp(sum(math.log(r) for r in ratios.values())
+                       / len(ratios))
+    emit("fig8_partition_quality", format_table(
+        ["design", "bandwidth reduction vs unoptimized"],
+        [[name, f"{ratio:.2f}x"] for name, ratio in ratios.items()]
+        + [["geomean", f"{geomean:.2f}x"]],
+        title="Section 5.4 -- partition quality (paper: 2.1x average)"))
+    assert geomean > 1.8
+    assert all(r > 1.0 for r in ratios.values())
+
+
+def test_fig8_amorphos_combination_blowup(benchmark, emit):
+    """ViTAL compiles each design once; AmorphOS's high-throughput mode
+    must offline compile every co-residence combination."""
+    n_designs = len(all_benchmarks())
+
+    def count_combinations(k_max=3):
+        total = 0
+        for k in range(2, k_max + 1):
+            total += math.comb(n_designs, k)
+        return total
+
+    combos = benchmark(count_combinations)
+    emit("fig8_combinations", format_table(
+        ["approach", "offline compilations for the benchmark set"],
+        [["ViTAL", n_designs],
+         ["AmorphOS-HT (pairs)", math.comb(n_designs, 2)],
+         ["AmorphOS-HT (pairs+triples)", combos]],
+        title="Section 5.4 -- compilation coupling cost"))
+    assert math.comb(n_designs, 2) > 100  # "hundreds of combinations"
+    assert combos > 10 * n_designs

@@ -1,0 +1,67 @@
+"""Fig. 9 -- normalized response time over the Table 3 workload sets.
+
+The paper's headline numbers: ViTAL reduces mean response time by 82% on
+average versus the per-device baseline, and by 25% versus AmorphOS in
+high-throughput mode; AmorphOS's improvement collapses on workload sets
+whose applications cannot be combined onto one FPGA (e.g. set #3).
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.runtime.controller import SystemController
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import COMPOSITIONS, WorkloadGenerator
+
+
+def test_fig9_normalized_response_time(benchmark, cluster, apps,
+                                       system_results, emit):
+    # time one representative replay as the benchmark kernel
+    generator = WorkloadGenerator(seed=2020)
+    requests = generator.generate(7)
+    benchmark(lambda: run_experiment(SystemController(cluster),
+                                     requests, apps))
+
+    base = system_results["per-device"]
+    rows = []
+    compositions = {i: f"{int(s * 100)}S/{int(m * 100)}M/"
+                       f"{int(l * 100)}L"
+                    for i, (s, m, l) in COMPOSITIONS.items()}
+    normalized = {mgr: [] for mgr in system_results}
+    for set_index in sorted(COMPOSITIONS):
+        row = [f"#{set_index} ({compositions[set_index]})"]
+        for mgr, per_set in system_results.items():
+            norm = (per_set[set_index].mean_response_s
+                    / base[set_index].mean_response_s)
+            normalized[mgr].append(norm)
+            row.append(f"{norm:.2f}")
+        rows.append(row)
+    rows.append(["average"]
+                + [f"{statistics.mean(normalized[mgr]):.2f}"
+                   for mgr in system_results])
+
+    vital_vs_base = 1 - statistics.mean(normalized["vital"])
+    vital_vs_amorphos = 1 - statistics.mean(
+        v / a for v, a in zip(normalized["vital"],
+                              normalized["amorphos-ht"]))
+    text = format_table(
+        ["workload set"] + list(system_results), rows,
+        title="Fig. 9 -- response time normalized to the per-device "
+              "baseline (lower is better)")
+    text += (f"\n\nViTAL vs baseline: -{vital_vs_base:.0%} "
+             "(paper: -82%)"
+             f"\nViTAL vs AmorphOS-HT: -{vital_vs_amorphos:.0%} "
+             "(paper: -25%)")
+    emit("fig9", text)
+
+    # headline shapes
+    assert 0.70 <= vital_vs_base <= 0.92
+    assert 0.10 <= vital_vs_amorphos <= 0.40
+    # ViTAL never loses to the baseline on any set
+    assert all(n < 0.7 for n in normalized["vital"])
+    # AmorphOS's gain is smallest where combination fails (set #3 is
+    # among its three worst sets)
+    amorphos = normalized["amorphos-ht"]
+    worst3 = sorted(range(len(amorphos)),
+                    key=lambda i: amorphos[i])[-3:]
+    assert 2 in worst3  # index 2 == set #3 (all-Large)

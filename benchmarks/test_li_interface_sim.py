@@ -1,0 +1,72 @@
+"""Section 3.2/5.5 -- the latency-insensitive interface, executed.
+
+Cycle-level validation of the claims the fleet-level simulator only
+models: the *same* compiled interface drives a single-FPGA mapping and a
+multi-FPGA mapping with no functional change and near-identical
+steady-state throughput; progress never deadlocks; the slowdown of the
+spanning mapping is pipeline fill, not sustained-rate loss.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.interconnect.appsim import simulate_deployment
+from repro.interconnect.links import LinkClass
+from repro.runtime.types import Placement
+
+
+def single_board(app):
+    return Placement(mapping={vb: (0, vb)
+                              for vb in range(app.num_blocks)})
+
+
+def two_board(app):
+    half = app.num_blocks // 2
+    return Placement(mapping={
+        vb: (0, vb) if vb < half else (1, vb - half)
+        for vb in range(app.num_blocks)})
+
+
+def test_li_interface_mapping_insensitivity(benchmark, cluster, apps,
+                                            emit):
+    app = apps["svhn-L"]
+    cycles = 20000
+    single = simulate_deployment(app, single_board(app), cluster,
+                                 cycles=cycles)
+    spanning = benchmark.pedantic(
+        simulate_deployment,
+        args=(app, two_board(app), cluster),
+        kwargs={"cycles": cycles}, rounds=1, iterations=1)
+
+    from collections import Counter
+    link_mix = Counter(spanning.channel_links.values())
+    ratio = spanning.total_firings / max(1, single.total_firings)
+    text = format_table(
+        ["mapping", "firings", "deadlocked", "min block util"],
+        [["single FPGA", single.total_firings,
+          single.deadlocked, f"{single.min_block_utilization:.3f}"],
+         ["two FPGAs", spanning.total_firings,
+          spanning.deadlocked, f"{spanning.min_block_utilization:.3f}"]],
+        title=f"LI interface under both mappings ({app.name}, "
+              f"{cycles} cycles)")
+    text += (f"\n\nchannel link mix when spanning: "
+             f"{dict((str(k), v) for k, v in link_mix.items())}"
+             f"\nspanning/single throughput ratio: {ratio:.3f} "
+             "(paper: overhead <0.03% at job scale)")
+    emit("li_interface", text)
+
+    assert not single.deadlocked and not spanning.deadlocked
+    assert LinkClass.INTER_FPGA in spanning.channel_links.values()
+    # steady-state throughput survives the ring: the only loss is the
+    # (250-cycle) pipeline fill amortized over the run
+    assert ratio > 0.90
+
+
+@pytest.mark.parametrize("app_name", ["cifar10-M", "svhn-L"])
+def test_li_interface_never_deadlocks(benchmark, cluster, apps,
+                                      app_name):
+    app = apps[app_name]
+    result = benchmark.pedantic(
+        simulate_deployment, args=(app, single_board(app), cluster),
+        kwargs={"cycles": 4000}, rounds=1, iterations=1)
+    assert not result.deadlocked

@@ -1,0 +1,50 @@
+"""Section 4 / 5.4 -- the partition algorithm's runtime complexity.
+
+The paper argues the custom tools stay cheap because the partition step
+"has a small search space" and minimizes its objectives "by simply
+solving a linear equation system (low runtime complexity)".  This bench
+measures the actual wall time of our implementation against netlist size
+(varying the macro granularity so the same design yields 4x-scaled node
+counts): growth should stay near-linear -- far from the vendor P&R's
+behavior -- keeping custom-tool time negligible at any realistic size.
+"""
+
+import time
+
+from repro.analysis.report import format_table
+from repro.compiler.partitioner import NetlistPartitioner, blocks_for
+from repro.hls.frontend import HLSFrontend
+from repro.hls.kernels import benchmark as bench_spec
+
+
+def measure(cluster, macro_lut):
+    spec = bench_spec("lenet5", "L")
+    netlist = HLSFrontend(macro_lut=macro_lut).synthesize(spec)
+    n = blocks_for(spec.resources, cluster.partition.block_capacity)
+    start = time.perf_counter()
+    NetlistPartitioner(cluster.partition.block_capacity).partition(
+        netlist, num_blocks=n)
+    return netlist.num_primitives, time.perf_counter() - start
+
+
+def test_partition_runtime_scaling(benchmark, cluster, emit):
+    granularities = [2048, 1024, 512, 256]
+    points = [measure(cluster, g) for g in granularities]
+    benchmark(measure, cluster, 1024)
+
+    rows = [[f"{g}", nodes, f"{seconds:.2f}s",
+             f"{seconds / nodes * 1e3:.2f} ms/node"]
+            for g, (nodes, seconds) in zip(granularities, points)]
+    emit("partition_scaling", format_table(
+        ["macro granularity (LUTs)", "netlist nodes", "partition time",
+         "per node"], rows,
+        title="Section 4 -- partition runtime vs netlist size "
+              "(lenet5-L)"))
+
+    # near-linear: 4x the nodes costs well under 16x the time
+    nodes_small, t_small = points[0]
+    nodes_big, t_big = points[-1]
+    growth = (t_big / t_small) / (nodes_big / nodes_small)
+    assert growth < 4.0
+    # absolute time stays negligible next to hours of vendor P&R
+    assert t_big < 30.0

@@ -1,0 +1,124 @@
+"""Sensitivity studies around the Fig. 9 conclusion.
+
+The paper evaluates at one (unreported) load point; these benches sweep
+what the conclusion could be sensitive to:
+
+- **offered load**: ViTAL's advantage should grow as the baseline
+  saturates (its four-apps-at-a-time ceiling binds) and persist at light
+  load;
+- **arrival shape**: bursty and diurnal arrival streams with the same
+  mean rate must not flip the ranking;
+- **fairness**: fine-grained sharing should spread delay more evenly
+  over tenants (small apps stop queueing behind whole-device waits).
+"""
+
+import statistics
+
+from repro.analysis.report import format_table
+from repro.baselines.per_device import PerDeviceManager
+from repro.runtime.controller import SystemController
+from repro.sim.arrivals import BurstyArrivals, DiurnalArrivals, \
+    PoissonArrivals
+from repro.sim.experiment import run_experiment
+from repro.sim.metrics import jain_fairness, per_size_response
+from repro.sim.workload import WorkloadGenerator
+
+
+def one_run(cluster, apps, factory, set_index=7, replicas=2,
+            requests=90, interarrival=4.0, arrival_process=None):
+    generator = WorkloadGenerator(seed=17)
+    results = []
+    for replica in range(replicas):
+        reqs = generator.generate(
+            set_index, num_requests=requests,
+            mean_interarrival_s=interarrival, replica=replica,
+            arrival_process=arrival_process)
+        results.append(run_experiment(factory(cluster), reqs, apps))
+    return results
+
+
+def mean_response(results):
+    return statistics.mean(r.summary.mean_response_s for r in results)
+
+
+def test_sensitivity_offered_load(benchmark, cluster, apps, emit):
+    """Normalized response vs load: the gap opens as the baseline
+    saturates and never inverts."""
+    loads = [12.0, 8.0, 6.0, 4.0, 3.0]
+    rows = []
+    normalized = []
+    for interarrival in loads:
+        base = mean_response(one_run(cluster, apps, PerDeviceManager,
+                                     interarrival=interarrival))
+        vital = mean_response(one_run(cluster, apps, SystemController,
+                                      interarrival=interarrival))
+        normalized.append(vital / base)
+        rows.append([f"{interarrival:.0f}", f"{base:.1f}",
+                     f"{vital:.1f}", f"{vital / base:.2f}"])
+    benchmark(lambda: one_run(cluster, apps, SystemController,
+                              replicas=1))
+    emit("sensitivity_load", format_table(
+        ["mean interarrival (s)", "per-device (s)", "vital (s)",
+         "normalized"], rows,
+        title="sensitivity -- offered load (workload set #7)"))
+    # ViTAL wins at every load point...
+    assert all(n < 1.0 for n in normalized)
+    # ...and the advantage grows toward saturation
+    assert normalized[-1] < normalized[0]
+
+
+def test_sensitivity_arrival_shape(benchmark, cluster, apps, emit):
+    """Same mean rate, different burstiness: the ranking is robust."""
+    shapes = {
+        "poisson": PoissonArrivals(4.0),
+        "bursty (x6)": BurstyArrivals(4.0, burst_size=6),
+        "diurnal": DiurnalArrivals(4.0, period_s=300, amplitude=0.8),
+    }
+    rows = []
+    ratios = []
+    for name, process in shapes.items():
+        base = mean_response(one_run(cluster, apps, PerDeviceManager,
+                                     arrival_process=process))
+        vital = mean_response(one_run(cluster, apps, SystemController,
+                                      arrival_process=process))
+        ratios.append(vital / base)
+        rows.append([name, f"{base:.1f}", f"{vital:.1f}",
+                     f"{vital / base:.2f}"])
+    benchmark(lambda: None)
+    emit("sensitivity_arrivals", format_table(
+        ["arrival process", "per-device (s)", "vital (s)",
+         "normalized"], rows,
+        title="sensitivity -- arrival shape (set #7, same mean rate)"))
+    assert all(r < 0.6 for r in ratios)
+
+
+def test_sensitivity_fairness(benchmark, cluster, apps, emit):
+    """Per-size QoS and Jain fairness (set #10, small-heavy)."""
+    base_runs = one_run(cluster, apps, PerDeviceManager, set_index=10)
+    vital_runs = benchmark.pedantic(
+        one_run, args=(cluster, apps, SystemController),
+        kwargs={"set_index": 10}, rounds=1, iterations=1)
+
+    def merged(results):
+        return [r for run in results for r in run.records]
+
+    base_sizes = per_size_response(merged(base_runs))
+    vital_sizes = per_size_response(merged(vital_runs))
+    base_fair = jain_fairness(merged(base_runs))
+    vital_fair = jain_fairness(merged(vital_runs))
+
+    rows = [[size,
+             f"{base_sizes.get(size, float('nan')):.1f}",
+             f"{vital_sizes.get(size, float('nan')):.1f}"]
+            for size in ("S", "M", "L") if size in base_sizes]
+    text = format_table(
+        ["size class", "per-device response (s)", "vital (s)"], rows,
+        title="sensitivity -- per-size QoS (set #10)")
+    text += (f"\n\nJain fairness over slowdown: per-device "
+             f"{base_fair:.3f} vs vital {vital_fair:.3f}")
+    emit("sensitivity_fairness", text)
+
+    # every size class improves, small ones the most in absolute terms
+    for size, base_value in base_sizes.items():
+        assert vital_sizes[size] < base_value
+    assert vital_fair > base_fair

@@ -1,0 +1,75 @@
+"""Table 4 -- the bare-metal performance of the abstraction.
+
+Regenerates both halves of the table: the resources one physical block
+provides, and the maximum bandwidth / latency of the latency-insensitive
+interface over the inter-FPGA and inter-die links, measured by driving
+the benchmark-set-1 random-traffic microbenchmark through the cycle-level
+channel simulator.
+"""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.interconnect.links import LINKS, LinkClass
+from repro.interconnect.simulator import (
+    measure_channel_bandwidth,
+    random_traffic_experiment,
+)
+
+
+def measure_links():
+    out = {}
+    for link in (LinkClass.INTER_FPGA, LinkClass.INTER_DIE):
+        cycles = 400 * LINKS[link].round_trip_cycles()
+        bw, lat = measure_channel_bandwidth(link, cycles=cycles)
+        out[link] = (bw, lat)
+    return out
+
+
+def test_table4_bare_metal(benchmark, cluster, emit):
+    measured = benchmark(measure_links)
+
+    cap = cluster.partition.block_capacity
+    block_rows = [[f"{cap.lut / 1e3:.1f}k", f"{cap.dff / 1e3:.1f}k",
+                   f"{cap.dsp:.0f}", f"{cap.bram_mb:.2f}Mb"]]
+    text = format_table(
+        ["LUTs", "DFFs", "DSPs", "BRAM"], block_rows,
+        title="Table 4 -- resources provided by a physical block\n"
+              "(paper: 79.2k / 158.4k / 580 / 4.22Mb)")
+
+    link_rows = []
+    for link, (bw, lat) in measured.items():
+        model = LINKS[link]
+        link_rows.append([
+            str(link), f"{bw:.1f} Gb/s",
+            f"{model.bandwidth_gbps:.1f} Gb/s",
+            f"{lat * 4:.0f} ns"])
+    text += "\n\n" + format_table(
+        ["link", "measured max bandwidth", "paper", "latency"],
+        link_rows,
+        title="Table 4 -- communication performance "
+              "(paper: inter-FPGA 100 Gb/s, inter-die 312.5 Gb/s)")
+    emit("table4", text)
+
+    bw_fpga, _ = measured[LinkClass.INTER_FPGA]
+    bw_die, _ = measured[LinkClass.INTER_DIE]
+    assert bw_fpga == pytest.approx(100.0, rel=0.03)
+    assert bw_die == pytest.approx(312.5, rel=0.03)
+
+
+def test_table4_saturation_curve(benchmark, emit):
+    """Random traffic sweep: accepted bandwidth saturates at capacity."""
+    results = benchmark(
+        random_traffic_experiment, LinkClass.INTER_FPGA,
+        [0.2, 0.4, 0.6, 0.8, 1.0], 30000)
+    emit("table4_sweep", format_table(
+        ["offered rate", "accepted (Gb/s)", "saturation",
+         "latency (cycles)"],
+        [[f"{r.offered_rate:.1f}", f"{r.accepted_gbps:.1f}",
+          f"{r.saturation:.0%}", f"{r.mean_latency_cycles:.0f}"]
+         for r in results],
+        title="benchmark set 1 -- random traffic on the inter-FPGA "
+              "link"))
+    accepted = [r.accepted_gbps for r in results]
+    assert accepted == sorted(accepted)
+    assert results[-1].saturation > 0.95

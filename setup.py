@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP-517 editable installs fail; this shim lets `pip install -e .
+--no-use-pep517` work with the stock setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""ViTAL: Virtualizing FPGAs in the Cloud -- a full reproduction.
+
+This library reimplements the ViTAL stack of Zha & Li (ASPLOS 2020): a
+homogeneous virtual-block abstraction over FPGA clusters that decouples
+compilation from resource allocation, a six-step compilation flow with a
+placement-based partitioner and latency-insensitive interfaces, and a
+runtime system controller with communication-aware allocation -- plus the
+simulated hardware substrate (devices, cluster, interconnect) and the
+baselines (per-device, slot-based, AmorphOS) its evaluation compares
+against.
+
+Quickstart::
+
+    from repro import ViTALStack, benchmark
+
+    stack = ViTALStack()                      # 4x XCVU37P cluster
+    app = stack.compile(benchmark("svhn", "L"))
+    deployment = stack.deploy(app)
+    print(deployment.placement.boards, stack.utilization())
+    stack.release(deployment)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core.stack import ViTALStack
+from repro.core.programming import VirtualFPGA, custom_kernel
+from repro.cluster.cluster import FPGACluster, make_cluster
+from repro.compiler.flow import CompilationFlow
+from repro.compiler.bitstream import CompiledApp
+from repro.fabric.resources import ResourceVector
+from repro.fabric.partition import PartitionPlanner
+from repro.fabric.devices import make_xcvu37p, make_vu13p
+from repro.hls.kernels import (
+    KernelSpec,
+    SizeClass,
+    benchmark,
+    all_benchmarks,
+)
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ViTALStack",
+    "VirtualFPGA",
+    "custom_kernel",
+    "FPGACluster",
+    "make_cluster",
+    "CompilationFlow",
+    "CompiledApp",
+    "ResourceVector",
+    "PartitionPlanner",
+    "make_xcvu37p",
+    "make_vu13p",
+    "KernelSpec",
+    "SizeClass",
+    "benchmark",
+    "all_benchmarks",
+    "SystemController",
+    "verify_isolation",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Reporting helpers used by the benchmark harness."""
+
+from repro.analysis.report import format_table, format_bar_series
+from repro.analysis.summary import build_report, write_report
+
+__all__ = ["format_table", "format_bar_series", "build_report",
+           "write_report"]

@@ -1,0 +1,54 @@
+"""Plain-text tables and bar series for the benchmark harness.
+
+The paper's artifacts are tables and figures; each bench prints the same
+rows or series the paper reports so runs can be compared side by side with
+the published numbers (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_bar_series"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_series(labels: Sequence[str], values: Sequence[float],
+                      title: str = "", width: int = 40,
+                      unit: str = "") -> str:
+    """Render a horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values, default=0.0)
+    lines = [title] if title else []
+    label_w = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label.ljust(label_w)}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,79 @@
+"""Consolidated experiment report.
+
+Each bench persists its table under ``benchmarks/results/``;
+:func:`build_report` stitches them into one Markdown document ordered
+like the paper's evaluation section, so a full
+``pytest benchmarks/ --benchmark-only`` run leaves a single reviewable
+artifact behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["REPORT_ORDER", "build_report", "write_report"]
+
+#: (result-file stem, section heading) in the paper's narrative order.
+REPORT_ORDER: tuple[tuple[str, str], ...] = (
+    ("fig1a", "Fig. 1a — motivation: application footprints"),
+    ("fig1b", "Fig. 1b — motivation: capacity growth"),
+    ("table1", "Table 1 — measured method capabilities"),
+    ("table2", "Table 2 — accelerator designs"),
+    ("fig7", "Fig. 7 / §5.3 — fabric partition"),
+    ("fig7_ablation", "§3.5.2 — buffer-removal ablation"),
+    ("table4", "Table 4 — bare-metal performance"),
+    ("table4_sweep", "Benchmark set 1 — traffic sweep"),
+    ("fig8", "Fig. 8 — compile-time breakdown"),
+    ("fig8_partition_quality", "§5.4 — partition quality"),
+    ("fig8_combinations", "§5.4 — compilation coupling"),
+    ("partition_scaling", "§4 — partition runtime scaling"),
+    ("fig9", "Fig. 9 — normalized response time"),
+    ("fig10", "Fig. 10 / §5.5 — utilization & concurrency"),
+    ("fig10_spanning", "§5.5 — spanning per workload set"),
+    ("fig10_snapshots", "Fig. 10 — occupancy snapshots"),
+    ("li_interface", "§3.2 — LI interface, cycle level"),
+    ("ablation_policy", "Ablation — allocation policy"),
+    ("ablation_backfill", "Ablation — queueing discipline"),
+    ("ablation_partition", "Ablation — partition algorithm"),
+    ("ablation_fm", "Ablation — vs FM min-cut"),
+    ("ablation_granularity", "Ablation — block granularity"),
+    ("ablation_sharing", "Ablation — function sharing"),
+    ("ablation_defrag", "Ablation — defragmentation"),
+    ("ablation_hardened", "Ablation — hardened regions"),
+    ("ablation_dram", "Ablation — DRAM contention"),
+    ("sensitivity_load", "Sensitivity — offered load"),
+    ("sensitivity_arrivals", "Sensitivity — arrival shape"),
+    ("sensitivity_fairness", "Sensitivity — fairness"),
+    ("hetero_cluster", "§7 — heterogeneous cluster"),
+)
+
+
+def build_report(results_dir: "str | Path") -> str:
+    """Assemble the Markdown report from whatever results exist."""
+    results_dir = Path(results_dir)
+    sections = []
+    missing = []
+    for stem, heading in REPORT_ORDER:
+        path = results_dir / f"{stem}.txt"
+        if path.exists():
+            body = path.read_text().rstrip()
+            sections.append(f"## {heading}\n\n```text\n{body}\n```\n")
+        else:
+            missing.append(stem)
+    header = ["# ViTAL reproduction — experiment report", ""]
+    header.append(f"{len(sections)} of {len(REPORT_ORDER)} experiment "
+                  "artifacts present.")
+    if missing:
+        header.append(f"Missing (bench not yet run): "
+                      f"{', '.join(missing)}.")
+    header.append("")
+    return "\n".join(header) + "\n" + "\n".join(sections)
+
+
+def write_report(results_dir: "str | Path",
+                 output: "str | Path | None" = None) -> Path:
+    """Write the report next to the results; returns the path."""
+    results_dir = Path(results_dir)
+    output = Path(output) if output else results_dir / "REPORT.md"
+    output.write_text(build_report(results_dir))
+    return output

@@ -1,0 +1,28 @@
+"""Baseline cluster managers the paper compares against (Section 5.2/5.5).
+
+All managers implement the same duck-typed interface as
+:class:`repro.runtime.controller.SystemController` -- ``try_deploy`` /
+``release`` / ``busy_blocks`` / ``capacity_blocks`` -- so the simulator
+can swap them freely:
+
+- :class:`PerDeviceManager` -- the evaluation's baseline: one whole FPGA
+  exhaustively allocated per application (AWS F1-style, Fig. 2a);
+- :class:`SlotBasedManager` -- fixed identical slots per FPGA (Fig. 2b;
+  also AmorphOS's low-latency mode);
+- :class:`AmorphOSManager` -- AmorphOS high-throughput mode (Fig. 2c):
+  applications combined onto a single FPGA via offline-compiled
+  combinations, full-device reconfiguration on every transition, no
+  multi-FPGA support.
+"""
+
+from repro.baselines.base import ClusterManager
+from repro.baselines.per_device import PerDeviceManager
+from repro.baselines.slot_based import SlotBasedManager
+from repro.baselines.amorphos import AmorphOSManager
+
+__all__ = [
+    "ClusterManager",
+    "PerDeviceManager",
+    "SlotBasedManager",
+    "AmorphOSManager",
+]

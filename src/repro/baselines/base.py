@@ -1,0 +1,40 @@
+"""The manager interface every resource manager implements.
+
+The simulator (:mod:`repro.sim.experiment`) is manager-agnostic: anything
+satisfying this protocol can be dropped into the Fig. 9 / Fig. 10
+experiments, which is how ViTAL, the per-device baseline, the slot-based
+method and AmorphOS are compared on identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.compiler.bitstream import CompiledApp
+from repro.runtime.types import Deployment
+
+__all__ = ["ClusterManager"]
+
+
+@runtime_checkable
+class ClusterManager(Protocol):
+    """A cluster resource manager."""
+
+    name: str
+
+    def try_deploy(self, app: CompiledApp, request_id: int,
+                   now: float) -> Deployment | None:
+        """Deploy ``app`` now, or return ``None`` if it must wait."""
+        ...
+
+    def release(self, deployment: Deployment, now: float) -> None:
+        """Free everything ``deployment`` holds."""
+        ...
+
+    def busy_blocks(self) -> float:
+        """Physical blocks (or block-equivalents) currently occupied."""
+        ...
+
+    def capacity_blocks(self) -> float:
+        """Total physical blocks (or block-equivalents) managed."""
+        ...

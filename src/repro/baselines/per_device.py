@@ -1,0 +1,71 @@
+"""Per-device allocation: the paper's baseline (Fig. 2a).
+
+"One simple strategy currently adopted by cloud vendors (e.g., Amazon AWS)
+is to manage the pool of FPGA resources at a per-device granularity, i.e.,
+allocating one physical FPGA device exhaustively to one application."
+
+Every deployment gets a whole board regardless of its footprint -- the
+internal fragmentation ViTAL's fine-grained sharing removes -- and pays a
+full-device reconfiguration.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import FPGACluster
+from repro.compiler.bitstream import CompiledApp
+from repro.runtime.types import Deployment, Placement
+
+__all__ = ["PerDeviceManager"]
+
+
+class PerDeviceManager:
+    """Whole-FPGA-per-application manager."""
+
+    name = "per-device"
+
+    def __init__(self, cluster: FPGACluster) -> None:
+        self.cluster = cluster
+        self._board_owner: dict[int, int | None] = {
+            b.board_id: None for b in cluster.boards}
+
+    # ------------------------------------------------------------------
+    def try_deploy(self, app: CompiledApp, request_id: int,
+                   now: float) -> Deployment | None:
+        board_id = next((b for b, owner in self._board_owner.items()
+                         if owner is None), None)
+        if board_id is None:
+            return None
+        self._board_owner[board_id] = request_id
+        blocks = self.cluster.board(board_id).num_blocks
+        placement = Placement(mapping={
+            i: (board_id, i) for i in range(blocks)})
+        return Deployment(
+            request_id=request_id,
+            app=app,
+            tenant=f"tenant-{request_id}",
+            placement=placement,
+            deployed_at=now,
+            reconfig_time_s=self.cluster.reconfigurer.full_device_time_s(),
+            service_time_s=app.service_time_s(),
+        )
+
+    def release(self, deployment: Deployment, now: float = 0.0) -> None:
+        board_id = deployment.placement.boards[0]
+        if self._board_owner.get(board_id) != deployment.request_id:
+            raise RuntimeError(
+                f"board {board_id} not held by "
+                f"request {deployment.request_id}")
+        self._board_owner[board_id] = None
+
+    # ------------------------------------------------------------------
+    def busy_blocks(self) -> float:
+        per_board = self.cluster.blocks_per_board
+        return sum(per_board for owner in self._board_owner.values()
+                   if owner is not None)
+
+    def capacity_blocks(self) -> float:
+        return float(self.cluster.total_blocks)
+
+    def free_boards(self) -> int:
+        return sum(1 for owner in self._board_owner.values()
+                   if owner is None)

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Operator-facing entry points over the library:
+
+- ``partition`` -- run the Section 5.3 design-space exploration for a
+  device and print the chosen fabric partition;
+- ``compile``   -- compile one Table 2 benchmark and print the artifact
+  summary (blocks, fmax, channels, modeled compile breakdown);
+- ``links``     -- run the benchmark-set-1 bandwidth microbenchmark on
+  every link class (Table 4);
+- ``simulate``  -- replay a Table 3 workload set against one or more
+  managers and print the comparison (a one-set Fig. 9);
+- ``status``    -- build the default cluster and print its shape.
+
+Every command is a pure function over the library, returns an exit code,
+and prints via the same report helpers the benchmark harness uses, so
+output is stable and testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.baselines.amorphos import AmorphOSManager
+from repro.baselines.per_device import PerDeviceManager
+from repro.baselines.slot_based import SlotBasedManager
+from repro.cluster.cluster import make_cluster
+from repro.compiler.flow import CompilationFlow
+from repro.fabric.devices import DEVICE_CATALOG, device_by_name
+from repro.fabric.partition import PartitionConstraints, PartitionPlanner
+from repro.hls.kernels import BENCHMARKS, benchmark
+from repro.interconnect.links import LINKS, LinkClass
+from repro.interconnect.simulator import measure_channel_bandwidth
+from repro.runtime.controller import SystemController
+from repro.sim.experiment import compile_benchmarks, run_experiment
+from repro.sim.workload import COMPOSITIONS, WorkloadGenerator
+
+__all__ = ["main", "build_parser"]
+
+_MANAGERS = {
+    "per-device": PerDeviceManager,
+    "slot-based": SlotBasedManager,
+    "amorphos-ht": AmorphOSManager,
+    "vital": SystemController,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ViTAL (ASPLOS 2020) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition",
+                       help="plan the fabric partition of a device")
+    p.add_argument("--device", default="XCVU37P",
+                   choices=sorted(DEVICE_CATALOG))
+    p.add_argument("--no-buffer-opt", action="store_true",
+                   help="disable intra-FPGA buffer removal (§3.5.2)")
+    p.add_argument("--hardened", action="store_true",
+                   help="system regions in hard IP (§3.5.2 future work)")
+
+    p = sub.add_parser("compile", help="compile one Table 2 benchmark")
+    p.add_argument("family", choices=sorted(BENCHMARKS))
+    p.add_argument("size", choices=["S", "M", "L"])
+
+    sub.add_parser("links",
+                   help="Table 4 link bandwidth microbenchmark")
+
+    p = sub.add_parser("simulate",
+                       help="replay one Table 3 workload set")
+    p.add_argument("--set", dest="set_index", type=int, default=7,
+                   choices=sorted(COMPOSITIONS))
+    p.add_argument("--managers", default="per-device,vital",
+                   help="comma-separated subset of "
+                        f"{','.join(_MANAGERS)}")
+    p.add_argument("--requests", type=int, default=60)
+    p.add_argument("--interarrival", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--boards", type=int, default=4)
+
+    p = sub.add_parser("status", help="print the default cluster shape")
+    p.add_argument("--boards", type=int, default=4)
+
+    p = sub.add_parser(
+        "export-db",
+        help="compile the Table 2 benchmarks and save the bitstream DB")
+    p.add_argument("path")
+
+    p = sub.add_parser(
+        "report",
+        help="stitch benchmarks/results/*.txt into REPORT.md")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--output", default=None)
+
+    p = sub.add_parser(
+        "trace",
+        help="generate a workload-set trace file (JSON)")
+    p.add_argument("path")
+    p.add_argument("--set", dest="set_index", type=int, default=7,
+                   choices=sorted(COMPOSITIONS))
+    p.add_argument("--requests", type=int, default=120)
+    p.add_argument("--interarrival", type=float, default=4.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_partition(args: argparse.Namespace) -> int:
+    device = device_by_name(args.device)
+    constraints = PartitionConstraints(
+        remove_intra_fpga_buffers=not args.no_buffer_opt,
+        hardened_system_regions=args.hardened,
+        max_reserved_fraction=1.0 if args.no_buffer_opt else 0.10,
+    )
+    planner = PartitionPlanner(device, constraints)
+    rows = [[f"{c.blocks_per_die}/die", c.num_blocks,
+             f"{c.user_fraction():.1%}", f"{c.reserved_fraction():.1%}"]
+            for c in planner.candidates()]
+    print(format_table(
+        ["geometry", "#blocks", "user", "reserved"], rows,
+        title=f"candidate partitions of {device.name}"))
+    print()
+    print(planner.plan().describe())
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    cluster = make_cluster(num_boards=1)
+    flow = CompilationFlow(fabric=cluster.partition)
+    app = flow.compile(benchmark(args.family, args.size))
+    b = app.breakdown
+    print(f"{app.name}: {app.num_blocks} virtual blocks, "
+          f"fmax {app.fmax_mhz:.0f} MHz, "
+          f"{len(app.interface.channels)} LI channels, "
+          f"cut {app.cut_bandwidth_bits:.0f} bits")
+    print(format_table(
+        ["step", "modeled time", "share"],
+        [[step, f"{seconds / 60:.1f} min",
+          f"{seconds / b.total_s:.1%}"]
+         for step, seconds in b.as_dict().items()],
+        title="vendor-scale compile breakdown"))
+    return 0
+
+
+def _cmd_links(_args: argparse.Namespace) -> int:
+    rows = []
+    for link in LinkClass:
+        cycles = 200 * LINKS[link].round_trip_cycles()
+        bw, lat = measure_channel_bandwidth(link, cycles=cycles)
+        rows.append([str(link), f"{bw:.1f} Gb/s",
+                     f"{LINKS[link].bandwidth_gbps:.1f} Gb/s",
+                     f"{lat:.0f} cycles"])
+    print(format_table(
+        ["link", "measured", "capacity", "latency"], rows,
+        title="latency-insensitive channel bandwidth (Table 4)"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    names = [n.strip() for n in args.managers.split(",") if n.strip()]
+    unknown = [n for n in names if n not in _MANAGERS]
+    if unknown:
+        print(f"unknown managers: {', '.join(unknown)} "
+              f"(choose from {', '.join(_MANAGERS)})")
+        return 2
+    cluster = make_cluster(num_boards=args.boards)
+    apps = compile_benchmarks(cluster)
+    requests = WorkloadGenerator(seed=args.seed).generate(
+        args.set_index, num_requests=args.requests,
+        mean_interarrival_s=args.interarrival)
+    rows = []
+    for name in names:
+        summary = run_experiment(_MANAGERS[name](cluster), requests,
+                                 apps).summary
+        rows.append([name, f"{summary.mean_response_s:.1f}",
+                     f"{summary.mean_wait_s:.1f}",
+                     f"{summary.mean_concurrency:.1f}",
+                     f"{summary.block_utilization:.0%}",
+                     f"{summary.multi_fpga_fraction:.0%}"])
+    print(format_table(
+        ["manager", "response (s)", "wait (s)", "concurrency",
+         "block util", "multi-FPGA"], rows,
+        title=f"workload set #{args.set_index}: {args.requests} "
+              f"requests, {args.interarrival:.1f} s mean interarrival"))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    cluster = make_cluster(num_boards=args.boards)
+    print(cluster)
+    print(cluster.partition.describe())
+    return 0
+
+
+def _cmd_export_db(args: argparse.Namespace) -> int:
+    from repro.runtime.bitstream_db import BitstreamDB
+    from repro.runtime.persistence import save_bitstream_db
+    cluster = make_cluster(num_boards=1)
+    db = BitstreamDB(cluster.footprint)
+    for app in compile_benchmarks(cluster).values():
+        db.register(app)
+    save_bitstream_db(db, args.path)
+    print(f"saved {len(db)} compiled applications "
+          f"(footprint {cluster.footprint}) to {args.path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.trace import dump_trace
+    requests = WorkloadGenerator(seed=args.seed).generate(
+        args.set_index, num_requests=args.requests,
+        mean_interarrival_s=args.interarrival)
+    dump_trace(requests, args.path,
+               metadata={"set": args.set_index, "seed": args.seed,
+                         "mean_interarrival_s": args.interarrival})
+    print(f"wrote {len(requests)} requests (Table 3 set "
+          f"#{args.set_index}) to {args.path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.summary import write_report
+    results = Path(args.results)
+    if not results.is_dir():
+        print(f"no results directory at {results}; run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 2
+    path = write_report(results, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "partition": _cmd_partition,
+    "report": _cmd_report,
+    "compile": _cmd_compile,
+    "links": _cmd_links,
+    "simulate": _cmd_simulate,
+    "status": _cmd_status,
+    "export-db": _cmd_export_db,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,27 @@
+"""FPGA cluster substrate.
+
+Models the paper's custom-built evaluation platform (Section 5.2): four
+Xilinx UltraScale+ XCVU37P boards, each with two DDR4 DIMM sites and four
+QSFP cages, sharing a 100 Gb/s bidirectional ring.
+
+- :mod:`repro.cluster.board` -- one board (device + partition + DRAM +
+  transceivers);
+- :mod:`repro.cluster.network` -- the bidirectional ring;
+- :mod:`repro.cluster.cluster` -- the cluster and its factory;
+- :mod:`repro.cluster.reconfig` -- partial and full reconfiguration
+  timing.
+"""
+
+from repro.cluster.board import DimmSite, FPGABoard
+from repro.cluster.network import RingNetwork
+from repro.cluster.cluster import FPGACluster, make_cluster
+from repro.cluster.reconfig import Reconfigurer
+
+__all__ = [
+    "DimmSite",
+    "FPGABoard",
+    "RingNetwork",
+    "FPGACluster",
+    "make_cluster",
+    "Reconfigurer",
+]

@@ -1,0 +1,122 @@
+"""The inter-FPGA ring network.
+
+The platform's four boards "share access to a 100 Gbps bidirectional ring"
+(Section 5.2).  The model exposes what the runtime policy and the service
+time model need: hop distances, per-segment bandwidth, and end-to-end
+latency.  Traffic between non-adjacent boards traverses intermediate
+segments, so the policy's preference for few, adjacent boards directly
+reduces both latency and segment contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RingNetwork"]
+
+
+@dataclass(slots=True)
+class RingNetwork:
+    """A bidirectional ring over ``num_nodes`` boards.
+
+    Besides topology queries, the ring tracks *registered flows* (one per
+    board-spanning deployment): traffic between non-adjacent boards holds
+    every segment along its path, and co-resident flows on a segment share
+    its bandwidth -- the contention the communication-aware policy's
+    span-minimization avoids.
+    """
+
+    num_nodes: int
+    segment_bandwidth_gbps: float = 100.0
+    hop_latency_us: float = 1.0
+    _flows: "dict[object, list[int]]" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("ring needs at least one node")
+        self._flows = {}
+
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int) -> int:
+        """Hop count along the shorter ring direction."""
+        self._check(a)
+        self._check(b)
+        d = abs(a - b)
+        return min(d, self.num_nodes - d)
+
+    def path_latency_us(self, a: int, b: int) -> float:
+        return self.distance(a, b) * self.hop_latency_us
+
+    def bandwidth_between(self, a: int, b: int) -> float:
+        """End-to-end bandwidth of the shorter path (segment-limited)."""
+        if self.distance(a, b) == 0:
+            return float("inf")
+        return self.segment_bandwidth_gbps
+
+    def span_cost(self, boards: "list[int] | set[int]") -> int:
+        """Total pairwise hop count of a board set.
+
+        The communication-aware policy minimizes this when forced to
+        split an application across boards.
+        """
+        members = sorted(set(boards))
+        total = 0
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                total += self.distance(a, b)
+        return total
+
+    # ------------------------------------------------------------------
+    # flow registry (segment contention)
+    # ------------------------------------------------------------------
+    def segments_on_path(self, a: int, b: int) -> list[int]:
+        """Segment ids of the shorter path (segment i joins node i and
+        node (i+1) mod n); ties resolve clockwise."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return []
+        clockwise = (b - a) % self.num_nodes
+        counter = (a - b) % self.num_nodes
+        if clockwise <= counter:
+            return [(a + i) % self.num_nodes for i in range(clockwise)]
+        return [(a - 1 - i) % self.num_nodes for i in range(counter)]
+
+    def register_flow(self, flow_id: object, boards: "list[int]") -> None:
+        """Claim the segments a deployment's traffic traverses.
+
+        ``boards`` is the deployment's board set; the flow holds every
+        segment on the pairwise shorter paths between them.
+        """
+        if flow_id in self._flows:
+            raise ValueError(f"flow {flow_id} already registered")
+        members = sorted(set(boards))
+        segments: set[int] = set()
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                segments.update(self.segments_on_path(a, b))
+        self._flows[flow_id] = sorted(segments)
+
+    def release_flow(self, flow_id: object) -> None:
+        self._flows.pop(flow_id, None)
+
+    def flows_on_segment(self, segment: int) -> int:
+        return sum(1 for segs in self._flows.values()
+                   if segment in segs)
+
+    def contention_factor(self, boards: "list[int]") -> int:
+        """Flows (including a prospective one over ``boards``) sharing
+        the busiest segment the new flow would use; >= 1."""
+        members = sorted(set(boards))
+        segments: set[int] = set()
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                segments.update(self.segments_on_path(a, b))
+        if not segments:
+            return 1
+        return 1 + max(self.flows_on_segment(s) for s in segments)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} outside ring of "
+                             f"{self.num_nodes}")

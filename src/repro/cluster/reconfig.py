@@ -1,0 +1,45 @@
+"""Reconfiguration timing.
+
+ViTAL programs one physical block at a time through partial reconfiguration
+(Section 3.4) "without affecting other co-running applications"; the
+per-device baseline and AmorphOS's high-throughput mode must write a full
+device image instead.  Times follow the ICAP/MCAP bandwidth of UltraScale+
+parts: roughly 0.8 GB/s of configuration data, plus fixed setup cost per
+operation (driver, clearing, reset sequencing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Reconfigurer"]
+
+#: Full-device configuration image of an XCVU37P-class part, MB.
+FULL_DEVICE_BITSTREAM_MB = 180.0
+
+
+@dataclass(frozen=True, slots=True)
+class Reconfigurer:
+    """Configuration-port timing model."""
+
+    config_bandwidth_mb_s: float = 800.0
+    setup_overhead_s: float = 0.004
+
+    def partial_time_s(self, bitstream_mb: float) -> float:
+        """Program one physical block (co-running apps unaffected)."""
+        if bitstream_mb <= 0:
+            raise ValueError("bitstream size must be positive")
+        return self.setup_overhead_s \
+            + bitstream_mb / self.config_bandwidth_mb_s
+
+    def partial_time_for_blocks(self, bitstream_mb: float,
+                                num_blocks: int) -> float:
+        """Program ``num_blocks`` blocks back to back (one config port)."""
+        return num_blocks * self.partial_time_s(bitstream_mb)
+
+    def full_device_time_s(self,
+                           bitstream_mb: float = FULL_DEVICE_BITSTREAM_MB,
+                           ) -> float:
+        """Rewrite a whole device (pauses everything on it)."""
+        return self.setup_overhead_s \
+            + bitstream_mb / self.config_bandwidth_mb_s

@@ -1,0 +1,90 @@
+"""Compilation Layer: the six-step ViTAL flow (Section 3.3, Fig. 5).
+
+1. **Synthesis** -- high-level code to a primitive netlist (reused
+   front-end; here :mod:`repro.hls`).
+2. **Partition** -- netlist into virtual blocks, minimizing inter-block
+   bandwidth (:mod:`repro.compiler.packing`,
+   :mod:`repro.compiler.placement`, :mod:`repro.compiler.partitioner`;
+   the Section 4 algorithm).
+3. **Latency-insensitive interface generation**
+   (:mod:`repro.compiler.interface_gen`).
+4. **Local place-and-route** -- each virtual block into a physical block
+   (:mod:`repro.compiler.pnr`).
+5. **Relocation** -- retarget a mapped block without recompilation
+   (:mod:`repro.compiler.relocation`).
+6. **Global place-and-route** -- integrate and finalize
+   (:mod:`repro.compiler.pnr`).
+
+:mod:`repro.compiler.flow` orchestrates the steps and
+:mod:`repro.compiler.timing` models the vendor-tool runtimes that dominate
+the Fig. 8 breakdown.
+"""
+
+from repro.compiler.packing import Cluster, GreedyPacker
+from repro.compiler.placement import BlockGrid, PlacementResult, QuadraticPlacer
+from repro.compiler.partitioner import (
+    PACKING_HEADROOM,
+    PartitionResult,
+    NetlistPartitioner,
+    blocks_for,
+    random_partition,
+)
+from repro.compiler.interface_gen import (
+    ChannelSpec,
+    LatencyInsensitiveInterface,
+    InterfaceGenerator,
+)
+from repro.compiler.pnr import LocalPnR, GlobalPnR, PlacedVirtualBlock
+from repro.compiler.relocation import Relocator, RelocationError
+from repro.compiler.bitstream import VirtualBlockImage, CompiledApp
+from repro.compiler.timing import CompileTimeModel, CompileTimeBreakdown
+from repro.compiler.flow import CompilationFlow
+from repro.compiler.techmap import LUTNetwork, MappedLUT, technology_map
+from repro.compiler.frames import (
+    PartialBitstream,
+    relocate_bitstream,
+    FrameRelocationError,
+)
+from repro.compiler.fm import FMPartitioner, fm_bipartition
+from repro.compiler.detailed_pnr import (
+    BinGrid,
+    DetailedPnRResult,
+    detailed_place_and_route,
+)
+
+__all__ = [
+    "Cluster",
+    "GreedyPacker",
+    "BlockGrid",
+    "PlacementResult",
+    "QuadraticPlacer",
+    "PACKING_HEADROOM",
+    "PartitionResult",
+    "NetlistPartitioner",
+    "blocks_for",
+    "random_partition",
+    "ChannelSpec",
+    "LatencyInsensitiveInterface",
+    "InterfaceGenerator",
+    "LocalPnR",
+    "GlobalPnR",
+    "PlacedVirtualBlock",
+    "Relocator",
+    "RelocationError",
+    "VirtualBlockImage",
+    "CompiledApp",
+    "CompileTimeModel",
+    "CompileTimeBreakdown",
+    "CompilationFlow",
+    "LUTNetwork",
+    "MappedLUT",
+    "technology_map",
+    "PartialBitstream",
+    "relocate_bitstream",
+    "FrameRelocationError",
+    "BinGrid",
+    "DetailedPnRResult",
+    "detailed_place_and_route",
+    "FMPartitioner",
+    "fm_bipartition",
+]

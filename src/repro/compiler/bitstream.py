@@ -1,0 +1,98 @@
+"""Compilation artifacts: per-virtual-block images and the compiled app.
+
+A :class:`VirtualBlockImage` is the position-independent unit the runtime
+deploys: the partial bitstream of one virtual block, compiled once against
+the physical-block *footprint* and relocatable to any physical block with
+that footprint (Section 3.3, step 5).  A :class:`CompiledApp` bundles all
+of an application's images with its latency-insensitive interface and the
+metadata the System Layer's databases index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.compiler.interface_gen import LatencyInsensitiveInterface
+from repro.compiler.pnr import PlacedVirtualBlock
+from repro.compiler.timing import CompileTimeBreakdown
+from repro.fabric.resources import ResourceVector
+from repro.hls.kernels import KernelSpec
+
+__all__ = ["VirtualBlockImage", "CompiledApp"]
+
+#: Partial-bitstream size of one physical block, MB (frame count scales
+#: with block area; a full XCVU37P bitstream is ~180 MB over 15 blocks
+#: plus shell).
+BLOCK_BITSTREAM_MB = 9.5
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualBlockImage:
+    """One relocatable partial bitstream."""
+
+    app_name: str
+    virtual_block: int
+    footprint: str
+    usage: ResourceVector
+    fmax_mhz: float
+    size_mb: float = BLOCK_BITSTREAM_MB
+
+    @property
+    def image_id(self) -> str:
+        digest = hashlib.sha1(
+            f"{self.app_name}/{self.virtual_block}/{self.footprint}"
+            .encode()).hexdigest()
+        return digest[:12]
+
+    @classmethod
+    def from_placed(cls, app_name: str, placed: PlacedVirtualBlock,
+                    ) -> "VirtualBlockImage":
+        return cls(app_name=app_name,
+                   virtual_block=placed.virtual_block,
+                   footprint=placed.footprint,
+                   usage=placed.usage,
+                   fmax_mhz=placed.fmax_mhz)
+
+
+@dataclass(slots=True)
+class CompiledApp:
+    """Everything the runtime needs to deploy one application."""
+
+    spec: KernelSpec
+    images: list[VirtualBlockImage]
+    interface: LatencyInsensitiveInterface
+    fmax_mhz: float
+    footprint: str
+    breakdown: CompileTimeBreakdown
+    cut_bandwidth_bits: float = 0.0
+    flows: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def num_blocks(self) -> int:
+        """Virtual blocks (= physical blocks needed at deploy time)."""
+        return len(self.images)
+
+    @property
+    def resources(self) -> ResourceVector:
+        return self.spec.resources
+
+    def service_time_s(self) -> float:
+        """Nominal single-FPGA job execution time (roofline)."""
+        return self.spec.service_time_s()
+
+    def validate(self) -> None:
+        if not self.images:
+            raise ValueError(f"{self.name}: compiled app has no images")
+        footprints = {img.footprint for img in self.images}
+        if footprints != {self.footprint}:
+            raise ValueError(f"{self.name}: mixed footprints {footprints}")
+        ids = {img.virtual_block for img in self.images}
+        if ids != set(range(self.num_blocks)):
+            raise ValueError(f"{self.name}: non-contiguous block ids {ids}")
+        if not self.interface.verify_deadlock_free():
+            raise ValueError(f"{self.name}: interface may deadlock")

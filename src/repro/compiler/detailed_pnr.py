@@ -1,0 +1,314 @@
+"""Detailed intra-block place-and-route.
+
+The analytic :class:`repro.compiler.pnr.LocalPnR` prices a virtual block's
+feasibility and timing from utilization alone -- fast, and calibrated, but
+a model.  This module implements the real thing at the granularity our
+netlists carry: the macros of one virtual block are *placed* into a binned
+version of the physical block's tile grid (greedy seed + simulated
+annealing on half-perimeter wirelength with bin-capacity penalties), and
+their nets are *routed* over the bin graph with PathFinder-style
+negotiated congestion.  Timing then follows from actual placed distances
+instead of a utilization proxy.
+
+The point is not speed -- vendor tools spend hours here (Fig. 8); it is to
+demonstrate the full path and to sanity-check the analytic model: the
+detailed fmax agrees with the calibrated model within tens of MHz for the
+Table 2 designs (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+
+from repro.compiler.partitioner import PartitionResult
+from repro.fabric.resources import ResourceVector
+from repro.netlist.netlist import Netlist
+
+__all__ = ["BinGrid", "DetailedPnRResult", "detailed_place_and_route"]
+
+_LOGIC_DELAY_NS = 0.12
+_PIPELINE_LOGIC_LEVELS = 8
+_WIRE_NS_PER_BIN = 0.18       # one bin hop of routed wire
+_BASE_WIRE_NS = 0.25
+
+
+@dataclass(slots=True)
+class BinGrid:
+    """The physical block's tile grid, coarsened into square bins."""
+
+    cols: int
+    rows: int
+    bin_capacity: ResourceVector
+    #: routing wires crossing each bin boundary
+    channel_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("grid needs at least one bin")
+
+    @classmethod
+    def for_block(cls, block_capacity: ResourceVector,
+                  cols: int = 8, rows: int = 6,
+                  fill_target: float = 0.85) -> "BinGrid":
+        """Bins sized so a legally partitioned block fits at
+        ``fill_target`` density.
+
+        LUT/DFF spread uniformly over all bins; DSP and BRAM live in
+        full-height hard-IP columns, so a bin can draw on its whole
+        column's worth of them (a BRAM-heavy buffer macro legally
+        concentrates in one spot, as it does on silicon).
+        """
+        area_share = 1.0 / (cols * rows * fill_target)
+        column_share = 1.0 / (cols * fill_target)
+        per_bin = ResourceVector(
+            lut=block_capacity.lut * area_share,
+            dff=block_capacity.dff * area_share,
+            dsp=block_capacity.dsp * column_share,
+            bram_mb=block_capacity.bram_mb * column_share,
+        )
+        return cls(cols=cols, rows=rows, bin_capacity=per_bin)
+
+    @property
+    def num_bins(self) -> int:
+        return self.cols * self.rows
+
+    def position(self, bin_index: int) -> tuple[int, int]:
+        return bin_index % self.cols, bin_index // self.cols
+
+    def index(self, x: int, y: int) -> int:
+        return y * self.cols + x
+
+    def neighbors(self, bin_index: int) -> list[int]:
+        x, y = self.position(bin_index)
+        out = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.cols and 0 <= ny < self.rows:
+                out.append(self.index(nx, ny))
+        return out
+
+
+@dataclass(slots=True)
+class DetailedPnRResult:
+    """Outcome of detailed P&R for one virtual block."""
+
+    placement: dict[int, int]          # macro uid -> bin index
+    hpwl: float                        # total half-perimeter wirelength
+    routed: bool                       # router converged (no overuse)
+    max_channel_use: int
+    router_iterations: int
+    critical_path_ns: float
+    fmax_mhz: float
+    overflow_bins: int = 0
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+def _block_nets(netlist: Netlist, members: set[int]):
+    """Nets fully or partially inside the block, clipped to members."""
+    nets = []
+    for net in netlist.nets.values():
+        inside = [u for u in net.endpoints() if u in members]
+        if len(inside) >= 2:
+            nets.append((inside, net.width_bits))
+    return nets
+
+
+def _hpwl(nets, placement, grid: BinGrid) -> float:
+    total = 0.0
+    for members, width in nets:
+        xs = [grid.position(placement[u])[0] for u in members]
+        ys = [grid.position(placement[u])[1] for u in members]
+        total += (max(xs) - min(xs) + max(ys) - min(ys)) \
+            * math.log2(1 + width)
+    return total
+
+
+def _place(netlist: Netlist, members: list[int], grid: BinGrid,
+           rng: random.Random, sa_moves: int) -> tuple[dict[int, int],
+                                                       float, int]:
+    """Greedy seed + SA; returns placement, hpwl, overflowing bins."""
+    prims = netlist.primitives
+    usage = [ResourceVector.zero() for _ in range(grid.num_bins)]
+    placement: dict[int, int] = {}
+
+    # greedy seed: scan order, first bin with room (keeps neighbors near)
+    scan = list(range(grid.num_bins))
+    cursor = 0
+    for uid in members:
+        res = prims[uid].resources
+        placed = False
+        for probe in range(grid.num_bins):
+            b = scan[(cursor + probe) % grid.num_bins]
+            if (usage[b] + res).fits_in(grid.bin_capacity):
+                placement[uid] = b
+                usage[b] = usage[b] + res
+                cursor = (cursor + probe) % grid.num_bins
+                placed = True
+                break
+        if not placed:  # overfull fallback: densest-last bin
+            b = scan[cursor]
+            placement[uid] = b
+            usage[b] = usage[b] + res
+
+    member_set = set(members)
+    nets = _block_nets(netlist, member_set)
+    cost = _hpwl(nets, placement, grid)
+
+    # incremental SA on single-macro moves
+    incident: dict[int, list[int]] = {u: [] for u in members}
+    for i, (net_members, _w) in enumerate(nets):
+        for u in net_members:
+            incident[u].append(i)
+
+    def net_len(i: int) -> float:
+        net_members, width = nets[i]
+        xs = [grid.position(placement[u])[0] for u in net_members]
+        ys = [grid.position(placement[u])[1] for u in net_members]
+        return (max(xs) - min(xs) + max(ys) - min(ys)) \
+            * math.log2(1 + width)
+
+    temperature = max(1.0, cost / max(1, len(members)))
+    for _ in range(sa_moves):
+        uid = members[rng.randrange(len(members))]
+        old_bin = placement[uid]
+        new_bin = rng.randrange(grid.num_bins)
+        if new_bin == old_bin:
+            continue
+        res = prims[uid].resources
+        if not (usage[new_bin] + res).fits_in(grid.bin_capacity):
+            continue
+        before = sum(net_len(i) for i in incident[uid])
+        placement[uid] = new_bin
+        after = sum(net_len(i) for i in incident[uid])
+        delta = after - before
+        if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-9)):
+            usage[old_bin] = usage[old_bin] - res
+            usage[new_bin] = usage[new_bin] + res
+            cost += delta
+        else:
+            placement[uid] = old_bin
+        temperature *= 0.999
+
+    overflow = sum(1 for u in usage
+                   if not u.fits_in(grid.bin_capacity))
+    return placement, _hpwl(nets, placement, grid), overflow
+
+
+# ----------------------------------------------------------------------
+# routing (PathFinder-lite over the bin graph)
+# ----------------------------------------------------------------------
+def _route(nets, placement, grid: BinGrid, max_iterations: int = 12,
+           ) -> tuple[bool, int, int]:
+    """Negotiated-congestion routing of two-point net fragments.
+
+    Multi-terminal nets are decomposed into star fragments from the
+    first member.  Returns (converged, max edge use, iterations)."""
+    fragments: list[tuple[int, int, int]] = []  # (src bin, dst bin, w)
+    for members, width in nets:
+        src = placement[members[0]]
+        lanes = max(1, round(math.log2(1 + width)))
+        for u in members[1:]:
+            dst = placement[u]
+            if dst != src:
+                fragments.append((src, dst, lanes))
+    if not fragments:
+        return True, 0, 0
+
+    history: dict[tuple[int, int], float] = {}
+    use: dict[tuple[int, int], int] = {}
+
+    def edge(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def dijkstra(src: int, dst: int) -> list[int]:
+        dist = {src: 0.0}
+        prev: dict[int, int] = {}
+        heap = [(0.0, src)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node == dst:
+                break
+            if d > dist.get(node, math.inf):
+                continue
+            for nxt in grid.neighbors(node):
+                e = edge(node, nxt)
+                congestion = max(0, use.get(e, 0)
+                                 - grid.channel_capacity)
+                cost = 1.0 + history.get(e, 0.0) + 4.0 * congestion
+                nd = d + cost
+                if nd < dist.get(nxt, math.inf):
+                    dist[nxt] = nd
+                    prev[nxt] = node
+                    heapq.heappush(heap, (nd, nxt))
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        return path[::-1]
+
+    routes: list[list[int]] = [[] for _ in fragments]
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        use.clear()
+        for i, (src, dst, lanes) in enumerate(fragments):
+            path = dijkstra(src, dst)
+            routes[i] = path
+            for a, b in zip(path, path[1:]):
+                use[edge(a, b)] = use.get(edge(a, b), 0) + lanes
+        over = {e: u for e, u in use.items()
+                if u > grid.channel_capacity}
+        if not over:
+            return True, max(use.values(), default=0), iterations
+        for e, u in over.items():
+            history[e] = history.get(e, 0.0) \
+                + 0.5 * (u - grid.channel_capacity)
+    return False, max(use.values(), default=0), iterations
+
+
+# ----------------------------------------------------------------------
+def detailed_place_and_route(netlist: Netlist,
+                             partition: PartitionResult,
+                             virtual_block: int,
+                             block_capacity: ResourceVector,
+                             seed: int = 0,
+                             sa_moves: int = 3000,
+                             grid: BinGrid | None = None,
+                             ) -> DetailedPnRResult:
+    """Place and route one virtual block's macros in its block grid."""
+    members = sorted(u for u, vb in partition.assignment.items()
+                     if vb == virtual_block
+                     and not netlist.primitives[u].is_io())
+    if not members:
+        raise ValueError(f"virtual block {virtual_block} holds no logic")
+    grid = grid or BinGrid.for_block(block_capacity)
+    rng = random.Random(seed)
+
+    placement, hpwl, overflow = _place(netlist, members, grid, rng,
+                                       sa_moves)
+    nets = _block_nets(netlist, set(members))
+    routed, max_use, iterations = _route(nets, placement, grid)
+
+    # timing: worst placed net span sets the wire term
+    worst_span = 0
+    for net_members, _w in nets:
+        xs = [grid.position(placement[u])[0] for u in net_members]
+        ys = [grid.position(placement[u])[1] for u in net_members]
+        worst_span = max(worst_span,
+                         (max(xs) - min(xs)) + (max(ys) - min(ys)))
+    critical = (_PIPELINE_LOGIC_LEVELS * _LOGIC_DELAY_NS
+                + _BASE_WIRE_NS + worst_span * _WIRE_NS_PER_BIN)
+    return DetailedPnRResult(
+        placement=placement,
+        hpwl=hpwl,
+        routed=routed,
+        max_channel_use=max_use,
+        router_iterations=iterations,
+        critical_path_ns=critical,
+        fmax_mhz=1e3 / critical,
+        overflow_bins=overflow,
+    )

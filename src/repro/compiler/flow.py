@@ -1,0 +1,139 @@
+"""The unified six-step compilation flow (Fig. 5).
+
+``CompilationFlow.compile`` takes a kernel specification through synthesis,
+partition, interface generation, local P&R, a relocation self-check and
+global P&R, producing the :class:`repro.compiler.bitstream.CompiledApp`
+that the System Layer's bitstream database stores.  The flow is bound to
+one :class:`repro.fabric.partition.FabricPartition` -- the homogeneous
+abstraction it compiles against -- but *not* to any physical location,
+which is the decoupling the paper is about.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.bitstream import CompiledApp, VirtualBlockImage
+from repro.compiler.interface_gen import InterfaceGenerator
+from repro.compiler.partitioner import NetlistPartitioner
+from repro.compiler.pnr import GlobalPnR, LocalPnR
+from repro.compiler.relocation import Relocator
+from repro.compiler.timing import CompileTimeModel
+from repro.fabric.partition import FabricPartition
+from repro.hls.frontend import HLSFrontend
+from repro.hls.kernels import KernelSpec
+
+__all__ = ["CompilationFlow"]
+
+
+@dataclass(slots=True)
+class CompilationFlow:
+    """Compiles kernel specifications onto a fabric partition.
+
+    Attributes:
+        fabric: the target abstraction (defines block capacity/footprint).
+        frontend: synthesis substitute.
+        time_model: vendor-scale compile-time model for Fig. 8 reporting.
+        shell_clock_mhz: clock the deployed design must close.
+        seed: base seed for the partition heuristics.
+    """
+
+    fabric: FabricPartition
+    frontend: HLSFrontend = field(default_factory=HLSFrontend)
+    time_model: CompileTimeModel = field(default_factory=CompileTimeModel)
+    shell_clock_mhz: float = 250.0
+    seed: int = 0
+    #: additionally run detailed place-and-route on the fullest virtual
+    #: block and require it to confirm the analytic timing verdict --
+    #: slower, used as a signoff step
+    verify_with_detailed_pnr: bool = False
+
+    def compile(self, spec: KernelSpec,
+                netlist=None) -> CompiledApp:
+        """Run all six steps for one application.
+
+        ``netlist`` overrides step 1: callers that already hold a
+        post-synthesis netlist (e.g. a technology-mapped
+        :class:`~repro.netlist.logic.LogicNetwork`) pass it directly,
+        and only steps 2-6 run.  Its resource usage must match the
+        specification's footprint -- the bitstream database indexes by
+        spec, so a mismatch would corrupt capacity accounting.
+        """
+        wall_start = time.perf_counter()
+
+        # step 1: synthesis (reused front-end), unless supplied
+        if netlist is None:
+            netlist = self.frontend.synthesize(spec)
+        else:
+            usage = netlist.resource_usage()
+            if not usage.fits_in(spec.resources * 1.001):
+                raise ValueError(
+                    f"{spec.name}: netlist usage {usage} exceeds the "
+                    f"declared footprint {spec.resources}")
+
+        # step 2: partition (custom tool)
+        custom_start = time.perf_counter()
+        partitioner = NetlistPartitioner(
+            block_capacity=self.fabric.block_capacity, seed=self.seed)
+        partition = partitioner.partition(netlist)
+
+        # step 3: latency-insensitive interface generation (custom tool)
+        interface = InterfaceGenerator().generate(partition)
+
+        # step 4: local place-and-route (reused vendor back-end)
+        local = LocalPnR(block_capacity=self.fabric.block_capacity,
+                         footprint=self.fabric.blocks[0].footprint)
+        placed = local.run(partition)
+
+        # step 5: relocation self-check (custom tool): every image must be
+        # movable to every physical block of the partition
+        relocator = Relocator()
+        probe = placed[0]
+        image0 = VirtualBlockImage.from_placed(spec.name, probe)
+        for target in self.fabric.blocks:
+            relocator.relocate(image0, target)
+        measured_custom = time.perf_counter() - custom_start
+
+        # step 6: global place-and-route (reused vendor back-end)
+        result = GlobalPnR(self.shell_clock_mhz).run(placed, interface)
+        if not result.meets_shell_clock:
+            raise RuntimeError(
+                f"{spec.name}: fmax {result.fmax_mhz:.0f} MHz misses the "
+                f"{self.shell_clock_mhz:.0f} MHz shell clock")
+
+        if self.verify_with_detailed_pnr:
+            # signoff: actually place-and-route the fullest block and
+            # confirm it, too, closes the shell clock
+            from repro.compiler.detailed_pnr import \
+                detailed_place_and_route
+            fullest = max(range(partition.num_blocks),
+                          key=lambda vb: partition.block_usage[vb]
+                          .utilization_of(self.fabric.block_capacity))
+            detail = detailed_place_and_route(
+                netlist, partition, fullest,
+                self.fabric.block_capacity, seed=self.seed)
+            if not detail.routed \
+                    or detail.fmax_mhz < self.shell_clock_mhz:
+                raise RuntimeError(
+                    f"{spec.name}: detailed P&R signoff failed "
+                    f"(routed={detail.routed}, "
+                    f"fmax={detail.fmax_mhz:.0f} MHz)")
+
+        breakdown = self.time_model.breakdown(
+            luts=spec.resources.lut, measured_custom_s=measured_custom)
+        _ = time.perf_counter() - wall_start  # wall time folded into logs
+
+        app = CompiledApp(
+            spec=spec,
+            images=[VirtualBlockImage.from_placed(spec.name, p)
+                    for p in placed],
+            interface=interface,
+            fmax_mhz=result.fmax_mhz,
+            footprint=self.fabric.blocks[0].footprint,
+            breakdown=breakdown,
+            cut_bandwidth_bits=partition.cut_bandwidth_bits,
+            flows=dict(partition.flows),
+        )
+        app.validate()
+        return app

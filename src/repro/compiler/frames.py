@@ -1,0 +1,167 @@
+"""Configuration frames: the bit-level substrate of relocation.
+
+Xilinx devices are configured in *frames* -- fixed-size columns of
+configuration bits addressed by (block type, row, column, minor).  A
+partial bitstream is a sequence of (frame address, payload) writes plus a
+CRC.  Relocating an implementation from one physical block to another
+(RapidWright's trick, flow step 5) is a pure *frame-address rewrite*: the
+payloads are untouched, each address's row field is rebased from the
+source block's frame window to the target's, and the CRC is recomputed.
+
+This module models exactly that, which pins down why relocation is only
+legal between identical blocks: the rewrite is a bijection between frame
+windows only when the two blocks span congruent column/row ranges.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.fabric.partition import PhysicalBlock
+
+__all__ = ["FrameAddress", "ConfigFrame", "PartialBitstream",
+           "frame_window", "relocate_bitstream", "FrameRelocationError"]
+
+#: Words per configuration frame (UltraScale+: 93 x 32-bit words).
+FRAME_WORDS = 93
+#: Frames per tile row of one column (model constant).
+FRAMES_PER_TILE_ROW = 1
+
+
+class FrameRelocationError(RuntimeError):
+    """Frame-address rewrite between incompatible windows."""
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class FrameAddress:
+    """(row, column, minor) address of one configuration frame."""
+
+    row: int
+    column: int
+    minor: int = 0
+
+    def rebased(self, row_delta: int) -> "FrameAddress":
+        return FrameAddress(row=self.row + row_delta,
+                            column=self.column, minor=self.minor)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigFrame:
+    """One frame write: address plus payload."""
+
+    address: FrameAddress
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != FRAME_WORDS * 4:
+            raise ValueError(
+                f"frame payload must be {FRAME_WORDS * 4} bytes, "
+                f"got {len(self.payload)}")
+
+
+def frame_window(block: PhysicalBlock,
+                 num_columns: int) -> tuple[range, range]:
+    """(row range, column range) of a physical block's frame window.
+
+    Rows are tile rows in *device-global* coordinates: the die index and
+    the block's position within the die determine the offset.
+    """
+    first_row = (block.die_index * 10_000
+                 + block.clock_region_row * block.tile_rows
+                 // block.height_clock_regions)
+    return (range(first_row, first_row + block.tile_rows),
+            range(0, num_columns))
+
+
+class PartialBitstream:
+    """An ordered frame sequence with a trailing CRC."""
+
+    def __init__(self, frames: list[ConfigFrame]) -> None:
+        addresses = [f.address for f in frames]
+        if len(set(addresses)) != len(addresses):
+            raise ValueError("duplicate frame addresses")
+        self.frames = sorted(frames, key=lambda f: f.address)
+        self.crc = self._compute_crc()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_block(cls, block: PhysicalBlock, num_columns: int,
+                  seed: int = 0) -> "PartialBitstream":
+        """Synthesize a plausible bitstream filling a block's window.
+
+        One frame per (tile row, column); payload bytes are a cheap
+        deterministic function of the seed so distinct designs produce
+        distinct bitstreams (tests rely on payload stability).
+        """
+        rows, cols = frame_window(block, num_columns)
+        frames = []
+        for row in rows:
+            for col in cols:
+                raw = (seed * 2654435761 + row * 97 + col) & 0xFFFFFFFF
+                payload = raw.to_bytes(4, "little") * FRAME_WORDS
+                frames.append(ConfigFrame(
+                    address=FrameAddress(row=row, column=col),
+                    payload=payload))
+        return cls(frames)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_frames * FRAME_WORDS * 4
+
+    def _compute_crc(self) -> int:
+        crc = 0
+        for frame in self.frames:
+            crc = zlib.crc32(frame.payload, crc)
+            crc = zlib.crc32(
+                f"{frame.address.row}/{frame.address.column}/"
+                f"{frame.address.minor}".encode(), crc)
+        return crc
+
+    def verify(self) -> bool:
+        """Re-derive the CRC; False indicates corruption."""
+        return self.crc == self._compute_crc()
+
+    def payload_digest(self) -> int:
+        """CRC over payloads only (address-independent): relocation must
+        preserve this exactly."""
+        crc = 0
+        for frame in self.frames:
+            crc = zlib.crc32(frame.payload, crc)
+        return crc
+
+
+def relocate_bitstream(bitstream: PartialBitstream,
+                       source: PhysicalBlock, target: PhysicalBlock,
+                       num_columns: int) -> PartialBitstream:
+    """Rewrite frame addresses from ``source``'s window to ``target``'s.
+
+    Payloads are byte-identical; only row fields move.  Raises
+    :class:`FrameRelocationError` when the windows are not congruent
+    (different footprints) or the bitstream strays outside the source
+    window (a corrupted or foreign bitstream).
+    """
+    if source.footprint != target.footprint:
+        raise FrameRelocationError(
+            f"windows not congruent: {source.footprint!r} vs "
+            f"{target.footprint!r}")
+    src_rows, src_cols = frame_window(source, num_columns)
+    dst_rows, _ = frame_window(target, num_columns)
+    if len(src_rows) != len(dst_rows):
+        raise FrameRelocationError("row windows differ in height")
+    delta = dst_rows.start - src_rows.start
+    rewritten = []
+    for frame in bitstream.frames:
+        if frame.address.row not in src_rows \
+                or frame.address.column not in src_cols:
+            raise FrameRelocationError(
+                f"frame {frame.address} outside the source window")
+        rewritten.append(ConfigFrame(
+            address=frame.address.rebased(delta),
+            payload=frame.payload))
+    return PartialBitstream(rewritten)

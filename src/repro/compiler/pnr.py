@@ -1,0 +1,126 @@
+"""Simulated local and global place-and-route (flow steps 4 and 6).
+
+The paper reuses Vivado's P&R; this substitute models the two properties
+the stack consumes:
+
+- **feasibility and quality** -- a virtual block's logic is placed into the
+  physical-block footprint, yielding a utilization, a wirelength estimate
+  and an achievable clock frequency (congestion degrades timing);
+- **position independence** -- the result is tied to a *footprint*, not a
+  location: any physical block with the same footprint accepts the image
+  (which is what makes step 5, relocation, possible).
+
+Frequency model: the critical path is a pipeline stage's logic depth plus
+a routing term that grows with block utilization (congestion).  Constants
+are set so a ~70%-full block closes timing at the 250 MHz shell clock with
+margin, and a pathologically full block does not -- the qualitative behavior
+vendor tools exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.interface_gen import LatencyInsensitiveInterface
+from repro.compiler.partitioner import PartitionResult
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["PlacedVirtualBlock", "LocalPnR", "GlobalPnR"]
+
+#: Raw fabric limits (ns) for the timing model.
+_LOGIC_DELAY_NS = 0.12        # one LUT level, UltraScale+ class
+_BASE_WIRE_NS = 0.45          # routing at low congestion
+_CONGESTION_WIRE_NS = 2.2     # extra routing delay at 100% utilization
+_PIPELINE_LOGIC_LEVELS = 8    # levels between registers inside macros
+#: The latency-insensitive interface itself closes timing at this clock.
+INTERFACE_FMAX_MHZ = 450.0
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedVirtualBlock:
+    """Mapping of one virtual block into the physical-block footprint."""
+
+    virtual_block: int
+    usage: ResourceVector
+    utilization: float
+    wirelength_estimate: float
+    fmax_mhz: float
+    footprint: str
+
+    def meets_timing(self, clock_mhz: float) -> bool:
+        return self.fmax_mhz >= clock_mhz
+
+
+class LocalPnR:
+    """Step 4: map each virtual block into a physical-block footprint."""
+
+    def __init__(self, block_capacity: ResourceVector,
+                 footprint: str) -> None:
+        self.block_capacity = block_capacity
+        self.footprint = footprint
+
+    def run(self, partition: PartitionResult,
+            ) -> list[PlacedVirtualBlock]:
+        placed = []
+        for vb, usage in enumerate(partition.block_usage):
+            util = usage.utilization_of(self.block_capacity)
+            if util > 1.0:
+                raise ValueError(
+                    f"virtual block {vb} of {partition.netlist.name} "
+                    f"does not fit its footprint (util={util:.2f})")
+            placed.append(PlacedVirtualBlock(
+                virtual_block=vb,
+                usage=usage,
+                utilization=util,
+                wirelength_estimate=self._wirelength(usage),
+                fmax_mhz=self._fmax(util),
+                footprint=self.footprint,
+            ))
+        return placed
+
+    @staticmethod
+    def _wirelength(usage: ResourceVector) -> float:
+        """Half-perimeter-style estimate: grows as area^1.5 (Rent-ish)."""
+        cells = max(1.0, usage.lut)
+        return cells ** 1.5 / 1e3
+
+    @staticmethod
+    def _fmax(utilization: float) -> float:
+        logic = _PIPELINE_LOGIC_LEVELS * _LOGIC_DELAY_NS
+        wire = _BASE_WIRE_NS + _CONGESTION_WIRE_NS * utilization ** 2
+        return 1e3 / (logic + wire)
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalPnRResult:
+    """Step 6 outcome: the integrated design."""
+
+    fmax_mhz: float
+    worst_block_fmax_mhz: float
+    routed_channels: int
+    meets_shell_clock: bool
+
+
+class GlobalPnR:
+    """Step 6: integrate placed blocks + interface, finalize timing.
+
+    Channels land in the communication region whose circuits are
+    pre-implemented, so integration succeeds as long as every block closed
+    timing and the interface clock holds.
+    """
+
+    def __init__(self, shell_clock_mhz: float = 250.0) -> None:
+        self.shell_clock_mhz = shell_clock_mhz
+
+    def run(self, placed: list[PlacedVirtualBlock],
+            interface: LatencyInsensitiveInterface) -> GlobalPnRResult:
+        if not placed:
+            raise ValueError("no placed blocks to integrate")
+        worst = min(p.fmax_mhz for p in placed)
+        fmax = min(worst, INTERFACE_FMAX_MHZ)
+        return GlobalPnRResult(
+            fmax_mhz=fmax,
+            worst_block_fmax_mhz=worst,
+            routed_channels=len(interface.channels),
+            meets_shell_clock=fmax >= self.shell_clock_mhz,
+        )

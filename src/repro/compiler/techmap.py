@@ -1,0 +1,232 @@
+"""Technology mapping: gate network -> K-input LUT network (Fig. 3b).
+
+"In the second sub-step (technology mapping), the logic gates in the
+netlist are further mapped into appropriate-size LUTs and flip-flops."
+
+The mapper is a depth-oriented cone mapper in the FlowMap tradition,
+simplified to greedy cone growing: gates are visited in topological
+order; each gate tries to absorb its fanin cones as long as the merged
+cone's *leaf* count stays within K, which collapses chains and small
+trees into single LUTs.  Every mapped LUT stores an explicit truth table
+computed by exhaustively simulating its cone over its leaves, so
+equivalence with the source network is checked by construction and
+re-checked by the tests on random vectors.
+
+Flip-flops pass through unmapped (they become FF primitives and cut the
+combinational cones, as on real fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.logic import GateOp, LogicNetwork
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.primitives import PrimitiveType
+
+__all__ = ["MappedLUT", "LUTNetwork", "technology_map"]
+
+
+@dataclass(slots=True)
+class MappedLUT:
+    """One K-input LUT: leaves plus an explicit truth table."""
+
+    uid: int
+    leaves: tuple[int, ...]       # gate uids feeding this LUT
+    truth: tuple[bool, ...]       # 2**len(leaves) entries, LSB-first
+    root: int                     # the gate this LUT's output realizes
+
+    def evaluate(self, leaf_values: "list[bool]") -> bool:
+        index = 0
+        for i, bit in enumerate(leaf_values):
+            if bit:
+                index |= 1 << i
+        return self.truth[index]
+
+
+@dataclass(slots=True)
+class LUTNetwork:
+    """The mapped design: LUTs, pass-through FFs and port bindings."""
+
+    name: str
+    k: int
+    luts: dict[int, MappedLUT] = field(default_factory=dict)
+    #: FF uid -> the driver gate uid of its D pin (post-mapping signal)
+    flops: dict[int, int] = field(default_factory=dict)
+    inputs: dict[str, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_luts(self) -> int:
+        return len(self.luts)
+
+    def depth(self) -> int:
+        """LUT levels on the longest combinational path."""
+        memo: dict[int, int] = {}
+
+        def level(signal: int) -> int:
+            if signal in memo:
+                return memo[signal]
+            lut = self.luts.get(signal)
+            if lut is None:  # primary input or FF output
+                memo[signal] = 0
+            else:
+                memo[signal] = 1 + max((level(leaf)
+                                        for leaf in lut.leaves),
+                                       default=0)
+            return memo[signal]
+
+        targets = list(self.outputs.values()) + list(self.flops.values())
+        return max((level(t) for t in targets), default=0)
+
+    def evaluate(self, assignment: dict[str, bool],
+                 state: dict[int, bool] | None = None,
+                 ) -> tuple[dict[str, bool], dict[int, bool]]:
+        """Reference evaluation mirroring ``LogicNetwork.evaluate``."""
+        state = state or {}
+        values: dict[int, bool] = {}
+
+        def value(signal: int) -> bool:
+            if signal in values:
+                return values[signal]
+            if signal in self.flops:
+                out = state.get(signal, False)
+            elif signal in self.luts:
+                lut = self.luts[signal]
+                out = lut.evaluate([value(leaf)
+                                    for leaf in lut.leaves])
+            else:
+                name = self._input_name(signal)
+                out = assignment[name]
+            values[signal] = out
+            return out
+
+        outputs = {name: value(uid)
+                   for name, uid in self.outputs.items()}
+        next_state = {ff: value(d) for ff, d in self.flops.items()}
+        return outputs, next_state
+
+    def _input_name(self, signal: int) -> str:
+        for name, uid in self.inputs.items():
+            if uid == signal:
+                return name
+        raise KeyError(f"signal {signal} is not an input")
+
+    # ------------------------------------------------------------------
+    def to_netlist(self) -> Netlist:
+        """Lower to the physical-IR :class:`~repro.netlist.Netlist`."""
+        netlist = Netlist(self.name)
+        prim_of: dict[int, int] = {}
+        for name, uid in self.inputs.items():
+            port = netlist.add_port(name, PortDirection.INPUT, 1)
+            prim_of[uid] = port.primitive_uid
+        for signal in self.luts:
+            prim_of[signal] = netlist.add_primitive(
+                PrimitiveType.LUT, name=f"lut{signal}")
+        for ff in self.flops:
+            prim_of[ff] = netlist.add_primitive(
+                PrimitiveType.FF, name=f"ff{ff}")
+        for signal, lut in self.luts.items():
+            for leaf in lut.leaves:
+                netlist.add_net(prim_of[leaf], [prim_of[signal]])
+        for ff, driver in self.flops.items():
+            netlist.add_net(prim_of[driver], [prim_of[ff]])
+        for name, uid in self.outputs.items():
+            port = netlist.add_port(name, PortDirection.OUTPUT, 1)
+            netlist.add_net(prim_of[uid], [port.primitive_uid])
+        netlist.validate()
+        return netlist
+
+
+# ----------------------------------------------------------------------
+def technology_map(network: LogicNetwork, k: int = 6) -> LUTNetwork:
+    """Map ``network`` onto K-input LUTs; raises on k < 2."""
+    if k < 2:
+        raise ValueError("LUTs need at least 2 inputs")
+
+    # cone per combinational gate: the set of leaves (inputs/FF outputs
+    # or other cone roots) it is computed from
+    cone: dict[int, tuple[int, ...]] = {}
+    order = sorted(network.gates)  # uids are topological by construction
+
+    def is_leaf_kind(uid: int) -> bool:
+        return network.gates[uid].op in (GateOp.INPUT, GateOp.FF)
+
+    roots: set[int] = set()
+    for uid in order:
+        gate = network.gates[uid]
+        if gate.op in (GateOp.INPUT, GateOp.FF):
+            continue
+        if gate.op in (GateOp.CONST0, GateOp.CONST1):
+            cone[uid] = ()
+            continue
+        # baseline: every distinct fanin is a leaf (gate arity <= k is
+        # required); then greedily absorb fanin cones, smallest first,
+        # whenever the merged leaf set still fits in one LUT
+        leaves = list(dict.fromkeys(gate.fanins))
+        if len(leaves) > k:
+            raise RuntimeError(
+                f"gate {uid} has {len(leaves)} fanins > k={k} "
+                "(decompose wide gates before mapping)")
+        absorbable = sorted(
+            (f for f in leaves
+             if not is_leaf_kind(f) and f not in roots),
+            key=lambda f: len(cone[f]))
+        for fanin in absorbable:
+            merged = [x for x in leaves if x != fanin]
+            for leaf in cone[fanin]:
+                if leaf not in merged:
+                    merged.append(leaf)
+            if len(merged) <= k:
+                leaves = merged
+            else:
+                roots.add(fanin)
+        cone[uid] = tuple(leaves)
+
+    # every output and FF D-pin pins a root
+    for uid in network.outputs.values():
+        if not is_leaf_kind(uid):
+            roots.add(uid)
+    for gate_uid, gate in network.gates.items():
+        if gate.op is GateOp.FF and not is_leaf_kind(gate.fanins[0]):
+            roots.add(gate.fanins[0])
+
+    # build truth tables by simulating each root's cone
+    mapped = LUTNetwork(name=network.name, k=k)
+    mapped.inputs = dict(network.inputs)
+    mapped.outputs = dict(network.outputs)
+    for ff_uid, gate in network.gates.items():
+        if gate.op is GateOp.FF:
+            mapped.flops[ff_uid] = gate.fanins[0]
+
+    def simulate(root: int, leaf_values: dict[int, bool]) -> bool:
+        gate = network.gates[root]
+        if root in leaf_values:
+            return leaf_values[root]
+        if gate.op is GateOp.CONST0:
+            return False
+        if gate.op is GateOp.CONST1:
+            return True
+        vals = [simulate(f, leaf_values) for f in gate.fanins]
+        if gate.op is GateOp.BUF:
+            return vals[0]
+        if gate.op is GateOp.NOT:
+            return not vals[0]
+        if gate.op is GateOp.AND:
+            return all(vals)
+        if gate.op is GateOp.OR:
+            return any(vals)
+        return sum(vals) % 2 == 1  # XOR
+
+    for root in sorted(roots):
+        leaves = cone[root]
+        # truth-table index arithmetic treats leaves[0] as the LSB
+        truth = [False] * (1 << len(leaves))
+        for index in range(1 << len(leaves)):
+            assignment = {leaf: bool(index >> i & 1)
+                          for i, leaf in enumerate(leaves)}
+            truth[index] = simulate(root, assignment)
+        mapped.luts[root] = MappedLUT(uid=root, leaves=leaves,
+                                      truth=tuple(truth), root=root)
+    return mapped

@@ -1,0 +1,82 @@
+"""Programming Layer (Section 3.1).
+
+ViTAL "creates an illusion of a single and infinitely large FPGA" so users
+"can develop applications as if they have the total unrestricted control of
+entire FPGA resources, regardless of the resource usages of any other
+applications running concurrently".  Concretely:
+
+- :func:`custom_kernel` lets a user describe an accelerator by footprint
+  and job size without knowing anything about devices, dies or blocks;
+- :class:`VirtualFPGA` accepts any such kernel -- its capacity checks are
+  against the *cluster-wide* pool, not any single device -- and reports
+  resources the way a user sees them: one big FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.resources import ResourceVector
+from repro.hls.kernels import (
+    OPS_PER_DSP_CYCLE,
+    SHELL_CLOCK_HZ,
+    KernelSpec,
+    SizeClass,
+)
+
+__all__ = ["custom_kernel", "VirtualFPGA"]
+
+
+def custom_kernel(name: str, lut: float, dff: float, dsp: float,
+                  bram_mb: float, service_time_s: float = 30.0,
+                  stream_width_bits: int = 64) -> KernelSpec:
+    """Describe a user accelerator by footprint and nominal job time.
+
+    This is the whole programming interface a tenant needs: no device
+    names, no floorplans, no partitioning -- the stack handles all of it.
+    """
+    if min(lut, dff) <= 0:
+        raise ValueError("a kernel needs logic (positive lut/dff)")
+    if service_time_s <= 0:
+        raise ValueError("service time must be positive")
+    dsp = max(0.0, dsp)
+    # back-derive roofline work so KernelSpec.service_time_s() round-trips
+    throughput_gops = max(dsp, 1.0) * SHELL_CLOCK_HZ \
+        * OPS_PER_DSP_CYCLE / 1e9
+    return KernelSpec(
+        family=name,
+        size=SizeClass.MEDIUM,
+        resources=ResourceVector(lut=lut, dff=dff, dsp=dsp,
+                                 bram_mb=bram_mb),
+        work_gops=service_time_s * throughput_gops,
+        stream_width_bits=stream_width_bits,
+    )
+
+
+@dataclass(slots=True)
+class VirtualFPGA:
+    """The single large FPGA a tenant believes they own.
+
+    Attributes:
+        pool_capacity: aggregate user-visible resources of the cluster --
+            what "infinitely large" amounts to in practice; a kernel
+            larger than this cannot run anywhere and is rejected with a
+            clear error instead of failing deep inside the flow.
+    """
+
+    pool_capacity: ResourceVector
+
+    def admits(self, spec: KernelSpec) -> bool:
+        return spec.resources.fits_in(self.pool_capacity)
+
+    def check(self, spec: KernelSpec) -> None:
+        if not self.admits(spec):
+            raise ValueError(
+                f"{spec.name} needs {spec.resources}, exceeding even the "
+                f"aggregated cluster pool {self.pool_capacity}")
+
+    def headroom(self, spec: KernelSpec) -> float:
+        """How many copies of ``spec`` the pool could hold (informative;
+        actual concurrency is the runtime's business)."""
+        util = spec.resources.utilization_of(self.pool_capacity)
+        return 1.0 / util if util > 0 else float("inf")

@@ -1,0 +1,105 @@
+"""ViTALStack: the four layers behind one handle.
+
+The facade a cloud operator embeds: construct it over a cluster (or let it
+build the paper's 4x XCVU37P platform), ``compile`` kernels offline, then
+``deploy``/``release`` at runtime.  Compilation happens once per kernel
+against the homogeneous abstraction; deployment is pure resource
+allocation plus relocation plus partial reconfiguration -- the decoupling
+that is the paper's thesis.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import FPGACluster, make_cluster
+from repro.compiler.bitstream import CompiledApp
+from repro.compiler.flow import CompilationFlow
+from repro.core.programming import VirtualFPGA
+from repro.hls.kernels import KernelSpec
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+from repro.runtime.policy import AllocationPolicy
+from repro.runtime.types import Deployment
+
+__all__ = ["ViTALStack"]
+
+
+class ViTALStack:
+    """Full-stack handle: Programming + Architecture + Compilation +
+    System layers."""
+
+    def __init__(self, cluster: FPGACluster | None = None,
+                 policy: AllocationPolicy | None = None,
+                 seed: int = 0) -> None:
+        self.cluster = cluster or make_cluster()
+        self.flow = CompilationFlow(fabric=self.cluster.partition,
+                                    seed=seed)
+        self.controller = SystemController(self.cluster, policy=policy)
+        self.virtual_fpga = VirtualFPGA(
+            pool_capacity=self.cluster.partition.user_resources()
+            * self.cluster.num_boards)
+        self._apps: dict[str, CompiledApp] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # offline path
+    # ------------------------------------------------------------------
+    def compile(self, spec: KernelSpec) -> CompiledApp:
+        """Compile ``spec`` onto the abstraction and register it.
+
+        Idempotent per kernel name: the bitstream database keeps one
+        artifact per application, matching the paper's
+        compile-once/deploy-anywhere story.
+        """
+        if spec.name in self._apps:
+            return self._apps[spec.name]
+        self.virtual_fpga.check(spec)
+        app = self.flow.compile(spec)
+        self.controller.register(app)
+        self._apps[spec.name] = app
+        return app
+
+    def compiled(self, name: str) -> CompiledApp:
+        return self._apps[name]
+
+    # ------------------------------------------------------------------
+    # runtime path
+    # ------------------------------------------------------------------
+    def deploy(self, spec: "KernelSpec | CompiledApp",
+               now: float = 0.0) -> Deployment | None:
+        """Deploy a (compiled) kernel; ``None`` means no resources now."""
+        app = spec if isinstance(spec, CompiledApp) \
+            else self.compile(spec)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return self.controller.try_deploy(app, request_id, now)
+
+    def release(self, deployment: Deployment, now: float = 0.0) -> None:
+        self.controller.release(deployment, now)
+
+    # ------------------------------------------------------------------
+    # operator APIs
+    # ------------------------------------------------------------------
+    def running(self) -> list[Deployment]:
+        return self.controller.running()
+
+    def utilization(self) -> float:
+        return self.controller.utilization()
+
+    def free_blocks(self) -> int:
+        return (self.controller.capacity_blocks()
+                - self.controller.busy_blocks())
+
+    def check_isolation(self) -> None:
+        """Re-verify the multi-tenant isolation invariants right now."""
+        verify_isolation(self.controller)
+
+    def status(self) -> dict[str, object]:
+        """A monitoring snapshot (what a hypervisor would poll)."""
+        return {
+            "cluster": str(self.cluster),
+            "running": len(self.controller.deployments),
+            "busy_blocks": self.controller.busy_blocks(),
+            "capacity_blocks": self.controller.capacity_blocks(),
+            "utilization": self.controller.utilization(),
+            "registered_apps": len(self._apps),
+        }

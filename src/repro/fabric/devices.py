@@ -1,0 +1,143 @@
+"""Concrete device catalog.
+
+Provides the two devices the paper's evaluation touches -- the Xilinx
+UltraScale+ **XCVU37P** the cluster is built from, and the **VU13P** that
+Fig. 1a normalizes application footprints against -- plus a historical
+capacity timeline used to reproduce Fig. 1b (FPGA capacity keeps growing).
+
+Column mixes are calibrated so package totals land close to the vendor
+datasheet values the paper's numbers derive from:
+
+==========  ======  =========  ======  =========
+device      LUTs    DFFs       DSPs    BRAM (Mb)
+==========  ======  =========  ======  =========
+XCVU37P     ~1.30M  ~2.60M     ~8.6k   ~78
+VU13P       ~1.73M  ~3.46M     ~12.5k  ~86
+==========  ======  =========  ======  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.device import (
+    ColumnSpec,
+    ColumnType,
+    Die,
+    FPGADevice,
+    expand_pattern,
+)
+
+__all__ = [
+    "make_xcvu37p",
+    "make_vu13p",
+    "device_by_name",
+    "DEVICE_CATALOG",
+    "CapacityPoint",
+    "CAPACITY_TIMELINE",
+]
+
+
+def _interleaved_pattern(clb: int, dsp: int, bram: int,
+                         io: int = 0) -> list[ColumnSpec]:
+    """Build a realistic interleaved column pattern.
+
+    DSP and BRAM columns are spread evenly through the CLB columns, the way
+    commercial parts interleave hard-IP columns with logic; IO/transceiver
+    columns sit at the right edge of the die.
+    """
+    specials: list[ColumnType] = []
+    specials.extend([ColumnType.DSP] * dsp)
+    specials.extend([ColumnType.BRAM] * bram)
+    # round-robin the two special types so neither clumps at one end
+    specials.sort(key=lambda kind: kind.value)
+    n_groups = max(1, len(specials))
+    base, extra = divmod(clb, n_groups)
+    pattern: list[ColumnSpec] = []
+    for i, kind in enumerate(specials):
+        run = base + (1 if i < extra else 0)
+        if run:
+            pattern.append(ColumnSpec(ColumnType.CLB, run))
+        pattern.append(ColumnSpec(kind, 1))
+    if not specials and clb:
+        pattern.append(ColumnSpec(ColumnType.CLB, clb))
+    if io:
+        pattern.append(ColumnSpec(ColumnType.IO, io))
+    return pattern
+
+
+def make_xcvu37p() -> FPGADevice:
+    """The Xilinx UltraScale+ XCVU37P used in the paper's 4-FPGA cluster.
+
+    Modeled as 3 SLR dies; each die has 240 tile rows organized as 5
+    clock-region rows of 48 tiles, and 226 CLB + 12 DSP + 6 BRAM + 4 IO
+    columns.  Per-die yield: 433.9k LUTs, 867.8k DFFs, 2880 DSPs, 25.9 Mb
+    BRAM -- package totals of roughly 1.30M LUTs / 8.6k DSPs / 78 Mb, within
+    a few percent of the datasheet figures behind Table 4.
+    """
+    columns = expand_pattern(_interleaved_pattern(clb=226, dsp=12, bram=6,
+                                                  io=4))
+    dies = [
+        Die(index=i, columns=columns, tile_rows=240, clock_region_rows=5)
+        for i in range(3)
+    ]
+    return FPGADevice(name="XCVU37P", dies=dies, year=2018)
+
+
+def make_vu13p() -> FPGADevice:
+    """The Xilinx VU13P that Fig. 1a normalizes application footprints to.
+
+    Modeled as 4 SLR dies of 240 tile rows (4 clock-region rows of 60) with
+    225 CLB + 13 DSP + 5 BRAM columns each: ~1.73M LUTs, ~12.5k DSPs.
+    """
+    columns = expand_pattern(_interleaved_pattern(clb=225, dsp=13, bram=5,
+                                                  io=2))
+    dies = [
+        Die(index=i, columns=columns, tile_rows=240, clock_region_rows=4)
+        for i in range(4)
+    ]
+    return FPGADevice(name="VU13P", dies=dies, year=2016)
+
+
+#: Factories for the devices this reproduction instantiates.
+DEVICE_CATALOG = {
+    "XCVU37P": make_xcvu37p,
+    "VU13P": make_vu13p,
+}
+
+
+def device_by_name(name: str) -> FPGADevice:
+    """Instantiate a catalog device by part name (case-insensitive)."""
+    try:
+        factory = DEVICE_CATALOG[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown device {name!r}; catalog has: {known}")
+    return factory()
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityPoint:
+    """One generation in the Fig. 1b capacity-growth series."""
+
+    year: int
+    family: str
+    flagship: str
+    logic_cells_k: float  # vendor "logic cells", thousands
+
+
+#: Flagship-device capacity by generation (Fig. 1b).  Values follow the
+#: public Xilinx datasheet logic-cell counts for the largest part of each
+#: family; the figure's point is the exponential trend, which these
+#: reproduce.
+CAPACITY_TIMELINE: tuple[CapacityPoint, ...] = (
+    CapacityPoint(1998, "Virtex", "XCV1000", 27.6),
+    CapacityPoint(2001, "Virtex-II", "XC2V8000", 104.9),
+    CapacityPoint(2004, "Virtex-4", "XC4VLX200", 200.4),
+    CapacityPoint(2006, "Virtex-5", "XC5VLX330", 331.8),
+    CapacityPoint(2009, "Virtex-6", "XC6VLX760", 758.8),
+    CapacityPoint(2011, "Virtex-7", "XC7V2000T", 1954.6),
+    CapacityPoint(2014, "UltraScale", "XCVU440", 5541.0),
+    CapacityPoint(2016, "UltraScale+", "XCVU13P", 3780.0),
+    CapacityPoint(2018, "UltraScale+ HBM", "XCVU37P", 2852.0),
+)

@@ -1,0 +1,456 @@
+"""Architecture Layer: partitioning a physical FPGA into regions and blocks.
+
+Section 3.2 of the paper divides each FPGA into three kinds of region:
+
+- **Service Region** -- system circuits that virtualize peripherals
+  (securely shared DRAM interface, Ethernet);
+- **Communication Region** -- the FIFOs and control logic of the
+  latency-insensitive inter-block interface, plus pipeline registers that
+  connect to the transceivers;
+- **User Region** -- an array of *identical* physical blocks, each of which
+  can host any compiled virtual block.
+
+Identicality is what makes a compiled virtual block position-independent:
+a bitstream compiled for one physical block can be relocated to any other
+without recompilation.  Two commercial-architecture constraints must hold
+for that to be true (the paper's "key learning"):
+
+1. blocks align with clock-region boundaries, so the clock skew inside
+   every block is the same; and
+2. blocks never straddle a die (SLR) boundary, so intra-block routing never
+   crosses the slow inter-die network.
+
+The module also implements the Section 5.3 design-space exploration: the
+constraints shrink the search space to a handful of candidate partitions,
+which are evaluated exhaustively to maximize the resources exposed to users
+while keeping management fine-grained.  The communication region is sized
+from an explicit buffer model, which is where the paper's buffer-removal
+optimization (Section 3.5.2) shows up: channels that stay on one die have
+deterministic latency, need no FIFOs, and with the optimization enabled only
+die-boundary and transceiver channels are buffered.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.fabric.device import ColumnType, Die, FPGADevice, TILE_YIELD
+from repro.fabric.resources import ResourceVector
+
+__all__ = [
+    "RegionKind",
+    "Region",
+    "PhysicalBlock",
+    "BufferModel",
+    "PartitionConstraints",
+    "FabricPartition",
+    "PartitionPlanner",
+]
+
+
+class RegionKind(enum.Enum):
+    USER = "user"
+    COMMUNICATION = "communication"
+    SERVICE = "service"
+    TRANSCEIVER = "transceiver"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """A named region of the fabric with its reserved resources."""
+
+    kind: RegionKind
+    label: str
+    resources: ResourceVector
+    columns: int = 0  # device-spanning column strips this region occupies
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicalBlock:
+    """One relocation target in the user region.
+
+    Attributes:
+        index: block id, unique within the device (0..num_blocks-1).
+        die_index: which SLR the block lives on.
+        clock_region_row: first clock-region row (die-local) the block spans.
+        height_clock_regions: vertical extent in clock-region rows.
+        tile_rows: vertical extent in tile rows.
+        capacity: programmable resources the block provides.
+        footprint: opaque compatibility token; two blocks accept the same
+            relocated bitstream iff their footprints are equal.
+        sub_blocks: number of column-wise sub-blocks (region 1a/1b in
+            Fig. 7); structural detail carried through to the compiler.
+    """
+
+    index: int
+    die_index: int
+    clock_region_row: int
+    height_clock_regions: int
+    tile_rows: int
+    capacity: ResourceVector
+    footprint: str
+    sub_blocks: int = 2
+
+    def compatible_with(self, other: "PhysicalBlock") -> bool:
+        """Relocation compatibility (Section 3.3, step 5)."""
+        return self.footprint == other.footprint
+
+
+@dataclass(frozen=True, slots=True)
+class BufferModel:
+    """Cost model for the latency-insensitive interface buffers.
+
+    A buffered channel must absorb the bandwidth-delay product of the
+    slowest link it may traverse (the inter-FPGA ring), so its FIFOs are
+    deep; the control logic (credit handling, clock-enable generation)
+    costs logic.  The figures below size one *bidirectional* channel.
+    """
+
+    channel_width_bits: int = 512
+    fifo_depth: int = 1024          # covers the inter-FPGA round trip
+    control_luts: int = 1500
+    control_dffs: int = 3000
+    ports_per_block: int = 4        # LI channel endpoints per physical block
+    inter_die_lanes: int = 2        # buffered lanes per die boundary
+    transceiver_channels: int = 4   # one per QSFP cage
+
+    def per_channel(self) -> ResourceVector:
+        """Resources of one bidirectional buffered channel."""
+        bits = self.channel_width_bits * self.fifo_depth * 2  # both dirs
+        return ResourceVector(lut=self.control_luts, dff=self.control_dffs,
+                              bram_mb=bits / 1e6)
+
+    def buffered_channels(self, num_blocks: int, num_dies: int,
+                          remove_intra_fpga_buffers: bool) -> int:
+        """How many channels need full FIFOs.
+
+        Without the Section 3.5.2 optimization every block port is
+        buffered.  With it, intra-FPGA channels have deterministic latency
+        resolved at compile time, so only the die-boundary lanes and the
+        transceiver-facing channels keep buffers.
+        """
+        if not remove_intra_fpga_buffers:
+            return num_blocks * self.ports_per_block
+        boundary = (num_dies - 1) * self.inter_die_lanes
+        return boundary + self.transceiver_channels
+
+    def communication_demand(self, num_blocks: int, num_dies: int,
+                             remove_intra_fpga_buffers: bool,
+                             ) -> ResourceVector:
+        """Total communication-region demand for one FPGA.
+
+        Unbuffered channels still need their (cheap) control logic: the
+        clock-enable generator that resumes user logic when scheduled data
+        arrives.
+        """
+        n_buffered = self.buffered_channels(num_blocks, num_dies,
+                                            remove_intra_fpga_buffers)
+        n_total = num_blocks * self.ports_per_block
+        demand = self.per_channel() * n_buffered
+        unbuffered = n_total - n_buffered
+        if unbuffered > 0:
+            demand = demand + ResourceVector(
+                lut=self.control_luts * 0.2,
+                dff=self.control_dffs * 0.2) * unbuffered
+        return demand
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionConstraints:
+    """Knobs and limits for the partition planner."""
+
+    block_height_choices: tuple[int, ...] = (1, 2)  # clock-region rows
+    sub_block_choices: tuple[int, ...] = (2,)
+    max_reserved_fraction: float = 0.10   # Section 5.3 target
+    min_blocks_per_device: int = 8        # keep management fine-grained
+    remove_intra_fpga_buffers: bool = True
+    #: Section 3.5.2's further optimization: "circuits in these regions
+    #: can be implemented by dedicated hard IP blocks to further reduce
+    #: the amount of system reserved resource".  When True, only glue
+    #: logic stays in fabric; the bulk of the buffers/control hardens.
+    hardened_system_regions: bool = False
+    hardening_residual: float = 0.15      # fabric share left after hardening
+    # fixed system overheads, per device
+    service_luts: int = 9000              # shared-DRAM MMU + Ethernet MAC
+    service_bram_mb: float = 1.0          # translation tables
+    pipeline_luts: int = 2000             # region-6 transceiver pipelining
+
+
+@dataclass(slots=True)
+class FabricPartition:
+    """The result of partitioning one device: regions plus physical blocks."""
+
+    device: FPGADevice
+    blocks: list[PhysicalBlock]
+    regions: list[Region]
+    user_columns: dict[ColumnType, int]
+    reserved_columns: dict[ColumnType, int]
+    buffer_model: BufferModel
+    remove_intra_fpga_buffers: bool
+
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def block_capacity(self) -> ResourceVector:
+        """Capacity of one physical block (all are identical)."""
+        return self.blocks[0].capacity
+
+    @property
+    def blocks_per_die(self) -> int:
+        return self.num_blocks // self.device.num_dies
+
+    def reserved_resources(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for region in self.regions:
+            if region.kind is not RegionKind.USER:
+                total = total + region.resources
+        return total
+
+    def user_resources(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for block in self.blocks:
+            total = total + block.capacity
+        return total
+
+    def reserved_fraction(self) -> float:
+        """Share of the device's weighted area held by system regions."""
+        return (self.reserved_resources().total_cost()
+                / self.device.capacity.total_cost())
+
+    def user_fraction(self) -> float:
+        return (self.user_resources().total_cost()
+                / self.device.capacity.total_cost())
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the Architecture Layer invariants; raise on violation."""
+        if not self.blocks:
+            raise ValueError("partition produced no physical blocks")
+        footprints = {b.footprint for b in self.blocks}
+        if len(footprints) != 1:
+            raise ValueError(f"physical blocks not identical: {footprints}")
+        capacities = {b.capacity for b in self.blocks}
+        if len(capacities) != 1:
+            raise ValueError("physical blocks differ in capacity")
+        for block in self.blocks:
+            die = self.device.die(block.die_index)
+            last_row = block.clock_region_row + block.height_clock_regions
+            if last_row > die.clock_region_rows:
+                raise ValueError(
+                    f"block {block.index} crosses the top of die "
+                    f"{block.die_index}")
+            if block.clock_region_row % block.height_clock_regions:
+                raise ValueError(
+                    f"block {block.index} not aligned to clock regions")
+        # blocks must tile without overlap inside each die
+        seen: set[tuple[int, int]] = set()
+        for block in self.blocks:
+            for r in range(block.clock_region_row,
+                           block.clock_region_row
+                           + block.height_clock_regions):
+                key = (block.die_index, r)
+                if key in seen:
+                    raise ValueError(f"blocks overlap at die/CR {key}")
+                seen.add(key)
+
+    def clone_for(self, device: FPGADevice) -> "FabricPartition":
+        """The same partition bound to another (identical) device.
+
+        Clusters are built from identical boards; one planned partition is
+        cloned across them so every board exposes the same footprint.
+        """
+        if (device.num_dies != self.device.num_dies
+                or device.dies[0].columns != self.device.dies[0].columns
+                or device.dies[0].tile_rows
+                != self.device.dies[0].tile_rows):
+            raise ValueError(
+                f"cannot clone a {self.device.name} partition onto "
+                f"{device.name}: geometries differ")
+        return FabricPartition(
+            device=device,
+            blocks=list(self.blocks),
+            regions=list(self.regions),
+            user_columns=dict(self.user_columns),
+            reserved_columns=dict(self.reserved_columns),
+            buffer_model=self.buffer_model,
+            remove_intra_fpga_buffers=self.remove_intra_fpga_buffers,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary resembling the Fig. 7 caption."""
+        lines = [f"Partition of {self.device.name}:"]
+        lines.append(
+            f"  user region: {self.num_blocks} identical physical blocks "
+            f"({self.blocks_per_die} per die), each {self.block_capacity}")
+        for region in self.regions:
+            if region.kind is RegionKind.USER:
+                continue
+            lines.append(f"  {region.kind} ({region.label}): "
+                         f"{region.resources}")
+        lines.append(f"  system reserved: {self.reserved_fraction():.1%} "
+                     f"of device")
+        return "\n".join(lines)
+
+
+class PartitionPlanner:
+    """Section 5.3's exhaustive design-space exploration.
+
+    The clock-region and die-boundary constraints leave only a handful of
+    legal block geometries; for each the planner sizes the communication and
+    service regions from the buffer model, derives per-block capacity from
+    the remaining columns, and scores the candidate.  The best feasible
+    candidate maximizes the user fraction, breaking ties toward more blocks
+    (finer-grained management).
+    """
+
+    def __init__(self, device: FPGADevice,
+                 constraints: PartitionConstraints | None = None,
+                 buffer_model: BufferModel | None = None) -> None:
+        if not device.homogeneous_dies():
+            raise ValueError(
+                "planner requires dies with identical column grids")
+        self.device = device
+        self.constraints = constraints or PartitionConstraints()
+        self.buffer_model = buffer_model or BufferModel()
+
+    # ------------------------------------------------------------------
+    def candidates(self) -> list[FabricPartition]:
+        """Enumerate every legal candidate partition (the <10 of §5.3)."""
+        out = []
+        for height in self.constraints.block_height_choices:
+            for sub_blocks in self.constraints.sub_block_choices:
+                candidate = self._build(height, sub_blocks)
+                if candidate is not None:
+                    out.append(candidate)
+        return out
+
+    def plan(self) -> FabricPartition:
+        """Run the DSE and return the optimal feasible partition."""
+        feasible = []
+        for cand in self.candidates():
+            if cand.reserved_fraction() > self.constraints.max_reserved_fraction:
+                continue
+            if cand.num_blocks < self.constraints.min_blocks_per_device:
+                continue
+            feasible.append(cand)
+        if not feasible:
+            raise RuntimeError(
+                "no feasible partition; relax PartitionConstraints")
+        feasible.sort(key=lambda p: (p.user_fraction(), p.num_blocks),
+                      reverse=True)
+        best = feasible[0]
+        best.validate()
+        return best
+
+    # ------------------------------------------------------------------
+    def _build(self, height_cr: int, sub_blocks: int,
+               ) -> FabricPartition | None:
+        device = self.device
+        die0: Die = device.die(0)
+        if height_cr > die0.clock_region_rows:
+            return None
+        blocks_per_die = die0.clock_region_rows // height_cr
+        num_blocks = blocks_per_die * device.num_dies
+        if num_blocks == 0:
+            return None
+
+        # --- size the system regions ----------------------------------
+        cons = self.constraints
+        comm = self.buffer_model.communication_demand(
+            num_blocks, device.num_dies, cons.remove_intra_fpga_buffers)
+        service = ResourceVector(lut=cons.service_luts,
+                                 dff=cons.service_luts * 2,
+                                 bram_mb=cons.service_bram_mb)
+        pipeline = ResourceVector(lut=cons.pipeline_luts,
+                                  dff=cons.pipeline_luts * 2)
+        reserved_demand = comm + service + pipeline
+        if cons.hardened_system_regions:
+            # dedicated hard IP absorbs the system circuits; only the
+            # residual glue logic still occupies fabric columns
+            reserved_demand = reserved_demand * cons.hardening_residual
+
+        # --- convert demand into whole reserved column strips ---------
+        rows_per_strip = die0.tile_rows * device.num_dies
+        clb_strip = TILE_YIELD[ColumnType.CLB] * rows_per_strip
+        bram_strip = TILE_YIELD[ColumnType.BRAM] * rows_per_strip
+        need_bram_cols = math.ceil(reserved_demand.bram_mb
+                                   / bram_strip.bram_mb)
+        need_clb_cols = math.ceil(max(reserved_demand.lut / clb_strip.lut,
+                                      reserved_demand.dff / clb_strip.dff))
+        total_clb = len(die0.column_indices(ColumnType.CLB))
+        total_bram = len(die0.column_indices(ColumnType.BRAM))
+        total_dsp = len(die0.column_indices(ColumnType.DSP))
+        if need_bram_cols >= total_bram or need_clb_cols >= total_clb:
+            return None  # infeasible: system would consume the device
+
+        user_cols = {
+            ColumnType.CLB: total_clb - need_clb_cols,
+            ColumnType.BRAM: total_bram - need_bram_cols,
+            ColumnType.DSP: total_dsp,
+        }
+        reserved_cols = {
+            ColumnType.CLB: need_clb_cols,
+            ColumnType.BRAM: need_bram_cols,
+            ColumnType.DSP: 0,
+        }
+
+        # --- per-block capacity ----------------------------------------
+        tile_rows = height_cr * die0.rows_per_clock_region
+        capacity = ResourceVector.zero()
+        for kind, count in user_cols.items():
+            capacity = capacity + TILE_YIELD[kind] * (tile_rows * count)
+        footprint = (f"{device.name}/h{height_cr}cr/"
+                     f"clb{user_cols[ColumnType.CLB]}"
+                     f"dsp{user_cols[ColumnType.DSP]}"
+                     f"bram{user_cols[ColumnType.BRAM]}")
+
+        blocks = []
+        index = 0
+        for die in device.dies:
+            for row in range(blocks_per_die):
+                blocks.append(PhysicalBlock(
+                    index=index,
+                    die_index=die.index,
+                    clock_region_row=row * height_cr,
+                    height_clock_regions=height_cr,
+                    tile_rows=tile_rows,
+                    capacity=capacity,
+                    footprint=footprint,
+                    sub_blocks=sub_blocks,
+                ))
+                index += 1
+
+        # --- regions ----------------------------------------------------
+        strip_res = (clb_strip * need_clb_cols
+                     + bram_strip * need_bram_cols)
+        # attribute the strips to the three system regions proportionally
+        regions = [
+            Region(RegionKind.USER, "region 1: physical blocks",
+                   capacity * num_blocks, columns=sum(user_cols.values())),
+            Region(RegionKind.COMMUNICATION,
+                   "regions 2/3/6: latency-insensitive interface",
+                   (strip_res - service - pipeline).clamp_nonnegative(),
+                   columns=max(0, need_clb_cols - 1) + need_bram_cols),
+            Region(RegionKind.SERVICE, "region 4: peripheral virtualization",
+                   service, columns=1),
+            Region(RegionKind.TRANSCEIVER,
+                   "region 5: QSFP transceivers", pipeline, columns=0),
+        ]
+
+        return FabricPartition(
+            device=device,
+            blocks=blocks,
+            regions=regions,
+            user_columns=user_cols,
+            reserved_columns=reserved_cols,
+            buffer_model=self.buffer_model,
+            remove_intra_fpga_buffers=cons.remove_intra_fpga_buffers,
+        )

@@ -1,0 +1,195 @@
+"""Resource algebra shared by every layer of the ViTAL stack.
+
+FPGAs provide four first-class programmable resource types that the paper's
+evaluation tracks (Table 2 and Table 4): look-up tables (LUT), flip-flops
+(DFF), DSP slices (DSP) and block RAM capacity in megabits (BRAM).  A
+:class:`ResourceVector` bundles one quantity of each and supports the
+element-wise arithmetic and comparisons that allocation, partitioning and
+fragmentation accounting need.
+
+The algebra is deliberately closed: adding, scaling and subtracting vectors
+always yields another vector, and ``fits_in`` gives the partial order used by
+every allocator in the stack ("does demand fit in capacity?").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ResourceVector"]
+
+# BRAM is carried in megabits, matching the units of Table 2 / Table 4.
+_FIELDS = ("lut", "dff", "dsp", "bram_mb")
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An element-wise vector of FPGA resource quantities.
+
+    Attributes:
+        lut: number of 6-input look-up tables.
+        dff: number of flip-flops (registers).
+        dsp: number of DSP (multiply-accumulate) slices.
+        bram_mb: block-RAM capacity in megabits.
+    """
+
+    lut: float = 0.0
+    dff: float = 0.0
+    dsp: float = 0.0
+    bram_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _FIELDS:
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite, got {value!r}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The additive identity."""
+        return cls()
+
+    @classmethod
+    def of(cls, lut: float = 0.0, dff: float = 0.0, dsp: float = 0.0,
+           bram_mb: float = 0.0) -> "ResourceVector":
+        """Keyword-friendly constructor (alias of the dataclass init)."""
+        return cls(lut=lut, dff=dff, dsp=dsp, bram_mb=bram_mb)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            self.lut + other.lut,
+            self.dff + other.dff,
+            self.dsp + other.dsp,
+            self.bram_mb + other.bram_mb,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            self.lut - other.lut,
+            self.dff - other.dff,
+            self.dsp - other.dsp,
+            self.bram_mb - other.bram_mb,
+        )
+
+    def __mul__(self, factor: float) -> "ResourceVector":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return ResourceVector(
+            self.lut * factor,
+            self.dff * factor,
+            self.dsp * factor,
+            self.bram_mb * factor,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ResourceVector":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # comparisons and queries
+    # ------------------------------------------------------------------
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """True when every component of ``self`` is <= that of ``capacity``.
+
+        This is the partial order every allocator in the stack uses: a
+        demand vector fits in a capacity vector only if no single resource
+        type overflows.
+        """
+        return (self.lut <= capacity.lut
+                and self.dff <= capacity.dff
+                and self.dsp <= capacity.dsp
+                and self.bram_mb <= capacity.bram_mb)
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True when ``self`` is component-wise >= ``other``."""
+        return other.fits_in(self)
+
+    def is_zero(self) -> bool:
+        return all(getattr(self, f) == 0 for f in _FIELDS)
+
+    def is_nonnegative(self) -> bool:
+        return all(getattr(self, f) >= 0 for f in _FIELDS)
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        """Component-wise ``max(0, x)``; used when subtractions may dip below
+        zero due to modeling round-off."""
+        return ResourceVector(
+            max(0.0, self.lut),
+            max(0.0, self.dff),
+            max(0.0, self.dsp),
+            max(0.0, self.bram_mb),
+        )
+
+    def max_with(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise maximum."""
+        return ResourceVector(
+            max(self.lut, other.lut),
+            max(self.dff, other.dff),
+            max(self.dsp, other.dsp),
+            max(self.bram_mb, other.bram_mb),
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def utilization_of(self, capacity: "ResourceVector") -> float:
+        """Fraction of ``capacity`` this vector occupies, reported as the
+        *maximum* per-component ratio.
+
+        The max ratio is the quantity that determines how many copies of a
+        demand fit into a capacity, which is why both the partition planner
+        (Section 5.3) and the accelerator sizing (Table 2) use it.
+        Components with zero capacity and zero demand are ignored; zero
+        capacity with nonzero demand yields ``inf``.
+        """
+        worst = 0.0
+        for name in _FIELDS:
+            demand = getattr(self, name)
+            avail = getattr(capacity, name)
+            if demand == 0:
+                continue
+            if avail == 0:
+                return math.inf
+            worst = max(worst, demand / avail)
+        return worst
+
+    def blocks_needed(self, block_capacity: "ResourceVector") -> int:
+        """Number of identical blocks of ``block_capacity`` required to hold
+        this demand, assuming the compiler may split it freely (which
+        ViTAL's partitioner does).  This is the ``#Block`` column of
+        Table 2."""
+        ratio = self.utilization_of(block_capacity)
+        if math.isinf(ratio):
+            raise ValueError(
+                "demand requires a resource type the block does not provide")
+        return max(1, math.ceil(ratio - 1e-9))
+
+    def total_cost(self, weights: "ResourceVector | None" = None) -> float:
+        """A scalar summary used for tie-breaking in heuristics.
+
+        With no weights, LUTs dominate (they are the scarcest resource for
+        the Table 2 accelerators); DSP and BRAM get area-equivalent weights.
+        """
+        if weights is None:
+            weights = ResourceVector(lut=1.0, dff=0.5, dsp=50.0, bram_mb=8000.0)
+        return (self.lut * weights.lut + self.dff * weights.dff
+                + self.dsp * weights.dsp + self.bram_mb * weights.bram_mb)
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def __str__(self) -> str:  # compact, for reports
+        return (f"{self.lut / 1e3:.1f}k LUT / {self.dff / 1e3:.1f}k DFF / "
+                f"{self.dsp:.0f} DSP / {self.bram_mb:.2f}Mb BRAM")

@@ -1,0 +1,105 @@
+"""Synthesis front-end: kernel specification -> primitive netlist.
+
+Step 1 of the ViTAL compilation flow (Section 3.3) reuses the commercial
+front-end to turn high-level code into a netlist of primitives.  Our
+substitute builds a DNNWeaver-shaped accelerator netlist directly from the
+kernel's resource footprint: DMA engines, double-buffered weight and
+activation memories, a PE array holding the DSPs, an accumulator with a
+feedback loop, and a control FSM -- wired as the dataflow pipeline those
+generators emit.  The resulting netlist's total resource usage equals the
+specification's footprint, and its module-local connectivity gives the
+partitioner (Section 4) realistic structure to exploit.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.fabric.resources import ResourceVector
+from repro.hls.kernels import KernelSpec
+from repro.netlist.generator import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+__all__ = ["HLSFrontend", "synthesize"]
+
+
+#: How an accelerator's footprint is apportioned among its modules.
+#: Fractions per resource type: (lut, dff, dsp, bram).
+_MODULE_SHARES: dict[str, tuple[float, float, float, float]] = {
+    "input_dma":   (0.06, 0.06, 0.00, 0.02),
+    "weight_buf":  (0.08, 0.08, 0.00, 0.52),
+    "act_buf":     (0.08, 0.08, 0.00, 0.26),
+    "pe_array":    (0.52, 0.52, 0.88, 0.08),
+    "accumulator": (0.12, 0.12, 0.12, 0.08),
+    "control":     (0.08, 0.08, 0.00, 0.02),
+    "output_dma":  (0.06, 0.06, 0.00, 0.02),
+}
+
+
+def _module_resources(total: ResourceVector, shares: tuple[float, ...],
+                      ) -> ResourceVector:
+    lut_s, dff_s, dsp_s, bram_s = shares
+    return ResourceVector(lut=total.lut * lut_s, dff=total.dff * dff_s,
+                          dsp=total.dsp * dsp_s,
+                          bram_mb=total.bram_mb * bram_s)
+
+
+@dataclass(slots=True)
+class HLSFrontend:
+    """Configuration for the synthesis substitute.
+
+    Attributes:
+        macro_lut: LUTs bundled per macro primitive (netlist granularity).
+        seed: base RNG seed; the kernel name is mixed in so each design is
+            deterministic yet distinct.
+    """
+
+    macro_lut: int = 512
+    seed: int = 2020
+
+    def synthesize(self, spec: KernelSpec) -> Netlist:
+        """Produce the post-synthesis netlist of ``spec``."""
+        # stable across processes (built-in hash() varies with
+        # PYTHONHASHSEED, which would make compilations irreproducible)
+        seed = zlib.crc32(f"{self.seed}/{spec.name}".encode())
+        builder = NetlistBuilder(name=spec.name, seed=seed,
+                                 macro_lut=self.macro_lut)
+        modules = {
+            mod: builder.add_module(
+                mod,
+                _module_resources(spec.resources, shares),
+                feedback=(mod == "accumulator"),
+            )
+            for mod, shares in _MODULE_SHARES.items()
+        }
+        wide = spec.stream_width_bits
+        # dataflow pipeline
+        builder.connect(modules["input_dma"], modules["act_buf"],
+                        width_bits=wide, links=2)
+        builder.connect(modules["weight_buf"], modules["pe_array"],
+                        width_bits=wide * 4, links=4)
+        builder.connect(modules["act_buf"], modules["pe_array"],
+                        width_bits=wide * 2, links=4)
+        builder.connect(modules["pe_array"], modules["accumulator"],
+                        width_bits=wide * 2, links=4)
+        builder.connect(modules["accumulator"], modules["output_dma"],
+                        width_bits=wide, links=2)
+        # control fans out thin command buses to every datapath module
+        for mod in ("input_dma", "weight_buf", "act_buf", "pe_array",
+                    "accumulator", "output_dma"):
+            builder.connect(modules["control"], modules[mod],
+                            width_bits=8, links=1)
+        builder.add_input_stream("s_axis_data", modules["input_dma"],
+                                 width_bits=wide)
+        builder.add_input_stream("s_axis_weights", modules["weight_buf"],
+                                 width_bits=wide)
+        builder.add_output_stream("m_axis_result", modules["output_dma"],
+                                  width_bits=wide)
+        return builder.build()
+
+
+def synthesize(spec: KernelSpec, macro_lut: int = 512,
+               seed: int = 2020) -> Netlist:
+    """Convenience wrapper: synthesize one kernel specification."""
+    return HLSFrontend(macro_lut=macro_lut, seed=seed).synthesize(spec)

@@ -1,0 +1,111 @@
+"""One latency-insensitive channel, cycle-stepped.
+
+The channel connects a producer endpoint to a consumer endpoint across a
+link of some :class:`~repro.interconnect.links.LinkClass`.  Flow control is
+credit-based: the producer may launch a flit only while it holds a credit
+(one per free slot in the receive FIFO), flits arrive after the link
+latency, and credits return with the same latency when the consumer drains
+a slot.  With a FIFO at least as deep as the round trip, the channel
+sustains one flit per cycle -- the saturating behavior Table 4 measures.
+
+``init_tokens`` pre-loads the receive FIFO with tokens at reset; the
+interface generator places them on cycle back-edges to establish the
+"at least one input buffer non-empty" deadlock-freedom condition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.interconnect.fifo import BoundedFifo, CreditCounter
+from repro.interconnect.links import LINKS, LinkClass, LinkModel
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A unidirectional latency-insensitive channel."""
+
+    def __init__(self, name: str, link: "LinkClass | LinkModel",
+                 fifo_depth: int = 64, init_tokens: int = 0) -> None:
+        self.name = name
+        self.link = LINKS[link] if isinstance(link, LinkClass) else link
+        if init_tokens > fifo_depth:
+            raise ValueError("init tokens exceed FIFO depth")
+        self.rx_fifo = BoundedFifo(fifo_depth)
+        self.credits = CreditCounter(fifo_depth)
+        for i in range(init_tokens):
+            self.rx_fifo.push(("init", i))
+            self.credits.consume()
+        self._in_flight: deque[tuple[int, object]] = deque()
+        self._credit_returns: deque[int] = deque()
+        self.sent = 0
+        self.delivered = 0
+        self.consumed = 0
+        self.latency_sum = 0
+        self.latency_count = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def can_accept(self) -> bool:
+        """Clock-enable condition on the producer: a credit is available."""
+        return self.credits.can_send()
+
+    def send(self, cycle: int, payload: object = None) -> None:
+        """Launch one flit (caller must have checked :meth:`can_accept`)."""
+        self.credits.consume()
+        self._in_flight.append((cycle + self.link.latency_cycles,
+                                (cycle, payload)))
+        self.sent += 1
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def has_data(self) -> bool:
+        return not self.rx_fifo.is_empty()
+
+    def receive(self, cycle: int) -> object:
+        """Drain one flit; returns its payload and schedules the credit."""
+        item = self.rx_fifo.pop()
+        self._credit_returns.append(cycle + self.link.latency_cycles)
+        self.consumed += 1
+        if isinstance(item, tuple) and len(item) == 2 \
+                and item[0] != "init":
+            sent_cycle, payload = item
+            self.latency_sum += cycle - sent_cycle
+            self.latency_count += 1
+            return payload
+        return None
+
+    # ------------------------------------------------------------------
+    # per-cycle bookkeeping
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Deliver arrived flits and returned credits for ``cycle``."""
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, item = self._in_flight.popleft()
+            self.rx_fifo.push(item)   # a credit guaranteed the slot
+            self.delivered += 1
+        while self._credit_returns and self._credit_returns[0] <= cycle:
+            self._credit_returns.popleft()
+            self.credits.restore()
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def throughput_bits_per_cycle(self, cycles: int) -> float:
+        """Accepted payload bandwidth over a run of ``cycles``."""
+        if cycles <= 0:
+            return 0.0
+        return self.consumed * self.link.bits_per_cycle / cycles
+
+    def throughput_gbps(self, cycles: int) -> float:
+        from repro.interconnect.links import SHELL_CLOCK_MHZ
+        return (self.throughput_bits_per_cycle(cycles)
+                * SHELL_CLOCK_MHZ / 1e3)
+
+    def mean_latency_cycles(self) -> float:
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count

@@ -1,0 +1,70 @@
+"""Link classes and their physical parameters.
+
+The whole point of the latency-insensitive interface is that a virtual
+block cannot know, at compile time, which of these links its channels will
+traverse -- the runtime decides.  Parameters mirror the paper's platform
+(Table 4 and Section 5.2):
+
+- **on-chip**: the configurable routing fabric inside one die;
+- **inter-die**: SLL crossings between SLRs of the package, measured at
+  312.5 Gb/s in Table 4;
+- **inter-FPGA**: the 100 Gb/s bidirectional QSFP ring between boards,
+  with microsecond-class latency.
+
+Cycle-domain values are expressed at the 250 MHz shell clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["LinkClass", "LinkModel", "LINKS", "SHELL_CLOCK_MHZ"]
+
+SHELL_CLOCK_MHZ = 250.0
+
+
+class LinkClass(enum.Enum):
+    ON_CHIP = "on-chip"
+    INTER_DIE = "inter-die"
+    INTER_FPGA = "inter-fpga"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """Physical parameters of one link class."""
+
+    kind: LinkClass
+    bandwidth_gbps: float
+    latency_cycles: int
+    deterministic: bool   # latency resolvable at compile time?
+
+    @property
+    def bits_per_cycle(self) -> float:
+        """Payload the link moves per shell-clock cycle."""
+        return self.bandwidth_gbps * 1e3 / SHELL_CLOCK_MHZ
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_cycles * 1e3 / SHELL_CLOCK_MHZ
+
+    def round_trip_cycles(self) -> int:
+        """Data + credit-return latency; the FIFO depth needed to keep
+        the link saturated."""
+        return 2 * self.latency_cycles + 2
+
+
+LINKS: dict[LinkClass, LinkModel] = {
+    LinkClass.ON_CHIP: LinkModel(
+        kind=LinkClass.ON_CHIP, bandwidth_gbps=128.0,
+        latency_cycles=1, deterministic=True),
+    LinkClass.INTER_DIE: LinkModel(
+        kind=LinkClass.INTER_DIE, bandwidth_gbps=312.5,
+        latency_cycles=4, deterministic=True),
+    LinkClass.INTER_FPGA: LinkModel(
+        kind=LinkClass.INTER_FPGA, bandwidth_gbps=100.0,
+        latency_cycles=250, deterministic=False),
+}

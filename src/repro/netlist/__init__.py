@@ -1,0 +1,39 @@
+"""Netlist intermediate representation.
+
+ViTAL's one key compilation design decision (Section 3.3) is to partition
+applications at the *netlist* level: the netlist is programming-language
+agnostic and gives an accurate account of low-level resource usage, which
+the partitioner exploits.  This package provides that IR:
+
+- :mod:`repro.netlist.primitives` -- primitive cells (LUT/FF/DSP/BRAM and
+  resource-bearing macros);
+- :mod:`repro.netlist.netlist` -- the netlist graph of primitives and nets;
+- :mod:`repro.netlist.dataflow` -- directed dataflow views used by the
+  latency-insensitive interface generator;
+- :mod:`repro.netlist.generator` -- synthetic netlist construction used by
+  the HLS front-end substitute.
+"""
+
+from repro.netlist.primitives import Primitive, PrimitiveType
+from repro.netlist.netlist import Net, Netlist, Port, PortDirection
+from repro.netlist.dataflow import DataflowGraph
+from repro.netlist.generator import NetlistBuilder
+from repro.netlist.logic import GateOp, LogicNetwork
+from repro.netlist.verilog import to_verilog
+from repro.netlist.verilog_parser import VerilogParseError, parse_verilog
+
+__all__ = [
+    "Primitive",
+    "PrimitiveType",
+    "Net",
+    "Netlist",
+    "Port",
+    "PortDirection",
+    "DataflowGraph",
+    "NetlistBuilder",
+    "GateOp",
+    "LogicNetwork",
+    "to_verilog",
+    "VerilogParseError",
+    "parse_verilog",
+]

@@ -1,0 +1,197 @@
+"""Gate-level logic networks (the parser output of Fig. 3b).
+
+Section 2.2: the back-end "synthesizes [Verilog] into different levels of
+intermediate representation ... and a netlist of primitives (e.g., logic
+gates...)"; technology mapping then packs the gates into K-input LUTs.
+This module is that gate-level IR: a DAG of Boolean gates and flip-flops
+with named primary inputs/outputs, plus a reference evaluator so the
+technology mapper (:mod:`repro.compiler.techmap`) can be *proved*
+functionally equivalent on test vectors rather than trusted.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+__all__ = ["GateOp", "LogicNetwork"]
+
+
+class GateOp(enum.Enum):
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    FF = "ff"       # D flip-flop: breaks combinational paths
+
+    def arity_ok(self, n: int) -> bool:
+        if self in (GateOp.INPUT, GateOp.CONST0, GateOp.CONST1):
+            return n == 0
+        if self in (GateOp.BUF, GateOp.NOT, GateOp.FF):
+            return n == 1
+        return n >= 2
+
+
+_EVAL = {
+    GateOp.BUF: lambda vs: vs[0],
+    GateOp.NOT: lambda vs: not vs[0],
+    GateOp.AND: all,
+    GateOp.OR: any,
+    GateOp.XOR: lambda vs: sum(vs) % 2 == 1,
+}
+
+
+@dataclass(slots=True)
+class _Gate:
+    op: GateOp
+    fanins: tuple[int, ...]
+    name: str = ""
+
+
+class LogicNetwork:
+    """A combinational/sequential gate DAG with named ports."""
+
+    def __init__(self, name: str = "logic") -> None:
+        self.name = name
+        self.gates: dict[int, _Gate] = {}
+        self.inputs: dict[str, int] = {}
+        self.outputs: dict[str, int] = {}
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new(self, op: GateOp, fanins: tuple[int, ...],
+             name: str = "") -> int:
+        if not op.arity_ok(len(fanins)):
+            raise ValueError(f"{op}: bad fanin count {len(fanins)}")
+        for f in fanins:
+            if f not in self.gates:
+                raise KeyError(f"unknown fanin {f}")
+        uid = self._next
+        self._next += 1
+        self.gates[uid] = _Gate(op=op, fanins=fanins, name=name)
+        return uid
+
+    def add_input(self, name: str) -> int:
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        uid = self._new(GateOp.INPUT, (), name=name)
+        self.inputs[name] = uid
+        return uid
+
+    def add_gate(self, op: GateOp, *fanins: int, name: str = "") -> int:
+        if op in (GateOp.INPUT, GateOp.FF):
+            raise ValueError(f"use the dedicated method for {op}")
+        return self._new(op, tuple(fanins), name=name)
+
+    def add_ff(self, d: int, name: str = "") -> int:
+        return self._new(GateOp.FF, (d,), name=name)
+
+    def set_output(self, name: str, gate: int) -> None:
+        if gate not in self.gates:
+            raise KeyError(f"unknown gate {gate}")
+        self.outputs[name] = gate
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def combinational_gates(self) -> list[int]:
+        return [u for u, g in self.gates.items()
+                if g.op not in (GateOp.INPUT, GateOp.FF)]
+
+    def levels(self) -> dict[int, int]:
+        """Combinational depth; INPUT/FF outputs are level 0."""
+        memo: dict[int, int] = {}
+
+        def level(uid: int) -> int:
+            if uid in memo:
+                return memo[uid]
+            gate = self.gates[uid]
+            if gate.op in (GateOp.INPUT, GateOp.FF, GateOp.CONST0,
+                           GateOp.CONST1):
+                memo[uid] = 0
+            else:
+                memo[uid] = 1 + max((level(f) for f in gate.fanins),
+                                    default=0)
+            return memo[uid]
+
+        for uid in self.gates:
+            level(uid)
+        return memo
+
+    def depth(self) -> int:
+        return max(self.levels().values(), default=0)
+
+    # ------------------------------------------------------------------
+    # reference evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: dict[str, bool],
+                 state: dict[int, bool] | None = None,
+                 ) -> tuple[dict[str, bool], dict[int, bool]]:
+        """One cycle: returns (outputs, next FF state).
+
+        ``state`` maps FF uid -> current Q value (default all False).
+        Combinational logic sees FF outputs from ``state``; the returned
+        next-state is each FF's D input this cycle.
+        """
+        state = state or {}
+        values: dict[int, bool] = {}
+
+        def value(uid: int) -> bool:
+            if uid in values:
+                return values[uid]
+            gate = self.gates[uid]
+            if gate.op is GateOp.INPUT:
+                out = assignment[gate.name]
+            elif gate.op is GateOp.FF:
+                out = state.get(uid, False)
+            elif gate.op is GateOp.CONST0:
+                out = False
+            elif gate.op is GateOp.CONST1:
+                out = True
+            else:
+                out = _EVAL[gate.op]([value(f) for f in gate.fanins])
+            values[uid] = out
+            return out
+
+        outputs = {name: value(uid)
+                   for name, uid in self.outputs.items()}
+        next_state = {uid: value(self.gates[uid].fanins[0])
+                      for uid, g in self.gates.items()
+                      if g.op is GateOp.FF}
+        return outputs, next_state
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, num_inputs: int = 8, num_gates: int = 60,
+               num_outputs: int = 4, seed: int = 0,
+               ff_probability: float = 0.0) -> "LogicNetwork":
+        """A random connected DAG for mapper stress/equivalence tests."""
+        rng = random.Random(seed)
+        net = cls(f"random{seed}")
+        pool = [net.add_input(f"i{k}") for k in range(num_inputs)]
+        for _ in range(num_gates):
+            if ff_probability and rng.random() < ff_probability:
+                pool.append(net.add_ff(rng.choice(pool)))
+                continue
+            op = rng.choice((GateOp.AND, GateOp.OR, GateOp.XOR,
+                             GateOp.NOT))
+            if op is GateOp.NOT:
+                pool.append(net.add_gate(op, rng.choice(pool)))
+            else:
+                k = rng.randint(2, 4)
+                pool.append(net.add_gate(
+                    op, *(rng.choice(pool) for _ in range(k))))
+        for k in range(num_outputs):
+            net.set_output(f"o{k}", pool[-1 - k])
+        return net

@@ -1,0 +1,83 @@
+"""Primitive cells of the netlist IR.
+
+After synthesis and technology mapping (Section 2.2), an application is a
+netlist of primitives: LUTs, flip-flops, DSP slices and BRAMs.  Placing
+hundreds of thousands of individual cells is what makes vendor P&R slow; the
+ViTAL partitioner never needs that granularity because its packing step
+(Section 4.1) immediately coarsens the netlist.  This model therefore also
+supports *macro* primitives -- clusters of cells with an aggregate resource
+vector -- which is the granularity our synthetic synthesis front-end emits.
+A macro of size one LUT is exactly a classic primitive, so nothing is lost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.fabric.resources import ResourceVector
+
+__all__ = ["PrimitiveType", "Primitive"]
+
+
+class PrimitiveType(enum.Enum):
+    """Cell families recognized by technology mapping."""
+
+    LUT = "lut"
+    FF = "ff"
+    DSP = "dsp"
+    BRAM = "bram"
+    MACRO = "macro"   # aggregate of cells, carries a resource vector
+    IOPAD = "iopad"   # external stream endpoint
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Resource vector of one classic (non-macro) primitive.
+UNIT_RESOURCES: dict[PrimitiveType, ResourceVector] = {
+    PrimitiveType.LUT: ResourceVector(lut=1),
+    PrimitiveType.FF: ResourceVector(dff=1),
+    PrimitiveType.DSP: ResourceVector(dsp=1),
+    PrimitiveType.BRAM: ResourceVector(bram_mb=0.036),  # one BRAM36
+    PrimitiveType.IOPAD: ResourceVector(),
+    PrimitiveType.MACRO: ResourceVector(),  # must be given explicitly
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Primitive:
+    """One node of the netlist.
+
+    Attributes:
+        uid: numeric id, unique within one netlist.
+        kind: primitive family.
+        name: hierarchical instance name (``pe_array/row3/mac7``).
+        resources: resources this node occupies; defaults to the family's
+            unit vector, and must be supplied for ``MACRO`` nodes.
+        module: top-level module the node belongs to (used by reporting and
+            by the generator's structure; the partitioner ignores it).
+    """
+
+    uid: int
+    kind: PrimitiveType
+    name: str = ""
+    resources: ResourceVector = field(default=ResourceVector.zero())
+    module: str = ""
+
+    @classmethod
+    def unit(cls, uid: int, kind: PrimitiveType, name: str = "",
+             module: str = "") -> "Primitive":
+        """A classic single-cell primitive with its unit resources."""
+        return cls(uid=uid, kind=kind, name=name,
+                   resources=UNIT_RESOURCES[kind], module=module)
+
+    @classmethod
+    def macro(cls, uid: int, resources: ResourceVector, name: str = "",
+              module: str = "") -> "Primitive":
+        """An aggregate node carrying an explicit resource vector."""
+        return cls(uid=uid, kind=PrimitiveType.MACRO, name=name,
+                   resources=resources, module=module)
+
+    def is_io(self) -> bool:
+        return self.kind is PrimitiveType.IOPAD

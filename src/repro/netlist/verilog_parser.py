@@ -1,0 +1,176 @@
+"""Structural Verilog import (the writer's inverse).
+
+Parses the structural subset :func:`repro.netlist.verilog.to_verilog`
+emits -- and that hand-written structural netlists in the same style use:
+one module; scalar/bus ``input``/``output``/``wire`` declarations;
+``assign`` aliases between pads and wires; and primitive instances
+(``LUT6``, ``FDRE``, ``DSP48E2``, ``RAMB36E2``, ``vital_macro`` with
+resource parameters).  The result is a
+:class:`~repro.netlist.netlist.Netlist`, so designs can leave and re-enter
+the stack through a standard interchange format.
+
+The grammar is deliberately strict: anything outside the subset raises
+:class:`VerilogParseError` with the offending line, rather than guessing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.fabric.resources import ResourceVector
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.primitives import PrimitiveType
+
+__all__ = ["VerilogParseError", "parse_verilog"]
+
+
+class VerilogParseError(ValueError):
+    """Input is outside the supported structural subset."""
+
+
+_CELL_KINDS = {
+    "LUT6": PrimitiveType.LUT,
+    "FDRE": PrimitiveType.FF,
+    "DSP48E2": PrimitiveType.DSP,
+    "RAMB36E2": PrimitiveType.BRAM,
+    "vital_macro": PrimitiveType.MACRO,
+}
+
+_MODULE_RE = re.compile(r"^module\s+(\\\S+\s|\w+)\s*\((.*)\)\s*;$")
+_DECL_RE = re.compile(
+    r"^(input|output|wire)\s*(\[(\d+):0\])?\s*(\\\S+\s|\w+)\s*;$")
+_ASSIGN_RE = re.compile(
+    r"^assign\s+(\\\S+\s|\w+)\s*=\s*(\\\S+\s|\w+)\s*;$")
+_INST_RE = re.compile(
+    r"^(\w+)\s*(#\((.*?)\))?\s*(\w+)\s*\((.*)\)\s*;$")
+_PARAM_RE = re.compile(r"\.(\w+)\((-?[\d.]+)\)")
+_CONN_RE = re.compile(r"\.(\w+)\(\s*(\\\S+\s|\w+)?\s*\)")
+
+
+def _clean(identifier: str) -> str:
+    identifier = identifier.strip()
+    if identifier.startswith("\\"):
+        return identifier[1:].rstrip()
+    return identifier
+
+
+def parse_verilog(text: str) -> Netlist:
+    """Parse one structural module into a netlist."""
+    lines = [ln.strip() for ln in text.splitlines()
+             if ln.strip() and not ln.strip().startswith("//")]
+    if not lines or not lines[0].startswith("module"):
+        raise VerilogParseError("expected a module declaration first")
+    header = _MODULE_RE.match(lines[0])
+    if not header:
+        raise VerilogParseError(f"bad module header: {lines[0]!r}")
+    netlist = Netlist(_clean(header.group(1)))
+
+    widths: dict[str, int] = {}
+    directions: dict[str, PortDirection] = {}
+    wire_driver: dict[str, int] = {}          # wire -> driver prim uid
+    wire_sinks: dict[str, list[int]] = {}     # wire -> sink prim uids
+    wire_widths: dict[str, int] = {}
+    aliases: list[tuple[str, str]] = []       # (lhs, rhs) assigns
+    instances: list[tuple[str, dict, list[str], list[str]]] = []
+
+    body = lines[1:]
+    if body and body[-1] == "endmodule":
+        body = body[:-1]
+    else:
+        raise VerilogParseError("missing endmodule")
+
+    for line in body:
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, _bus, msb, name = decl.groups()
+            name = _clean(name)
+            width = int(msb) + 1 if msb is not None else 1
+            widths[name] = width
+            if kind == "input":
+                directions[name] = PortDirection.INPUT
+            elif kind == "output":
+                directions[name] = PortDirection.OUTPUT
+            else:
+                wire_widths[name] = width
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            aliases.append((_clean(assign.group(1)),
+                            _clean(assign.group(2))))
+            continue
+        inst = _INST_RE.match(line)
+        if inst:
+            cell, _p, params_text, _name, conns_text = inst.groups()
+            if cell not in _CELL_KINDS:
+                raise VerilogParseError(f"unknown cell {cell!r}")
+            params = {k: float(v) for k, v in
+                      _PARAM_RE.findall(params_text or "")}
+            ins, outs = [], []
+            for pin, wire in _CONN_RE.findall(conns_text):
+                if pin == "clk" or wire is None or wire == "":
+                    continue
+                wire = _clean(wire)
+                if pin.startswith("i"):
+                    ins.append(wire)
+                elif pin.startswith("o"):
+                    outs.append(wire)
+                else:
+                    raise VerilogParseError(
+                        f"unsupported pin {pin!r} in {line!r}")
+            instances.append((cell, params, ins, outs))
+            continue
+        raise VerilogParseError(f"unsupported construct: {line!r}")
+
+    # ports (clk is implicit and dropped; it is not a dataflow net)
+    pad_of: dict[str, int] = {}
+    for name in (n for n in header.group(2).split(",")
+                 if _clean(n.strip()) != "clk"):
+        name = _clean(name.strip())
+        if name not in directions:
+            raise VerilogParseError(f"port {name!r} never declared")
+        port = netlist.add_port(name, directions[name],
+                                widths.get(name, 1))
+        pad_of[name] = port.primitive_uid
+
+    # instances become primitives
+    for cell, params, ins, outs in instances:
+        kind = _CELL_KINDS[cell]
+        if kind is PrimitiveType.MACRO:
+            res = ResourceVector(
+                lut=params.get("LUTS", 0.0),
+                dff=params.get("DFFS", 0.0),
+                dsp=params.get("DSPS", 0.0),
+                bram_mb=params.get("BRAM_KB", 0.0) / 1024.0)
+            uid = netlist.add_primitive(kind, resources=res)
+        else:
+            uid = netlist.add_primitive(kind)
+        for wire in ins:
+            wire_sinks.setdefault(wire, []).append(uid)
+        for wire in outs:
+            if wire in wire_driver:
+                raise VerilogParseError(
+                    f"wire {wire!r} driven twice")
+            wire_driver[wire] = uid
+
+    # assigns alias pads onto wires
+    for lhs, rhs in aliases:
+        if lhs in pad_of:         # assign out_pad = wire
+            wire_sinks.setdefault(rhs, []).append(pad_of[lhs])
+        elif rhs in pad_of:       # assign wire = in_pad
+            if lhs in wire_driver:
+                raise VerilogParseError(f"wire {lhs!r} driven twice")
+            wire_driver[lhs] = pad_of[rhs]
+        else:
+            raise VerilogParseError(
+                f"assign between two non-ports: {lhs} = {rhs}")
+
+    # materialize nets
+    for wire, driver in wire_driver.items():
+        sinks = wire_sinks.get(wire, [])
+        if not sinks:
+            continue  # dangling output wire: legal, just unconnected
+        netlist.add_net(driver, sinks,
+                        width_bits=wire_widths.get(wire, 1),
+                        name=wire)
+    netlist.validate()
+    return netlist

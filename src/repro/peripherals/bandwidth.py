@@ -1,0 +1,99 @@
+"""Max-min fair bandwidth arbitration for shared peripherals.
+
+The service region shares each board's DRAM interface among all resident
+physical blocks (Fig. 7, region 4).  When residents' aggregate demand
+exceeds the DIMM bandwidth, the arbiter allocates max-min fair shares:
+every tenant gets its full demand if possible; otherwise the scarce
+capacity is water-filled so no tenant that could use more is starved in
+favor of a larger one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BandwidthArbiter"]
+
+
+class BandwidthArbiter:
+    """Max-min fair allocator over one shared link."""
+
+    def __init__(self, capacity_gbps: float) -> None:
+        if capacity_gbps <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_gbps = capacity_gbps
+        self._demand: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, tenant: str, demand_gbps: float) -> None:
+        if demand_gbps < 0:
+            raise ValueError("demand cannot be negative")
+        if tenant in self._demand:
+            raise ValueError(f"tenant {tenant!r} already attached")
+        self._demand[tenant] = demand_gbps
+
+    def detach(self, tenant: str) -> None:
+        self._demand.pop(tenant, None)
+
+    def add_demand(self, tenant: str, demand_gbps: float) -> None:
+        """Accumulate demand (a tenant may hold several deployments)."""
+        if demand_gbps < 0:
+            raise ValueError("demand cannot be negative")
+        self._demand[tenant] = self._demand.get(tenant, 0.0) \
+            + demand_gbps
+
+    def remove_demand(self, tenant: str, demand_gbps: float) -> None:
+        """Subtract one deployment's demand; drops the tenant at zero."""
+        current = self._demand.get(tenant)
+        if current is None:
+            return
+        remaining = current - demand_gbps
+        if remaining <= 1e-9:
+            del self._demand[tenant]
+        else:
+            self._demand[tenant] = remaining
+
+    def tenants(self) -> list[str]:
+        return list(self._demand)
+
+    def total_demand(self) -> float:
+        return sum(self._demand.values())
+
+    # ------------------------------------------------------------------
+    def shares(self) -> dict[str, float]:
+        """Max-min fair share per tenant (water-filling)."""
+        remaining = dict(self._demand)
+        shares = {t: 0.0 for t in remaining}
+        capacity = self.capacity_gbps
+        while remaining and capacity > 1e-12:
+            level = capacity / len(remaining)
+            satisfied = {t: d for t, d in remaining.items()
+                         if d <= level}
+            if not satisfied:
+                for t in remaining:
+                    shares[t] += level
+                capacity = 0.0
+                break
+            for t, d in satisfied.items():
+                shares[t] += d
+                capacity -= d
+                del remaining[t]
+        return shares
+
+    def share_of(self, tenant: str) -> float:
+        return self.shares()[tenant]
+
+    def slowdown_of(self, tenant: str) -> float:
+        """How much longer the tenant's memory-bound phases take.
+
+        1.0 when the tenant receives its full demand; demand/share when
+        throttled.  Tenants with zero demand are never slowed.
+        """
+        demand = self._demand[tenant]
+        if demand == 0:
+            return 1.0
+        share = self.share_of(tenant)
+        if share <= 0:
+            return float("inf")
+        return max(1.0, demand / share)
+
+    def is_oversubscribed(self) -> bool:
+        return self.total_demand() > self.capacity_gbps + 1e-9

@@ -1,0 +1,156 @@
+"""Virtual memory over the on-board DRAM.
+
+Every tenant addresses DRAM through a private virtual address space
+starting at zero; the service region's translation unit maps it onto
+physical segments and faults on anything outside the tenant's allocation.
+Segments are allocated first-fit over the physical space with no overlap
+-- the isolation property the tests assert -- and freed wholesale when the
+tenant leaves (no per-page reclamation is needed for accelerator-style
+workloads, which allocate at deploy time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtectionError", "MemorySegment", "VirtualMemory"]
+
+#: Allocation granularity: 2 MB superpages, typical for FPGA shells.
+PAGE_BYTES = 2 << 20
+
+
+class ProtectionError(RuntimeError):
+    """A tenant touched memory outside its allocation."""
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySegment:
+    """A contiguous physical range owned by one tenant."""
+
+    tenant: str
+    virt_base: int
+    phys_base: int
+    length: int
+
+    @property
+    def virt_end(self) -> int:
+        return self.virt_base + self.length
+
+    @property
+    def phys_end(self) -> int:
+        return self.phys_base + self.length
+
+    def contains_virt(self, vaddr: int) -> bool:
+        return self.virt_base <= vaddr < self.virt_end
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+class VirtualMemory:
+    """Per-board translation unit with first-fit physical allocation."""
+
+    def __init__(self, capacity_bytes: int,
+                 page_bytes: int = PAGE_BYTES) -> None:
+        if capacity_bytes < page_bytes:
+            raise ValueError("capacity smaller than one page")
+        self.capacity_bytes = capacity_bytes
+        self.page_bytes = page_bytes
+        self._segments: dict[str, list[MemorySegment]] = {}
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, tenant: str, size_bytes: int) -> MemorySegment:
+        """Give ``tenant`` a fresh segment of at least ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ValueError("allocation must be positive")
+        length = _round_up(size_bytes, self.page_bytes)
+        phys_base = self._find_gap(length)
+        if phys_base is None:
+            raise MemoryError(
+                f"DRAM exhausted: {length} bytes requested, "
+                f"{self.free_bytes()} contiguous-free not available")
+        virt_base = sum(s.length for s in self._segments.get(tenant, []))
+        segment = MemorySegment(tenant=tenant, virt_base=virt_base,
+                                phys_base=phys_base, length=length)
+        self._segments.setdefault(tenant, []).append(segment)
+        return segment
+
+    def release(self, tenant: str) -> None:
+        """Free everything the tenant owns (idempotent)."""
+        self._segments.pop(tenant, None)
+
+    def release_segment(self, segment: MemorySegment) -> None:
+        """Free one specific segment (a tenant with several deployments
+        keeps the others); idempotent."""
+        owned = self._segments.get(segment.tenant)
+        if not owned:
+            return
+        remaining = [s for s in owned if s != segment]
+        if remaining:
+            self._segments[segment.tenant] = remaining
+        else:
+            del self._segments[segment.tenant]
+
+    # ------------------------------------------------------------------
+    # translation / protection
+    # ------------------------------------------------------------------
+    def translate(self, tenant: str, vaddr: int) -> int:
+        """Virtual -> physical; raises :class:`ProtectionError` on any
+        access outside the tenant's segments."""
+        for segment in self._segments.get(tenant, ()):
+            if segment.contains_virt(vaddr):
+                return segment.phys_base + (vaddr - segment.virt_base)
+        raise ProtectionError(
+            f"tenant {tenant!r}: fault at virtual address {vaddr:#x}")
+
+    def owner_of_physical(self, paddr: int) -> str | None:
+        for tenant, segments in self._segments.items():
+            for segment in segments:
+                if segment.phys_base <= paddr < segment.phys_end:
+                    return tenant
+        return None
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def segments_of(self, tenant: str) -> list[MemorySegment]:
+        return list(self._segments.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        return list(self._segments)
+
+    def used_bytes(self) -> int:
+        return sum(s.length for segs in self._segments.values()
+                   for s in segs)
+
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes()
+
+    def check_isolation(self) -> None:
+        """Assert no two segments overlap physically (defense in depth)."""
+        spans = sorted(
+            (s.phys_base, s.phys_end, s.tenant)
+            for segs in self._segments.values() for s in segs)
+        for (a_start, a_end, a_t), (b_start, _b_end, b_t) in zip(
+                spans, spans[1:]):
+            if b_start < a_end:
+                raise ProtectionError(
+                    f"segments of {a_t!r} and {b_t!r} overlap "
+                    f"at {b_start:#x}")
+
+    # ------------------------------------------------------------------
+    def _find_gap(self, length: int) -> int | None:
+        """First-fit search for a free physical range."""
+        spans = sorted((s.phys_base, s.phys_end)
+                       for segs in self._segments.values() for s in segs)
+        cursor = 0
+        for start, end in spans:
+            if start - cursor >= length:
+                return cursor
+            cursor = max(cursor, end)
+        if self.capacity_bytes - cursor >= length:
+            return cursor
+        return None

@@ -1,0 +1,85 @@
+"""Virtualized Ethernet.
+
+The abstract gives "on-board DRAM and Ethernet" as the peripherals ViTAL
+virtualizes.  The model is an SR-IOV-style NIC: tenants get virtual ports
+with weighted shares of the physical port's bandwidth, traffic is
+accounted per port, and a tenant can never observe (or exhaust) another
+tenant's traffic -- the isolation property the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VirtualPort", "VirtualNIC"]
+
+
+@dataclass(slots=True)
+class VirtualPort:
+    """One tenant's slice of the physical port."""
+
+    tenant: str
+    weight: float
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    _frames: list[bytes] = field(default_factory=list, repr=False)
+
+    def deliver(self, frame: bytes) -> None:
+        self._frames.append(frame)
+        self.rx_bytes += len(frame)
+
+    def drain(self) -> list[bytes]:
+        frames, self._frames = self._frames, []
+        return frames
+
+
+class VirtualNIC:
+    """Weighted-share multiplexer over one physical Ethernet port."""
+
+    def __init__(self, port_bandwidth_gbps: float = 100.0) -> None:
+        self.port_bandwidth_gbps = port_bandwidth_gbps
+        self._ports: dict[str, VirtualPort] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, tenant: str, weight: float = 1.0) -> VirtualPort:
+        if tenant in self._ports:
+            raise ValueError(f"tenant {tenant!r} already attached")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        port = VirtualPort(tenant=tenant, weight=weight)
+        self._ports[tenant] = port
+        return port
+
+    def detach(self, tenant: str) -> None:
+        self._ports.pop(tenant, None)
+
+    def port_of(self, tenant: str) -> VirtualPort:
+        return self._ports[tenant]
+
+    def tenants(self) -> list[str]:
+        return list(self._ports)
+
+    # ------------------------------------------------------------------
+    def bandwidth_share_gbps(self, tenant: str) -> float:
+        """The tenant's weighted fair share of the physical port."""
+        port = self._ports[tenant]
+        total = sum(p.weight for p in self._ports.values())
+        return self.port_bandwidth_gbps * port.weight / total
+
+    def send(self, tenant: str, dst_tenant: str, frame: bytes) -> None:
+        """Tenant-to-tenant frame delivery through the switch.
+
+        Unknown destinations are dropped (counted on the sender), never
+        misdelivered -- a tenant cannot address another tenant's traffic
+        except through an attached port.
+        """
+        src = self._ports[tenant]   # KeyError = not attached, a real bug
+        src.tx_bytes += len(frame)
+        dst = self._ports.get(dst_tenant)
+        if dst is not None:
+            dst.deliver(frame)
+
+    def transfer_time_s(self, tenant: str, nbytes: int) -> float:
+        """Time to move ``nbytes`` at the tenant's current share."""
+        share = self.bandwidth_share_gbps(tenant)
+        return nbytes * 8 / (share * 1e9)

@@ -1,0 +1,66 @@
+"""The access monitor of the service region.
+
+Section 3.2: "The memory access from applications are monitored to ensure
+a secure execution environment."  The monitor wraps a
+:class:`~repro.peripherals.dram.VirtualMemory`, audits every access, and
+keeps an immutable record of faults so operators (and the isolation tests)
+can verify that no tenant ever reached another tenant's memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.peripherals.dram import ProtectionError, VirtualMemory
+
+__all__ = ["AccessRecord", "AccessMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One audited access."""
+
+    tenant: str
+    vaddr: int
+    paddr: int | None
+    is_write: bool
+    faulted: bool
+
+
+class AccessMonitor:
+    """Audit layer between user logic and the DRAM translation unit."""
+
+    def __init__(self, memory: VirtualMemory,
+                 record_successes: bool = False) -> None:
+        self.memory = memory
+        self.record_successes = record_successes
+        self.records: list[AccessRecord] = []
+        self.access_count = 0
+        self.fault_count = 0
+
+    def access(self, tenant: str, vaddr: int,
+               is_write: bool = False) -> int:
+        """Translate one access; faults are recorded and re-raised."""
+        self.access_count += 1
+        try:
+            paddr = self.memory.translate(tenant, vaddr)
+        except ProtectionError:
+            self.fault_count += 1
+            self.records.append(AccessRecord(
+                tenant=tenant, vaddr=vaddr, paddr=None,
+                is_write=is_write, faulted=True))
+            raise
+        if self.record_successes:
+            self.records.append(AccessRecord(
+                tenant=tenant, vaddr=vaddr, paddr=paddr,
+                is_write=is_write, faulted=False))
+        return paddr
+
+    def faults_of(self, tenant: str) -> list[AccessRecord]:
+        return [r for r in self.records if r.faulted
+                and r.tenant == tenant]
+
+    def fault_rate(self) -> float:
+        if self.access_count == 0:
+            return 0.0
+        return self.fault_count / self.access_count

@@ -1,0 +1,45 @@
+"""System Layer: runtime resource management (Section 3.4).
+
+The system controller maintains a resource database (state of every
+physical block in the cluster) and a bitstream database (compiled
+applications), deploys applications through partial reconfiguration, and
+allocates blocks with a communication-aware, multi-round policy that
+prefers fewer, closer FPGAs.  Isolation is structural: a physical block is
+never shared between applications, and peripheral access goes through the
+virtualized, monitored paths.
+
+- :mod:`repro.runtime.types` -- placements and deployments;
+- :mod:`repro.runtime.resource_db` -- block states;
+- :mod:`repro.runtime.bitstream_db` -- compiled application store;
+- :mod:`repro.runtime.policy` -- allocation policies (communication-aware
+  plus ablation alternatives);
+- :mod:`repro.runtime.controller` -- the system controller and its APIs;
+- :mod:`repro.runtime.isolation` -- isolation invariant checks.
+"""
+
+from repro.runtime.types import BlockAddress, Placement, Deployment
+from repro.runtime.resource_db import BlockState, ResourceDB
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.policy import (
+    AllocationPolicy,
+    CommunicationAwarePolicy,
+    FirstFitPolicy,
+    SpreadPolicy,
+)
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+
+__all__ = [
+    "BlockAddress",
+    "Placement",
+    "Deployment",
+    "BlockState",
+    "ResourceDB",
+    "BitstreamDB",
+    "AllocationPolicy",
+    "CommunicationAwarePolicy",
+    "FirstFitPolicy",
+    "SpreadPolicy",
+    "SystemController",
+    "verify_isolation",
+]

@@ -1,0 +1,49 @@
+"""The bitstream database (Section 3.4, Fig. 6).
+
+"...and a bitstream database to store the mapping results of user
+applications."  Keys are application names; values the
+:class:`~repro.compiler.bitstream.CompiledApp` artifacts of the
+compilation flow.  The database refuses artifacts whose footprint differs
+from the cluster's -- a compiled image for a different block geometry can
+never be deployed, and catching that at registration keeps deploy-time
+errors out of the hot path.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.bitstream import CompiledApp
+
+__all__ = ["BitstreamDB"]
+
+
+class BitstreamDB:
+    """Compiled-application store keyed by application name."""
+
+    def __init__(self, footprint: str) -> None:
+        self.footprint = footprint
+        self._apps: dict[str, CompiledApp] = {}
+
+    def register(self, app: CompiledApp) -> None:
+        app.validate()
+        if app.footprint != self.footprint:
+            raise ValueError(
+                f"{app.name}: compiled for footprint {app.footprint!r}, "
+                f"cluster uses {self.footprint!r} -- recompile required")
+        self._apps[app.name] = app
+
+    def lookup(self, name: str) -> CompiledApp:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise KeyError(
+                f"no bitstream for {name!r}; offline compilation must run "
+                "before deployment") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._apps
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def names(self) -> list[str]:
+        return sorted(self._apps)

@@ -1,0 +1,417 @@
+"""The system controller (Section 3.4, Fig. 6).
+
+Deployment path: the high-level system (hypervisor, or our simulator)
+requests an application by name; the controller finds its images in the
+bitstream database, asks the policy for physical blocks, relocates each
+virtual-block image onto its assigned physical block (step 5 of the
+compilation flow, at runtime), programs the blocks through partial
+reconfiguration, and sets up the virtualized peripherals.  Release undoes
+all of it.
+
+The controller also owns the deployment-time performance model: an
+application kept on one FPGA runs at its nominal service time; one that
+spans boards pays a (usually negligible) serialization slowdown on its
+cross-ring channels plus a pipeline-fill latency -- the quantities behind
+the paper's "<0.03% latency overhead" observation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import FPGACluster
+from repro.compiler.bitstream import CompiledApp
+from repro.compiler.relocation import Relocator
+from repro.interconnect.links import LINKS, LinkClass
+from repro.peripherals.bandwidth import BandwidthArbiter
+from repro.peripherals.dram import VirtualMemory
+from repro.runtime.audit import AuditEvent, AuditLog
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.policy import AllocationPolicy, CommunicationAwarePolicy
+from repro.runtime.resource_db import ResourceDB
+from repro.runtime.types import Deployment, Placement
+
+__all__ = ["SystemController"]
+
+#: Cycles of compute between consecutive inter-block beats: DNN
+#: accelerators are compute-bound, touching their neighbors every few
+#: hundred cycles, which is why crossing the ring rarely slows them down.
+COMPUTE_CYCLES_PER_BEAT = 128.0
+#: DRAM a deployed application maps per virtual block (weight shards).
+DRAM_BYTES_PER_BLOCK = 2 << 30
+#: Streaming DRAM bandwidth a resident virtual block demands (activation
+#: traffic; weights live in BRAM).  15 fully loaded blocks approach the
+#: two-DIMM bandwidth of a board, so packed boards contend mildly.
+DRAM_DEMAND_GBPS_PER_BLOCK = 18.0
+
+
+@dataclass(slots=True)
+class _ServiceModel:
+    service_time_s: float
+    comm_slowdown: float
+    latency_overhead_s: float
+
+
+class SystemController:
+    """Runtime manager of one FPGA cluster."""
+
+    name = "vital"
+    _instance_counter = itertools.count()
+
+    def __init__(self, cluster: FPGACluster,
+                 policy: AllocationPolicy | None = None,
+                 model_dram_contention: bool = False) -> None:
+        self.cluster = cluster
+        self.policy = policy or CommunicationAwarePolicy()
+        self.resource_db = ResourceDB(cluster)
+        # heterogeneous subclasses replace this with per-footprint
+        # databases; any one group's footprint seeds the default DB
+        self.bitstream_db = BitstreamDB(
+            next(iter(cluster.footprints())))
+        self.relocator = Relocator()
+        self.memories = {
+            board.board_id: VirtualMemory(board.dram_capacity_bytes)
+            for board in cluster.boards}
+        self.model_dram_contention = model_dram_contention
+        self.dram_arbiters = {
+            board.board_id: BandwidthArbiter(
+                sum(d.bandwidth_gbps for d in board.dimms))
+            for board in cluster.boards}
+        # each board has one configuration port (ICAP); simultaneous
+        # deployments targeting the same board queue behind it
+        self._config_port_free_at = {
+            board.board_id: 0.0 for board in cluster.boards}
+        self._instance_id = next(SystemController._instance_counter)
+        self.audit = AuditLog()
+        #: tenant name -> maximum physical blocks it may hold at once
+        self.quotas: dict[str, int] = {}
+        #: request id -> DRAM segments held (a tenant may run several
+        #: deployments; releases must free exactly this deployment's)
+        self._segments_of: dict[int, list] = {}
+        self.deployments: dict[int, Deployment] = {}
+
+    # ------------------------------------------------------------------
+    # public API (what the hypervisor calls)
+    # ------------------------------------------------------------------
+    def register(self, app: CompiledApp) -> None:
+        """Add a compiled application to the bitstream database."""
+        self.bitstream_db.register(app)
+
+    def try_deploy(self, app: CompiledApp, request_id: int, now: float,
+                   tenant: str | None = None) -> Deployment | None:
+        """Deploy if resources allow; ``None`` means "wait and retry"."""
+        self._register_if_needed(app)
+        tenant = tenant or f"tenant-{request_id}"
+
+        if not self._within_quota(tenant, app.num_blocks):
+            self.audit.record(now, AuditEvent.REJECT, request_id,
+                              tenant, app=app.name,
+                              reason="quota-exceeded")
+            return None
+
+        placement = self.policy.allocate(
+            app, self._allocatable_blocks(app), self.cluster.network)
+        if placement is None:
+            self.audit.record(now, AuditEvent.REJECT, request_id,
+                              tenant, app=app.name,
+                              reason="no-free-blocks")
+            return None
+        return self._finalize_deploy(app, request_id, now, tenant,
+                                     placement)
+
+    def _register_if_needed(self, app: CompiledApp) -> None:
+        if app.name not in self.bitstream_db:
+            self.bitstream_db.register(app)
+
+    # ------------------------------------------------------------------
+    # warm restart
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """State needed to rebuild this controller after a restart.
+
+        The FPGAs keep running through a controller restart (the fabric
+        doesn't know the software died); the snapshot records which
+        request holds which blocks so a new controller can resume
+        managing them.  Compiled artifacts come from the (persisted)
+        bitstream database, not the snapshot.
+        """
+        return {
+            "quotas": dict(self.quotas),
+            "deployments": [
+                {
+                    "request_id": d.request_id,
+                    "app": d.app.name,
+                    "tenant": d.tenant,
+                    "mapping": {str(vb): list(addr) for vb, addr
+                                in d.placement.mapping.items()},
+                    "deployed_at": d.deployed_at,
+                    "reconfig_time_s": d.reconfig_time_s,
+                    "service_time_s": d.service_time_s,
+                }
+                for d in self.deployments.values()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, cluster: FPGACluster, snapshot: dict,
+                bitstream_db, policy: AllocationPolicy | None = None,
+                ) -> "SystemController":
+        """Rebuild a controller over hardware that kept running.
+
+        Re-allocates every snapshotted deployment's blocks, re-maps its
+        DRAM and demand, and re-registers its ring flows -- then
+        re-verifies that nothing overlaps (a corrupt snapshot fails
+        loudly instead of silently double-booking silicon).
+        """
+        controller = cls(cluster, policy=policy)
+        controller.quotas = dict(snapshot.get("quotas", {}))
+        for entry in snapshot["deployments"]:
+            app = bitstream_db.lookup(entry["app"])
+            placement = Placement(mapping={
+                int(vb): tuple(addr)
+                for vb, addr in entry["mapping"].items()})
+            placement.validate(app.num_blocks)
+            controller.resource_db.allocate(entry["request_id"],
+                                            placement.addresses)
+            segments = controller._map_memory(entry["tenant"],
+                                              placement)
+            controller._segments_of[entry["request_id"]] = segments
+            controller._attach_dram_demand(entry["tenant"], placement)
+            if placement.spans_boards:
+                cluster.network.register_flow(
+                    controller._flow_key(entry["request_id"]),
+                    placement.boards)
+            controller.deployments[entry["request_id"]] = Deployment(
+                request_id=entry["request_id"],
+                app=app,
+                tenant=entry["tenant"],
+                placement=placement,
+                deployed_at=entry["deployed_at"],
+                reconfig_time_s=entry["reconfig_time_s"],
+                service_time_s=entry["service_time_s"],
+            )
+        return controller
+
+    def set_quota(self, tenant: str, max_blocks: int) -> None:
+        """Cap the physical blocks ``tenant`` may hold concurrently.
+
+        A quota of zero locks the tenant out entirely; removing a quota
+        (``remove_quota``) restores unlimited admission.  Quotas only
+        gate *new* deployments -- running ones are never evicted.
+        """
+        if max_blocks < 0:
+            raise ValueError("quota cannot be negative")
+        self.quotas[tenant] = max_blocks
+
+    def remove_quota(self, tenant: str) -> None:
+        self.quotas.pop(tenant, None)
+
+    def blocks_held_by(self, tenant: str) -> int:
+        return sum(d.num_blocks for d in self.deployments.values()
+                   if d.tenant == tenant)
+
+    def _within_quota(self, tenant: str, new_blocks: int) -> bool:
+        quota = self.quotas.get(tenant)
+        if quota is None:
+            return True
+        return self.blocks_held_by(tenant) + new_blocks <= quota
+
+    def _flow_key(self, request_id: int) -> tuple[int, int]:
+        """Ring flows are keyed per controller instance: several
+        controllers (tests, manager comparisons) may share one cluster,
+        and their request-id spaces overlap.  A monotonic instance id is
+        used rather than ``id(self)``, which CPython reuses after GC."""
+        return (self._instance_id, request_id)
+
+    def _allocatable_blocks(self, app: CompiledApp,
+                            ) -> dict[int, list[int]]:
+        """Free blocks the policy may use for ``app``; subclasses narrow
+        this (e.g. to footprint-compatible boards)."""
+        return self.resource_db.free_by_board()
+
+    def _finalize_deploy(self, app: CompiledApp, request_id: int,
+                         now: float, tenant: str,
+                         placement: Placement) -> Deployment | None:
+        # runtime relocation: bind every image to its physical block
+        for vb, address in placement.mapping.items():
+            block = self.cluster.block_at(address)
+            self.relocator.relocate(app.images[vb], block)
+
+        self.resource_db.allocate(request_id, placement.addresses)
+        try:
+            segments = self._map_memory(tenant, placement)
+        except MemoryError:
+            # roll back so a transient DRAM shortage cannot leak blocks;
+            # the request simply waits like any other resource shortage
+            self.resource_db.release(request_id)
+            self.audit.record(now, AuditEvent.REJECT, request_id,
+                              tenant, app=app.name,
+                              reason="dram-exhausted")
+            return None
+        self._segments_of[request_id] = segments
+
+        reconfig = self._reconfig_time(app, placement, now)
+        self._attach_dram_demand(tenant, placement)
+        # model first (contention_factor counts the prospective flow),
+        # then register the flow so later arrivals see it
+        model = self._service_model(app, placement)
+        if placement.spans_boards:
+            self.cluster.network.register_flow(
+                self._flow_key(request_id), placement.boards)
+        deployment = Deployment(
+            request_id=request_id,
+            app=app,
+            tenant=tenant,
+            placement=placement,
+            deployed_at=now,
+            reconfig_time_s=reconfig,
+            service_time_s=model.service_time_s,
+            comm_slowdown=model.comm_slowdown,
+            latency_overhead_s=model.latency_overhead_s,
+        )
+        self.deployments[request_id] = deployment
+        self.audit.record(
+            now, AuditEvent.DEPLOY, request_id, tenant,
+            app=app.name, boards=placement.boards,
+            blocks=len(placement.mapping),
+            spans=placement.spans_boards,
+            reconfig_s=round(reconfig, 6))
+        return deployment
+
+    def release(self, deployment: Deployment, now: float = 0.0) -> None:
+        """Tear one deployment down and free its resources."""
+        if deployment.request_id not in self.deployments:
+            raise RuntimeError(
+                f"request {deployment.request_id} is not deployed")
+        self.audit.record(now, AuditEvent.RELEASE,
+                          deployment.request_id, deployment.tenant,
+                          app=deployment.app.name)
+        self.resource_db.release(deployment.request_id)
+        self.cluster.network.release_flow(
+            self._flow_key(deployment.request_id))
+        self._release_memory(deployment.request_id)
+        self._detach_dram_demand(deployment.tenant,
+                                 deployment.placement)
+        del self.deployments[deployment.request_id]
+
+    # ------------------------------------------------------------------
+    # status APIs
+    # ------------------------------------------------------------------
+    def busy_blocks(self) -> int:
+        return self.resource_db.allocated_count()
+
+    def capacity_blocks(self) -> int:
+        return self.resource_db.total_blocks
+
+    def running(self) -> list[Deployment]:
+        return list(self.deployments.values())
+
+    def utilization(self) -> float:
+        return self.resource_db.utilization()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _map_memory(self, tenant: str, placement: Placement) -> list:
+        """Allocate this deployment's DRAM segments atomically.
+
+        On failure, segments already granted are rolled back before the
+        MemoryError propagates, so a half-mapped deployment never leaks.
+        Returns the granted segments (with their boards) for the
+        deployment-scoped release path.
+        """
+        granted: list[tuple[int, object]] = []
+        try:
+            for board in placement.boards:
+                blocks_here = len(placement.blocks_on(board))
+                segment = self.memories[board].allocate(
+                    tenant, blocks_here * DRAM_BYTES_PER_BLOCK)
+                granted.append((board, segment))
+        except MemoryError:
+            for board, segment in granted:
+                self.memories[board].release_segment(segment)
+            raise
+        return granted
+
+    def _release_memory(self, request_id: int) -> None:
+        for board, segment in self._segments_of.pop(request_id, ()):
+            self.memories[board].release_segment(segment)
+
+    def _attach_dram_demand(self, tenant: str,
+                            placement: Placement) -> None:
+        for board in placement.boards:
+            blocks_here = len(placement.blocks_on(board))
+            self.dram_arbiters[board].add_demand(
+                tenant, blocks_here * DRAM_DEMAND_GBPS_PER_BLOCK)
+
+    def _detach_dram_demand(self, tenant: str,
+                            placement: Placement) -> None:
+        for board in placement.boards:
+            blocks_here = len(placement.blocks_on(board))
+            self.dram_arbiters[board].remove_demand(
+                tenant, blocks_here * DRAM_DEMAND_GBPS_PER_BLOCK)
+
+    def _reconfig_time(self, app: CompiledApp, placement: Placement,
+                       now: float = 0.0) -> float:
+        """Time until all of the placement's blocks are programmed.
+
+        Boards program in parallel, blocks on one board sequentially
+        through the board's single configuration port -- behind any
+        reconfiguration that port is already busy with.
+        """
+        reconfigurer = self.cluster.reconfigurer
+        finish = now
+        for board in placement.boards:
+            duration = reconfigurer.partial_time_for_blocks(
+                app.images[0].size_mb, len(placement.blocks_on(board)))
+            start = max(now, self._config_port_free_at[board])
+            self._config_port_free_at[board] = start + duration
+            finish = max(finish, start + duration)
+        return finish - now
+
+    def _service_model(self, app: CompiledApp,
+                       placement: Placement) -> _ServiceModel:
+        base = app.service_time_s()
+        mem_slowdown = self._dram_slowdown(placement)
+        if not placement.spans_boards:
+            service = base * mem_slowdown
+            return _ServiceModel(service_time_s=service,
+                                 comm_slowdown=1.0,
+                                 latency_overhead_s=service - base)
+        ring = LINKS[LinkClass.INTER_FPGA]
+        network = self.cluster.network
+        # co-resident spanning flows contend for the busiest shared ring
+        # segment; the flow for this deployment is already registered
+        contention = max(1, network.contention_factor(placement.boards))
+        effective_bits = ring.bits_per_cycle / contention
+        worst_ser = 0.0
+        max_hops = 0
+        for (src, dst), bits in app.flows.items():
+            board_a = placement.board_of(src)
+            board_b = placement.board_of(dst)
+            if board_a == board_b:
+                continue
+            worst_ser = max(worst_ser, bits / effective_bits)
+            max_hops = max(max_hops, network.distance(board_a, board_b))
+        slowdown = max(1.0, worst_ser / COMPUTE_CYCLES_PER_BEAT) \
+            * mem_slowdown
+        # pipeline fill/drain across the ring, once per job
+        latency = 2 * max_hops * network.hop_latency_us * 1e-6
+        return _ServiceModel(
+            service_time_s=base * slowdown + latency,
+            comm_slowdown=slowdown,
+            latency_overhead_s=base * (slowdown - 1.0) + latency,
+        )
+
+    def _dram_slowdown(self, placement: Placement) -> float:
+        """Memory-contention slowdown at admission (optional model)."""
+        if not self.model_dram_contention:
+            return 1.0
+        worst = 1.0
+        for board in placement.boards:
+            arbiter = self.dram_arbiters[board]
+            demand = arbiter.total_demand()
+            if demand > arbiter.capacity_gbps:
+                worst = max(worst, demand / arbiter.capacity_gbps)
+        return worst

@@ -1,0 +1,175 @@
+"""Live defragmentation through runtime relocation.
+
+Section 3.4 closes with "further exploration on more comprehensive runtime
+policy will be our future work"; the relocation primitive (compilation
+step 5) makes one obvious extension possible.  The communication-aware
+policy already *tolerates* fragmentation by spanning boards, but spanning
+consumes ring bandwidth and inter-FPGA channels.  Because every physical
+block accepts every image, a fragmented cluster can instead be
+*consolidated*: migrate small running deployments off one board until the
+incoming application fits there whole.
+
+Each migrated deployment pays one partial reconfiguration per moved block
+plus the relocation rewrite (returned as ``corunner_penalties`` so the
+simulator charges the pause), which is why the planner moves as little as
+possible and gives up beyond ``max_moved_blocks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import FPGACluster
+from repro.runtime.audit import AuditEvent
+from repro.compiler.bitstream import CompiledApp
+from repro.runtime.controller import SystemController
+from repro.runtime.policy import AllocationPolicy
+from repro.runtime.types import Deployment
+
+__all__ = ["MigrationPlan", "DefragmentingController"]
+
+
+@dataclass(slots=True)
+class MigrationPlan:
+    """Deployments to move so ``target_board`` gains enough free blocks."""
+
+    target_board: int
+    needed_blocks: int
+    moves: list[Deployment] = field(default_factory=list)
+
+    @property
+    def moved_blocks(self) -> int:
+        return sum(d.num_blocks for d in self.moves)
+
+
+class DefragmentingController(SystemController):
+    """A system controller that consolidates before spanning.
+
+    ``try_deploy`` probes the normal communication-aware placement; when
+    the probe would span boards, the controller looks for a cheap
+    consolidation (migrating whole single-board deployments off one
+    board), executes it, and places the request on a single board.  If no
+    cheap-enough plan exists it falls back to the spanning placement --
+    behavior is never worse than the base controller's.
+    """
+
+    name = "vital-defrag"
+
+    def __init__(self, cluster: FPGACluster,
+                 policy: AllocationPolicy | None = None,
+                 max_moved_blocks: int = 8) -> None:
+        super().__init__(cluster, policy=policy)
+        self.max_moved_blocks = max_moved_blocks
+        self.migrations_performed = 0
+
+    # ------------------------------------------------------------------
+    def try_deploy(self, app: CompiledApp, request_id: int, now: float,
+                   tenant: str | None = None) -> Deployment | None:
+        probe = self.policy.allocate(
+            app, self.resource_db.free_by_board(), self.cluster.network)
+        penalties: dict[int, float] = {}
+        if probe is not None and probe.spans_boards:
+            plan = self.plan_migration(app)
+            if plan is not None:
+                penalties = self.execute_migration(plan, now)
+        deployment = super().try_deploy(app, request_id, now,
+                                        tenant=tenant)
+        if deployment is not None and penalties:
+            deployment.corunner_penalties.update(penalties)
+        return deployment
+
+    # ------------------------------------------------------------------
+    def plan_migration(self, app: CompiledApp) -> MigrationPlan | None:
+        """Cheapest set of whole-deployment moves that frees enough
+        blocks on one board, or ``None`` when none clears a board within
+        ``max_moved_blocks``."""
+        needed = app.num_blocks
+        free = {b: len(v)
+                for b, v in self.resource_db.free_by_board().items()}
+        total_free = sum(free.values())
+        if total_free < needed:
+            return None  # not fragmentation -- genuinely out of space
+
+        best: MigrationPlan | None = None
+        for board in sorted(free, key=lambda b: -free[b]):
+            deficit = needed - free[board]
+            if deficit <= 0:
+                continue  # this board already fits the app
+            # donors: single-board deployments on this board, smallest
+            # first, that fit in OTHER boards' free space
+            movable = sorted(
+                (d for d in self.deployments.values()
+                 if d.placement.boards == [board]),
+                key=lambda d: d.num_blocks)
+            other_free = total_free - free[board]
+            plan = MigrationPlan(target_board=board,
+                                 needed_blocks=needed)
+            freed = 0
+            for deployment in movable:
+                if freed >= deficit:
+                    break
+                if deployment.num_blocks > other_free:
+                    continue
+                plan.moves.append(deployment)
+                freed += deployment.num_blocks
+                other_free -= deployment.num_blocks
+            if freed < deficit \
+                    or plan.moved_blocks > self.max_moved_blocks:
+                continue
+            if best is None or plan.moved_blocks < best.moved_blocks:
+                best = plan
+        return best
+
+    def execute_migration(self, plan: MigrationPlan,
+                          now: float) -> dict[int, float]:
+        """Move each planned deployment off the target board.
+
+        Returns per-request pause penalties.  A move that can no longer
+        be placed (space raced away) is skipped; the caller's subsequent
+        placement attempt simply sees less consolidation.
+        """
+        penalties: dict[int, float] = {}
+        for deployment in plan.moves:
+            free = self.resource_db.free_by_board()
+            free.pop(plan.target_board, None)
+            new_placement = self.policy.allocate(
+                deployment.app, free, self.cluster.network)
+            if new_placement is None:
+                continue
+            rewrite_s = 0.0
+            for vb, address in new_placement.mapping.items():
+                bound = self.relocator.relocate(
+                    deployment.app.images[vb],
+                    self.cluster.block_at(address))
+                rewrite_s += bound.rewrite_time_s
+            self.resource_db.release(deployment.request_id)
+            self.resource_db.allocate(deployment.request_id,
+                                      new_placement.addresses)
+            # memory and bandwidth follow the deployment
+            self._release_memory(deployment.request_id)
+            self._detach_dram_demand(deployment.tenant,
+                                     deployment.placement)
+            self.cluster.network.release_flow(
+                self._flow_key(deployment.request_id))
+            deployment.placement = new_placement
+            self._segments_of[deployment.request_id] = \
+                self._map_memory(deployment.tenant, new_placement)
+            self._attach_dram_demand(deployment.tenant, new_placement)
+            if new_placement.spans_boards:
+                self.cluster.network.register_flow(
+                    self._flow_key(deployment.request_id),
+                    new_placement.boards)
+            pause = rewrite_s \
+                + self.cluster.reconfigurer.partial_time_for_blocks(
+                    deployment.app.images[0].size_mb,
+                    len(new_placement.mapping))
+            penalties[deployment.request_id] = penalties.get(
+                deployment.request_id, 0.0) + pause
+            self.migrations_performed += 1
+            self.audit.record(now, AuditEvent.MIGRATE,
+                              deployment.request_id,
+                              deployment.tenant,
+                              app=deployment.app.name,
+                              to_boards=new_placement.boards,
+                              pause_s=round(pause, 6))
+        return penalties

@@ -1,0 +1,164 @@
+"""Heterogeneous-cluster management (the Section 7 extension).
+
+"ViTAL can be extended to virtualize a heterogeneous FPGA cluster
+comprising different types of FPGAs."  The extension is natural under the
+abstraction: each device type yields its own physical-block footprint, so
+the cluster decomposes into footprint groups; an application is compiled
+once *per footprint* (still independent of location within the group),
+and the runtime places it on whichever group has room.
+
+``HeterogeneousStack`` wraps the compile-per-footprint bookkeeping;
+``HeterogeneousController`` restricts each placement to boards whose
+footprint matches the artifact being deployed, reusing the base
+controller's relocation/reconfiguration/memory path unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import FPGACluster
+from repro.compiler.bitstream import CompiledApp
+from repro.compiler.flow import CompilationFlow
+from repro.hls.kernels import KernelSpec
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.controller import SystemController
+from repro.runtime.policy import AllocationPolicy
+from repro.runtime.types import Deployment
+
+__all__ = ["HeterogeneousController", "HeterogeneousStack",
+           "HeterogeneousManagerAdapter"]
+
+
+class HeterogeneousController(SystemController):
+    """System controller over a mixed-footprint cluster."""
+
+    name = "vital-hetero"
+
+    def __init__(self, cluster: FPGACluster,
+                 policy: AllocationPolicy | None = None) -> None:
+        super().__init__(cluster, policy=policy)
+        # replace the homogeneous controller's single-footprint DB with
+        # one bitstream database per footprint group
+        self._databases = {fp: BitstreamDB(fp)
+                           for fp in cluster.footprints()}
+
+    # ------------------------------------------------------------------
+    def register(self, app: CompiledApp) -> None:
+        db = self._databases.get(app.footprint)
+        if db is None:
+            raise ValueError(
+                f"{app.name}: footprint {app.footprint!r} matches no "
+                f"board group; cluster has {sorted(self._databases)}")
+        db.register(app)
+
+    def _register_if_needed(self, app: CompiledApp) -> None:
+        db = self._databases.get(app.footprint)
+        if db is None:
+            raise ValueError(
+                f"{app.name}: compiled for unknown footprint "
+                f"{app.footprint!r}")
+        if app.name not in db:
+            db.register(app)
+
+    def _allocatable_blocks(self, app: CompiledApp,
+                            ) -> dict[int, list[int]]:
+        """Only boards whose footprint matches the artifact."""
+        group = {b.board_id
+                 for b in self.cluster.boards_with_footprint(
+                     app.footprint)}
+        return {board: blocks
+                for board, blocks in
+                self.resource_db.free_by_board().items()
+                if board in group}
+
+
+class HeterogeneousStack:
+    """Compile-per-footprint front door over a mixed cluster."""
+
+    def __init__(self, cluster: FPGACluster,
+                 policy: AllocationPolicy | None = None,
+                 seed: int = 0) -> None:
+        self.cluster = cluster
+        self.controller = HeterogeneousController(cluster, policy=policy)
+        self._flows = {
+            fp: CompilationFlow(
+                fabric=cluster.boards_with_footprint(fp)[0].partition,
+                seed=seed)
+            for fp in cluster.footprints()}
+        #: kernel name -> footprint -> artifact
+        self._apps: dict[str, dict[str, CompiledApp]] = {}
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    def compile(self, spec: KernelSpec) -> dict[str, CompiledApp]:
+        """One artifact per footprint group (each position-independent
+        within its group)."""
+        if spec.name not in self._apps:
+            artifacts = {}
+            for fp, flow in self._flows.items():
+                app = flow.compile(spec)
+                self.controller.register(app)
+                artifacts[fp] = app
+            self._apps[spec.name] = artifacts
+        return self._apps[spec.name]
+
+    def deploy(self, spec: KernelSpec,
+               now: float = 0.0) -> Deployment | None:
+        """Place on the footprint group with the most free blocks."""
+        artifacts = self.compile(spec)
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        free = self.controller.resource_db.free_by_board()
+        group_free = {
+            fp: sum(len(free[b.board_id]) for b in
+                    self.cluster.boards_with_footprint(fp))
+            for fp in artifacts}
+        for fp in sorted(artifacts, key=lambda f: -group_free[f]):
+            deployment = self.controller.try_deploy(
+                artifacts[fp], request_id, now)
+            if deployment is not None:
+                return deployment
+        return None
+
+    def release(self, deployment: Deployment,
+                now: float = 0.0) -> None:
+        self.controller.release(deployment, now)
+
+
+class HeterogeneousManagerAdapter:
+    """Drives a mixed cluster through the simulator's manager protocol.
+
+    The simulator hands over homogeneous-cluster artifacts; this adapter
+    re-keys by kernel *specification*, compiles per footprint group on
+    first sight, and delegates to the heterogeneous stack -- so the same
+    Table 3 workloads replay unchanged on mixed clusters.
+    """
+
+    name = "vital-hetero"
+
+    def __init__(self, cluster: FPGACluster) -> None:
+        self.stack = HeterogeneousStack(cluster)
+
+    def try_deploy(self, app: CompiledApp, request_id: int,
+                   now: float) -> Deployment | None:
+        artifacts = self.stack.compile(app.spec)
+        controller = self.stack.controller
+        free = controller.resource_db.free_by_board()
+        group_free = {
+            fp: sum(len(free[b.board_id]) for b in
+                    self.stack.cluster.boards_with_footprint(fp))
+            for fp in artifacts}
+        for fp in sorted(artifacts, key=lambda f: -group_free[f]):
+            deployment = controller.try_deploy(artifacts[fp],
+                                               request_id, now)
+            if deployment is not None:
+                return deployment
+        return None
+
+    def release(self, deployment: Deployment, now: float) -> None:
+        self.stack.controller.release(deployment, now)
+
+    def busy_blocks(self) -> float:
+        return self.stack.controller.busy_blocks()
+
+    def capacity_blocks(self) -> float:
+        return self.stack.controller.capacity_blocks()

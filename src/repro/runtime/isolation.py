@@ -1,0 +1,60 @@
+"""Isolation invariants (Section 3.4).
+
+"Consequently, one physical block is not shared among multiple virtual
+blocks in ViTAL.  This enables a complete isolation and effectively
+protects applications from different types of attack."
+
+These checks are intentionally independent re-derivations: they inspect
+the controller's state from the outside rather than trusting its own
+bookkeeping, so a controller bug that breaks isolation is caught even if
+its internal counters look consistent.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.controller import SystemController
+
+__all__ = ["verify_isolation", "IsolationViolation"]
+
+
+class IsolationViolation(AssertionError):
+    """A tenant could observe or affect another tenant."""
+
+
+def verify_isolation(controller: SystemController) -> None:
+    """Raise :class:`IsolationViolation` on any sharing between tenants.
+
+    Checks, in order:
+
+    1. no physical block hosts more than one deployment;
+    2. every block the resource DB marks allocated belongs to exactly the
+       deployment the controller reports (no orphans, no ghosts);
+    3. per-board DRAM segments of distinct tenants never overlap.
+    """
+    seen: dict[tuple[int, int], int] = {}
+    for deployment in controller.running():
+        for address in deployment.placement.addresses:
+            if address in seen:
+                raise IsolationViolation(
+                    f"block {address} shared by requests "
+                    f"{seen[address]} and {deployment.request_id}")
+            seen[address] = deployment.request_id
+
+    db = controller.resource_db
+    # re-derive allocation from the DB and cross-check
+    allocated = {addr for addr in controller.cluster.all_addresses()
+                 if db.owner_of(addr) is not None}
+    if allocated != set(seen):
+        ghosts = allocated - set(seen)
+        orphans = set(seen) - allocated
+        raise IsolationViolation(
+            f"resource DB and deployments disagree: ghosts={ghosts}, "
+            f"orphans={orphans}")
+    for addr, owner in seen.items():
+        if db.owner_of(addr) != owner:
+            raise IsolationViolation(
+                f"block {addr}: DB owner {db.owner_of(addr)} != "
+                f"deployment {owner}")
+
+    for board_id, memory in controller.memories.items():
+        memory.check_isolation()

@@ -1,0 +1,210 @@
+"""Allocation policies (Section 3.4).
+
+The paper's **communication-aware runtime management policy** "allocates
+the physical blocks in a multi-round manner.  In the first round, it tries
+to find a single physical FPGA that has a sufficient amount of physical
+blocks...  It then increases the number of physical FPGAs in the following
+rounds until a feasible allocation is found."  Within a round it prefers
+board sets with the smallest ring span (fewest hops) and the tightest fit
+(least leftover, to limit fragmentation).
+
+Two deliberately worse policies are provided for the ablation benches:
+``FirstFitPolicy`` ignores board boundaries entirely and ``SpreadPolicy``
+scatters blocks round-robin across boards (maximum communication).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol
+
+from repro.cluster.network import RingNetwork
+from repro.compiler.bitstream import CompiledApp
+from repro.runtime.types import BlockAddress, Placement
+
+__all__ = [
+    "AllocationPolicy",
+    "CommunicationAwarePolicy",
+    "FirstFitPolicy",
+    "SpreadPolicy",
+    "split_virtual_blocks",
+]
+
+
+class AllocationPolicy(Protocol):
+    """Strategy interface: pick physical blocks for an application."""
+
+    name: str
+
+    def allocate(self, app: CompiledApp,
+                 free_by_board: dict[int, list[int]],
+                 network: RingNetwork) -> Placement | None:
+        """Return a placement using currently free blocks, or ``None``
+        when the application cannot be deployed right now."""
+        ...
+
+
+def split_virtual_blocks(app: CompiledApp,
+                         quotas: list[tuple[int, int]],
+                         ) -> dict[int, int]:
+    """Group an app's virtual blocks onto boards, minimizing cut flow.
+
+    ``quotas`` is an ordered list of ``(board_id, capacity)``.  Greedy
+    region growing over the app's inter-block flow graph: each board's
+    group is grown by repeatedly pulling in the unassigned virtual block
+    with the strongest connection to the group, so heavy channels stay
+    board-local.
+    """
+    total_quota = sum(q for _, q in quotas)
+    n = app.num_blocks
+    if total_quota < n:
+        raise ValueError("quotas cannot hold the application")
+
+    # symmetric flow weights between virtual blocks
+    weight: dict[tuple[int, int], float] = {}
+    for (src, dst), bits in app.flows.items():
+        key = (min(src, dst), max(src, dst))
+        weight[key] = weight.get(key, 0.0) + bits
+
+    def flow_to(group: set[int], vb: int) -> float:
+        return sum(w for (a, b), w in weight.items()
+                   if (a == vb and b in group) or (b == vb and a in group))
+
+    unassigned = set(range(n))
+    assignment: dict[int, int] = {}
+    for board_id, quota in quotas:
+        if not unassigned:
+            break
+        group: set[int] = set()
+        take = min(quota, len(unassigned))
+        while len(group) < take:
+            if group:
+                vb = max(unassigned,
+                         key=lambda v: (flow_to(group, v), -v))
+            else:
+                # seed with the unassigned block of heaviest total flow
+                vb = max(unassigned,
+                         key=lambda v: (flow_to(unassigned - {v}, v), -v))
+            group.add(vb)
+            unassigned.discard(vb)
+            assignment[vb] = board_id
+    return assignment
+
+
+def _build_placement(app: CompiledApp,
+                     quotas: list[tuple[int, int]],
+                     free_by_board: dict[int, list[int]],
+                     ) -> Placement:
+    """Turn board quotas into a concrete virtual->physical mapping."""
+    vb_to_board = split_virtual_blocks(app, quotas)
+    cursor = {board: iter(sorted(free_by_board[board]))
+              for board, _ in quotas}
+    mapping: dict[int, BlockAddress] = {}
+    for vb in sorted(vb_to_board):
+        board = vb_to_board[vb]
+        mapping[vb] = (board, next(cursor[board]))
+    placement = Placement(mapping=mapping)
+    placement.validate(app.num_blocks)
+    return placement
+
+
+class CommunicationAwarePolicy:
+    """The paper's multi-round, span-minimizing policy."""
+
+    name = "communication-aware"
+
+    def allocate(self, app: CompiledApp,
+                 free_by_board: dict[int, list[int]],
+                 network: RingNetwork) -> Placement | None:
+        needed = app.num_blocks
+        boards = sorted(free_by_board)
+        free = {b: len(free_by_board[b]) for b in boards}
+
+        for round_k in range(1, len(boards) + 1):
+            best: tuple[float, float, tuple[int, ...]] | None = None
+            for subset in itertools.combinations(boards, round_k):
+                capacity = sum(free[b] for b in subset)
+                if capacity < needed:
+                    continue
+                # every board of the subset must contribute, otherwise
+                # the same placement exists in an earlier round
+                if round_k > 1 and any(free[b] == 0 for b in subset):
+                    continue
+                span = network.span_cost(list(subset))
+                leftover = capacity - needed
+                key = (span, leftover, subset)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                continue
+            _, _, subset = best
+            quotas = self._quotas(subset, free, needed)
+            return _build_placement(app, quotas, free_by_board)
+        return None
+
+    @staticmethod
+    def _quotas(subset: tuple[int, ...], free: dict[int, int],
+                needed: int) -> list[tuple[int, int]]:
+        """Fill the fullest boards first so leftovers concentrate."""
+        order = sorted(subset, key=lambda b: (-free[b], b))
+        quotas = []
+        remaining = needed
+        for board in order:
+            take = min(free[board], remaining)
+            if take > 0:
+                quotas.append((board, take))
+                remaining -= take
+        return quotas
+
+
+class FirstFitPolicy:
+    """Ablation: grab free blocks in address order, boards ignored."""
+
+    name = "first-fit"
+
+    def allocate(self, app: CompiledApp,
+                 free_by_board: dict[int, list[int]],
+                 network: RingNetwork) -> Placement | None:
+        needed = app.num_blocks
+        pool: list[BlockAddress] = [
+            (board, block)
+            for board in sorted(free_by_board)
+            for block in sorted(free_by_board[board])]
+        if len(pool) < needed:
+            return None
+        chosen = pool[:needed]
+        quotas: list[tuple[int, int]] = []
+        for board in sorted({b for b, _ in chosen}):
+            quotas.append((board, sum(1 for bb, _ in chosen
+                                      if bb == board)))
+        chosen_by_board = {
+            board: [blk for bb, blk in chosen if bb == board]
+            for board, _ in quotas}
+        return _build_placement(app, quotas, chosen_by_board)
+
+
+class SpreadPolicy:
+    """Ablation: round-robin blocks across boards (max communication)."""
+
+    name = "spread"
+
+    def allocate(self, app: CompiledApp,
+                 free_by_board: dict[int, list[int]],
+                 network: RingNetwork) -> Placement | None:
+        needed = app.num_blocks
+        pools = {b: sorted(blocks)
+                 for b, blocks in free_by_board.items() if blocks}
+        if sum(len(p) for p in pools.values()) < needed:
+            return None
+        taken: dict[int, list[int]] = {b: [] for b in pools}
+        boards_cycle = itertools.cycle(sorted(pools))
+        count = 0
+        while count < needed:
+            board = next(boards_cycle)
+            if pools[board]:
+                taken[board].append(pools[board].pop(0))
+                count += 1
+        quotas = [(b, len(blks)) for b, blks in sorted(taken.items())
+                  if blks]
+        chosen_by_board = {b: blks for b, blks in taken.items() if blks}
+        return _build_placement(app, quotas, chosen_by_board)

@@ -1,0 +1,107 @@
+"""The resource database (Section 3.4, Fig. 6).
+
+"It maintains a resource database to store the status of all physical
+blocks."  The database is authoritative: allocation and release go through
+it, it rejects double-allocation and foreign frees, and its accessors feed
+both the policies (free blocks per board) and the metrics (utilization).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.cluster import FPGACluster
+from repro.runtime.types import BlockAddress
+
+__all__ = ["BlockState", "ResourceDB"]
+
+
+class BlockState(enum.Enum):
+    FREE = "free"
+    ALLOCATED = "allocated"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(slots=True)
+class _Entry:
+    state: BlockState = BlockState.FREE
+    owner: int | None = None  # request id
+
+
+class ResourceDB:
+    """Block-state store over one cluster."""
+
+    def __init__(self, cluster: FPGACluster) -> None:
+        self.cluster = cluster
+        self._entries: dict[BlockAddress, _Entry] = {
+            addr: _Entry() for addr in cluster.all_addresses()}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def total_blocks(self) -> int:
+        return len(self._entries)
+
+    def state_of(self, address: BlockAddress) -> BlockState:
+        return self._entries[address].state
+
+    def owner_of(self, address: BlockAddress) -> int | None:
+        return self._entries[address].owner
+
+    def free_blocks(self) -> list[BlockAddress]:
+        return [a for a, e in self._entries.items()
+                if e.state is BlockState.FREE]
+
+    def free_by_board(self) -> dict[int, list[int]]:
+        """Board id -> free physical-block indices (policy input)."""
+        out: dict[int, list[int]] = {
+            b.board_id: [] for b in self.cluster.boards}
+        for (board, block), entry in self._entries.items():
+            if entry.state is BlockState.FREE:
+                out[board].append(block)
+        return out
+
+    def allocated_count(self) -> int:
+        return sum(1 for e in self._entries.values()
+                   if e.state is BlockState.ALLOCATED)
+
+    def utilization(self) -> float:
+        """Fraction of physical blocks currently allocated."""
+        return self.allocated_count() / self.total_blocks
+
+    def blocks_of(self, request_id: int) -> list[BlockAddress]:
+        return [a for a, e in self._entries.items()
+                if e.owner == request_id]
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def allocate(self, request_id: int,
+                 addresses: list[BlockAddress]) -> None:
+        """Atomically claim ``addresses`` for ``request_id``."""
+        for address in addresses:
+            entry = self._entries[address]
+            if entry.state is not BlockState.FREE:
+                raise RuntimeError(
+                    f"block {address} already allocated to "
+                    f"request {entry.owner}")
+        for address in addresses:
+            entry = self._entries[address]
+            entry.state = BlockState.ALLOCATED
+            entry.owner = request_id
+
+    def release(self, request_id: int) -> list[BlockAddress]:
+        """Free every block of ``request_id``; error if it owns none."""
+        owned = self.blocks_of(request_id)
+        if not owned:
+            raise RuntimeError(
+                f"request {request_id} owns no blocks to release")
+        for address in owned:
+            entry = self._entries[address]
+            entry.state = BlockState.FREE
+            entry.owner = None
+        return owned

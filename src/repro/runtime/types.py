@@ -1,0 +1,99 @@
+"""Placements and deployments: the runtime's working objects.
+
+A :class:`Placement` is the policy's answer -- which physical blocks, on
+which boards, host which virtual blocks.  A :class:`Deployment` is a live
+application: the placement plus the timing consequences (reconfiguration
+time, communication-adjusted service time) that the simulator turns into
+events.  Baseline managers produce the same types so every experiment
+compares like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.bitstream import CompiledApp
+
+__all__ = ["BlockAddress", "Placement", "Deployment"]
+
+#: (board id, physical block index) -- the cluster-global block address.
+BlockAddress = tuple[int, int]
+
+
+@dataclass(slots=True)
+class Placement:
+    """Virtual-to-physical mapping of one application."""
+
+    #: virtual block id -> physical block address
+    mapping: dict[int, BlockAddress]
+
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> list[BlockAddress]:
+        return list(self.mapping.values())
+
+    @property
+    def boards(self) -> list[int]:
+        return sorted({board for board, _ in self.mapping.values()})
+
+    @property
+    def num_boards(self) -> int:
+        return len(self.boards)
+
+    @property
+    def spans_boards(self) -> bool:
+        return self.num_boards > 1
+
+    def blocks_on(self, board: int) -> list[int]:
+        return [blk for b, blk in self.mapping.values() if b == board]
+
+    def board_of(self, virtual_block: int) -> int:
+        return self.mapping[virtual_block][0]
+
+    def validate(self, num_virtual_blocks: int) -> None:
+        if set(self.mapping) != set(range(num_virtual_blocks)):
+            raise ValueError(
+                f"placement covers virtual blocks {sorted(self.mapping)}, "
+                f"expected 0..{num_virtual_blocks - 1}")
+        if len(set(self.mapping.values())) != len(self.mapping):
+            raise ValueError("placement reuses a physical block")
+
+
+@dataclass(slots=True)
+class Deployment:
+    """One running application instance."""
+
+    request_id: int
+    app: CompiledApp
+    tenant: str
+    placement: Placement
+    deployed_at: float
+    reconfig_time_s: float
+    service_time_s: float
+    comm_slowdown: float = 1.0
+    latency_overhead_s: float = 0.0
+    #: extra service time imposed on co-residents by this manager's
+    #: deployment mechanics (AmorphOS full-device reconfig); the simulator
+    #: applies these to the named running requests.
+    corunner_penalties: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        return len(self.placement.mapping)
+
+    @property
+    def spans_boards(self) -> bool:
+        return self.placement.spans_boards
+
+    @property
+    def completion_time(self) -> float:
+        """Scheduled completion absent later penalties."""
+        return self.deployed_at + self.reconfig_time_s \
+            + self.service_time_s
+
+    @property
+    def latency_overhead_fraction(self) -> float:
+        if self.service_time_s == 0:
+            return 0.0
+        return self.latency_overhead_s / self.service_time_s

@@ -1,0 +1,45 @@
+"""System-Layer simulation (Section 5.5's methodology).
+
+A discrete-event simulator replays synthetically generated workload sets
+(Table 3) against any cluster manager -- ViTAL's system controller or a
+baseline -- and collects the paper's metrics: response time (wait +
+service), resource utilization, concurrency, multi-FPGA spanning and
+latency overhead.
+
+- :mod:`repro.sim.events` -- event queue and time-weighted statistics;
+- :mod:`repro.sim.workload` -- Table 3 workload-set generation;
+- :mod:`repro.sim.metrics` -- per-request records and summaries;
+- :mod:`repro.sim.experiment` -- the event loop and multi-manager
+  comparison drivers.
+"""
+
+from repro.sim.events import EventQueue, TimeWeightedValue
+from repro.sim.workload import (
+    COMPOSITIONS,
+    Request,
+    WorkloadGenerator,
+)
+from repro.sim.metrics import RequestRecord, SummaryMetrics, MetricsCollector
+from repro.sim.experiment import (
+    ExperimentResult,
+    run_experiment,
+    compile_benchmarks,
+    compare_managers,
+    MANAGER_FACTORIES,
+)
+
+__all__ = [
+    "EventQueue",
+    "TimeWeightedValue",
+    "COMPOSITIONS",
+    "Request",
+    "WorkloadGenerator",
+    "RequestRecord",
+    "SummaryMetrics",
+    "MetricsCollector",
+    "ExperimentResult",
+    "run_experiment",
+    "compile_benchmarks",
+    "compare_managers",
+    "MANAGER_FACTORIES",
+]

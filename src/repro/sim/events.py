@@ -1,0 +1,123 @@
+"""Discrete-event primitives.
+
+:class:`EventQueue` is a stable priority queue of timestamped events --
+ties break in insertion order, so simulations are deterministic.
+:class:`TimeWeightedValue` integrates a step function over time, which is
+how the collector computes time-averaged utilization, concurrency and
+queue pressure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Event", "EventQueue", "TimeWeightedValue"]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Stable min-heap of events ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise IndexError("peek into empty event queue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class TimeWeightedValue:
+    """Step-function integrator.
+
+    ``record(t, v)`` says the value became ``v`` at time ``t``;
+    ``average(t0, t1)`` is the time-weighted mean over the window, and
+    ``average_where(mask, t0, t1)`` restricts to intervals where the
+    (step-function) mask is truthy -- e.g. "utilization while requests
+    were waiting".
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._points: list[tuple[float, float]] = [(0.0, initial)]
+
+    def record(self, t: float, value: float) -> None:
+        last_t, last_v = self._points[-1]
+        if t < last_t:
+            raise ValueError(f"time went backwards: {t} < {last_t}")
+        if value == last_v:
+            return
+        self._points.append((t, value))
+
+    def value_at(self, t: float) -> float:
+        value = self._points[0][1]
+        for pt, pv in self._points:
+            if pt > t:
+                break
+            value = pv
+        return value
+
+    def _segments(self, t0: float, t1: float):
+        """Yield (duration, value) pieces covering [t0, t1]."""
+        points = self._points
+        for i, (pt, pv) in enumerate(points):
+            seg_start = max(pt, t0)
+            seg_end = points[i + 1][0] if i + 1 < len(points) else t1
+            seg_end = min(seg_end, t1)
+            if seg_end > seg_start:
+                yield seg_end - seg_start, pv
+
+    def average(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return self.value_at(t0)
+        total = sum(d * v for d, v in self._segments(t0, t1))
+        return total / (t1 - t0)
+
+    def average_where(self, mask: "TimeWeightedValue", t0: float,
+                      t1: float) -> float:
+        """Average of self over sub-intervals where ``mask`` > 0."""
+        if t1 <= t0:
+            return self.value_at(t0)
+        # merge breakpoints of both step functions
+        times = sorted({t for t, _ in self._points}
+                       | {t for t, _ in mask._points} | {t0, t1})
+        weighted = 0.0
+        duration = 0.0
+        for a, b in zip(times, times[1:]):
+            if b <= t0 or a >= t1:
+                continue
+            lo, hi = max(a, t0), min(b, t1)
+            if hi <= lo or mask.value_at(lo) <= 0:
+                continue
+            weighted += self.value_at(lo) * (hi - lo)
+            duration += hi - lo
+        return weighted / duration if duration else 0.0

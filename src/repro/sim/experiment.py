@@ -1,0 +1,248 @@
+"""The System-Layer experiment loop (Fig. 9 / Fig. 10 driver).
+
+``run_experiment`` replays one workload set against one manager:
+
+- arrivals enter a FIFO queue;
+- whenever resources change (arrival or completion) the queue head is
+  offered to the manager; strict FIFO order preserves fairness across
+  managers (optionally ``backfill=True`` lets later requests jump a
+  blocked head, an ablation);
+- a successful deployment schedules its completion after reconfiguration
+  plus (communication-adjusted) service time;
+- managers may impose ``corunner_penalties`` (AmorphOS's full-device
+  reconfiguration pauses co-residents), applied via lazy event
+  invalidation.
+
+``compare_managers`` runs all managers over replicated workload sets and
+averages -- the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.amorphos import AmorphOSManager
+from repro.baselines.base import ClusterManager
+from repro.baselines.per_device import PerDeviceManager
+from repro.baselines.slot_based import SlotBasedManager
+from repro.cluster.cluster import FPGACluster, make_cluster
+from repro.compiler.bitstream import CompiledApp
+from repro.compiler.flow import CompilationFlow
+from repro.hls.kernels import all_benchmarks
+from repro.runtime.controller import SystemController
+from repro.sim.events import EventQueue
+from repro.sim.metrics import MetricsCollector, RequestRecord, \
+    SummaryMetrics
+from repro.sim.workload import Request
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "compile_benchmarks",
+    "compare_managers",
+    "MANAGER_FACTORIES",
+]
+
+
+def compile_benchmarks(cluster: FPGACluster,
+                       specs=None) -> dict[str, CompiledApp]:
+    """Offline-compile the benchmark set against the cluster's abstraction.
+
+    One compile per application -- this is the ViTAL story; the same
+    artifacts also drive the baselines, which in reality would each need
+    their own (and in AmorphOS's case, combinatorial) compilation.
+    """
+    flow = CompilationFlow(fabric=cluster.partition)
+    specs = specs if specs is not None else all_benchmarks()
+    return {spec.name: flow.compile(spec) for spec in specs}
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """One (manager, workload set) run."""
+
+    manager_name: str
+    summary: SummaryMetrics
+    records: list[RequestRecord] = field(default_factory=list)
+    extras: dict[str, float] = field(default_factory=dict)
+
+
+def run_experiment(manager: ClusterManager, requests: list[Request],
+                   apps: dict[str, CompiledApp],
+                   backfill: bool = False,
+                   discipline: str | None = None) -> ExperimentResult:
+    """Replay ``requests`` against ``manager``; see module docstring.
+
+    ``discipline`` selects the queueing policy: ``"fifo"`` (default,
+    strict head-of-line), ``"backfill"`` (later requests may jump a
+    blocked head), or ``"sjf"`` (shortest nominal service first --
+    starvation-prone, provided for the scheduling ablation).  The legacy
+    ``backfill=True`` flag is equivalent to ``discipline="backfill"``.
+    """
+    if discipline is None:
+        discipline = "backfill" if backfill else "fifo"
+    if discipline not in ("fifo", "backfill", "sjf"):
+        raise ValueError(f"unknown discipline {discipline!r}")
+    backfill = discipline == "backfill"
+    events = EventQueue()
+    for request in requests:
+        events.push(request.arrival_s, "arrival", request)
+
+    collector = MetricsCollector(manager.name, manager.capacity_blocks())
+    queue: deque[Request] = deque()
+    live: dict[int, object] = {}          # request id -> Deployment
+    completion_at: dict[int, float] = {}  # authoritative completion time
+
+    def state_snapshot(now: float) -> None:
+        collector.record_state(now, manager.busy_blocks(), len(live),
+                               len(queue))
+
+    def schedule_completion(request_id: int, when: float) -> None:
+        completion_at[request_id] = when
+        events.push(when, "completion", request_id)
+
+    def try_drain(now: float) -> None:
+        if discipline == "sjf":
+            # stable sort keeps arrival order among equal-length jobs
+            ordered = sorted(queue,
+                             key=lambda r: r.spec.service_time_s())
+            queue.clear()
+            queue.extend(ordered)
+        while queue:
+            progressed = False
+            scan = range(len(queue)) if backfill else range(1)
+            for i in scan:
+                request = queue[i]
+                app = apps[request.spec.name]
+                deployment = manager.try_deploy(app, request.request_id,
+                                                now)
+                if deployment is None:
+                    continue
+                del queue[i]
+                live[request.request_id] = deployment
+                record = collector.records[request.request_id]
+                record.deployed_s = now
+                record.num_blocks = deployment.num_blocks
+                record.boards = deployment.placement.num_boards
+                record.spans_boards = deployment.spans_boards
+                record.comm_slowdown = deployment.comm_slowdown
+                record.latency_overhead_fraction = \
+                    deployment.latency_overhead_fraction
+                record.reconfig_time_s = deployment.reconfig_time_s
+                record.service_time_s = deployment.service_time_s
+                schedule_completion(request.request_id,
+                                    deployment.completion_time)
+                for rid, penalty in \
+                        deployment.corunner_penalties.items():
+                    if rid in completion_at:
+                        schedule_completion(rid,
+                                            completion_at[rid] + penalty)
+                progressed = True
+                break
+            if not progressed:
+                return
+
+    while events:
+        event = events.pop()
+        now = event.time
+        if event.kind == "arrival":
+            request: Request = event.payload
+            collector.add_request(RequestRecord(
+                request_id=request.request_id,
+                app_name=request.spec.name,
+                size=request.spec.size.value,
+                num_blocks=0,
+                arrival_s=request.arrival_s,
+            ))
+            queue.append(request)
+            try_drain(now)
+        elif event.kind == "completion":
+            request_id: int = event.payload
+            if completion_at.get(request_id) != now:
+                continue  # superseded by a penalty reschedule
+            deployment = live.pop(request_id)
+            del completion_at[request_id]
+            manager.release(deployment, now)
+            collector.complete(request_id, now)
+            try_drain(now)
+        state_snapshot(now)
+
+    if queue or live:
+        raise RuntimeError(
+            f"{manager.name}: {len(queue)} queued / {len(live)} live "
+            "requests never completed (manager starvation bug)")
+
+    result = ExperimentResult(manager_name=manager.name,
+                              summary=collector.summarize(),
+                              records=list(collector.records.values()))
+    if isinstance(manager, AmorphOSManager):
+        result.extras["combinations"] = float(manager.combination_count)
+    return result
+
+
+#: Default manager lineup of the Fig. 9 / Fig. 10 experiments.
+MANAGER_FACTORIES: dict[str, Callable[[FPGACluster], ClusterManager]] = {
+    "per-device": PerDeviceManager,
+    "slot-based": SlotBasedManager,
+    "amorphos-ht": AmorphOSManager,
+    "vital": SystemController,
+}
+
+
+def compare_managers(workload_sets: dict[int, list[list[Request]]],
+                     cluster: FPGACluster | None = None,
+                     apps: dict[str, CompiledApp] | None = None,
+                     managers: dict[str, Callable[[FPGACluster],
+                                                  ClusterManager]]
+                     | None = None,
+                     ) -> dict[str, dict[int, SummaryMetrics]]:
+    """Run every manager over every workload set (averaging replicas).
+
+    ``workload_sets`` maps set index -> list of replica request lists.
+    Returns ``{manager: {set_index: averaged summary}}``; summaries are
+    averaged field-wise over replicas.
+    """
+    cluster = cluster or make_cluster()
+    apps = apps or compile_benchmarks(cluster)
+    managers = managers or MANAGER_FACTORIES
+
+    out: dict[str, dict[int, SummaryMetrics]] = {}
+    for mgr_name, factory in managers.items():
+        per_set: dict[int, SummaryMetrics] = {}
+        for set_index, replicas in workload_sets.items():
+            summaries = []
+            for requests in replicas:
+                manager = factory(cluster)
+                summaries.append(
+                    run_experiment(manager, requests, apps).summary)
+            per_set[set_index] = _average_summaries(summaries)
+        out[mgr_name] = per_set
+    return out
+
+
+def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
+    n = len(summaries)
+    if n == 1:
+        return summaries[0]
+    mean = lambda attr: sum(getattr(s, attr) for s in summaries) / n
+    return SummaryMetrics(
+        manager=summaries[0].manager,
+        num_requests=summaries[0].num_requests,
+        mean_response_s=mean("mean_response_s"),
+        p50_response_s=mean("p50_response_s"),
+        p95_response_s=mean("p95_response_s"),
+        mean_wait_s=mean("mean_wait_s"),
+        mean_service_s=mean("mean_service_s"),
+        makespan_s=mean("makespan_s"),
+        block_utilization=mean("block_utilization"),
+        block_utilization_pressured=mean("block_utilization_pressured"),
+        mean_concurrency=mean("mean_concurrency"),
+        peak_concurrency=max(s.peak_concurrency for s in summaries),
+        multi_fpga_fraction=mean("multi_fpga_fraction"),
+        max_latency_overhead=max(s.max_latency_overhead
+                                 for s in summaries),
+        mean_reconfig_s=mean("mean_reconfig_s"),
+        peak_queue_len=max(s.peak_queue_len for s in summaries),
+    )

@@ -1,0 +1,178 @@
+"""Per-request records and experiment summaries (Section 5.5 metrics).
+
+Response time = wait time (queued for resources) + deployment time
+(reconfiguration) + service time (accelerator execution) -- "a widely used
+metric to measure the quality of service".  The collector also integrates
+the paper's secondary metrics: block utilization (overall and while
+requests were waiting, the ">93%" figure), concurrency (the "2.3x more
+co-running applications" figure), the fraction of deployments spanning
+multiple FPGAs (5~40% in the paper) and the latency-insensitive interface
+overhead (<0.03%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.events import TimeWeightedValue
+
+__all__ = ["RequestRecord", "SummaryMetrics", "MetricsCollector",
+           "per_size_response", "jain_fairness"]
+
+
+def per_size_response(records: "list[RequestRecord]",
+                      ) -> dict[str, float]:
+    """Mean response time by accelerator size class (S/M/L).
+
+    Head-of-line effects hit size classes differently: under per-device
+    allocation a small app waits exactly as long as a large one, while
+    fine-grained sharing lets small apps slip into fragments.
+    """
+    by_size: dict[str, list[float]] = {}
+    for record in records:
+        if record.finished:
+            by_size.setdefault(record.size, []).append(
+                record.response_s)
+    return {size: sum(v) / len(v) for size, v in by_size.items()}
+
+
+def jain_fairness(records: "list[RequestRecord]") -> float:
+    """Jain's fairness index over per-request slowdown.
+
+    Slowdown = response / service; 1.0 means every tenant suffered the
+    same relative delay, 1/n means one tenant absorbed all of it.
+    """
+    slowdowns = [r.response_s / r.service_time_s for r in records
+                 if r.finished and r.service_time_s > 0]
+    if not slowdowns:
+        return 1.0
+    num = sum(slowdowns) ** 2
+    den = len(slowdowns) * sum(s * s for s in slowdowns)
+    return num / den
+
+
+@dataclass(slots=True)
+class RequestRecord:
+    """Lifecycle timestamps of one request."""
+
+    request_id: int
+    app_name: str
+    size: str
+    num_blocks: int
+    arrival_s: float
+    deployed_s: float = math.nan
+    completed_s: float = math.nan
+    boards: int = 0
+    spans_boards: bool = False
+    comm_slowdown: float = 1.0
+    latency_overhead_fraction: float = 0.0
+    reconfig_time_s: float = 0.0
+    service_time_s: float = 0.0
+
+    @property
+    def wait_s(self) -> float:
+        return self.deployed_s - self.arrival_s
+
+    @property
+    def response_s(self) -> float:
+        return self.completed_s - self.arrival_s
+
+    @property
+    def finished(self) -> bool:
+        return not math.isnan(self.completed_s)
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryMetrics:
+    """Aggregates of one experiment run."""
+
+    manager: str
+    num_requests: int
+    mean_response_s: float
+    p50_response_s: float
+    p95_response_s: float
+    mean_wait_s: float
+    mean_service_s: float
+    makespan_s: float
+    block_utilization: float          # time-avg over the busy period
+    block_utilization_pressured: float  # while requests were waiting
+    mean_concurrency: float
+    peak_concurrency: int
+    multi_fpga_fraction: float
+    max_latency_overhead: float
+    mean_reconfig_s: float
+    peak_queue_len: int = 0
+
+    def normalized_response(self, baseline: "SummaryMetrics") -> float:
+        if baseline.mean_response_s == 0:
+            return math.inf
+        return self.mean_response_s / baseline.mean_response_s
+
+
+class MetricsCollector:
+    """Accumulates records and time-weighted state during a run."""
+
+    def __init__(self, manager_name: str, capacity_blocks: float) -> None:
+        self.manager_name = manager_name
+        self.capacity_blocks = capacity_blocks
+        self.records: dict[int, RequestRecord] = {}
+        self.busy_blocks = TimeWeightedValue()
+        self.running_apps = TimeWeightedValue()
+        self.queue_len = TimeWeightedValue()
+        self.first_arrival = math.inf
+        self.last_completion = 0.0
+
+    # ------------------------------------------------------------------
+    def add_request(self, record: RequestRecord) -> None:
+        self.records[record.request_id] = record
+        self.first_arrival = min(self.first_arrival, record.arrival_s)
+
+    def record_state(self, now: float, busy_blocks: float,
+                     running: int, queued: int) -> None:
+        self.busy_blocks.record(now, busy_blocks)
+        self.running_apps.record(now, running)
+        self.queue_len.record(now, queued)
+
+    def complete(self, request_id: int, now: float) -> None:
+        self.records[request_id].completed_s = now
+        self.last_completion = max(self.last_completion, now)
+
+    # ------------------------------------------------------------------
+    def summarize(self) -> SummaryMetrics:
+        done = [r for r in self.records.values() if r.finished]
+        if not done:
+            raise RuntimeError("no request completed; nothing to report")
+        responses = sorted(r.response_s for r in done)
+        t0 = self.first_arrival
+        t1 = self.last_completion
+        peak = max(
+            (int(v) for _, v in self.running_apps._points), default=0)
+        return SummaryMetrics(
+            manager=self.manager_name,
+            num_requests=len(done),
+            mean_response_s=sum(responses) / len(responses),
+            p50_response_s=responses[len(responses) // 2],
+            p95_response_s=responses[
+                min(len(responses) - 1, int(0.95 * len(responses)))],
+            mean_wait_s=sum(r.wait_s for r in done) / len(done),
+            mean_service_s=(sum(r.service_time_s for r in done)
+                            / len(done)),
+            makespan_s=t1 - t0,
+            block_utilization=(self.busy_blocks.average(t0, t1)
+                               / self.capacity_blocks),
+            block_utilization_pressured=(
+                self.busy_blocks.average_where(self.queue_len, t0, t1)
+                / self.capacity_blocks),
+            mean_concurrency=self.running_apps.average(t0, t1),
+            peak_concurrency=peak,
+            multi_fpga_fraction=(sum(1 for r in done if r.spans_boards)
+                                 / len(done)),
+            max_latency_overhead=max(
+                (r.latency_overhead_fraction for r in done), default=0.0),
+            mean_reconfig_s=(sum(r.reconfig_time_s for r in done)
+                             / len(done)),
+            peak_queue_len=max(
+                (int(v) for _, v in self.queue_len._points),
+                default=0),
+        )

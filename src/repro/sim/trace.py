@@ -1,0 +1,79 @@
+"""Workload trace import/export.
+
+The paper generates workload sets synthetically because public FPGA-cloud
+traces do not exist; for reproducibility this module serializes generated
+sets to JSON (and back), so a specific draw can be archived alongside
+results or replayed against a modified stack.  The format also gives real
+traces an on-ramp: anything mapping to (arrival time, benchmark family,
+size) replays through the same simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hls.kernels import benchmark
+from repro.sim.workload import Request
+
+__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_trace(requests: list[Request],
+                metadata: dict | None = None) -> str:
+    """Serialize a workload set to a JSON string."""
+    payload = {
+        "format": "vital-workload-trace",
+        "version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "requests": [
+            {
+                "id": r.request_id,
+                "family": r.spec.family,
+                "size": r.spec.size.value,
+                "arrival_s": r.arrival_s,
+            }
+            for r in requests
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def dump_trace(requests: list[Request], path: "str | Path",
+               metadata: dict | None = None) -> None:
+    Path(path).write_text(dumps_trace(requests, metadata))
+
+
+def loads_trace(text: str) -> list[Request]:
+    """Parse a JSON trace back into requests (validating as it goes)."""
+    payload = json.loads(text)
+    if payload.get("format") != "vital-workload-trace":
+        raise ValueError("not a workload trace (missing format marker)")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {payload.get('version')!r}")
+    requests = []
+    last_arrival = float("-inf")
+    for entry in payload["requests"]:
+        arrival = float(entry["arrival_s"])
+        if arrival < 0:
+            raise ValueError(f"request {entry['id']}: negative arrival")
+        if arrival < last_arrival:
+            raise ValueError(
+                f"request {entry['id']}: arrivals must be sorted")
+        last_arrival = arrival
+        requests.append(Request(
+            request_id=int(entry["id"]),
+            spec=benchmark(entry["family"], entry["size"]),
+            arrival_s=arrival,
+        ))
+    ids = [r.request_id for r in requests]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate request ids in trace")
+    return requests
+
+
+def load_trace(path: "str | Path") -> list[Request]:
+    return loads_trace(Path(path).read_text())

@@ -1,0 +1,47 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import format_bar_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        # the value column starts at the same offset on every line
+        header, _, row_a, row_b = lines
+        offset = header.index("v")
+        assert row_a.index("1") == offset
+        assert row_b.index("22") == offset
+        assert "long-name" in lines[-1]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        assert "0.123" in format_table(["x"], [[0.12345]])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatBarSeries:
+    def test_bars_scale(self):
+        text = format_bar_series(["a", "b"], [1.0, 2.0])
+        bar_a = text.splitlines()[0].count("#")
+        bar_b = text.splitlines()[1].count("#")
+        assert bar_b == 2 * bar_a
+
+    def test_zero_values(self):
+        text = format_bar_series(["a"], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_bar_series(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        assert "5s" in format_bar_series(["a"], [5.0], unit="s")

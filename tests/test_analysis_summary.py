@@ -1,0 +1,41 @@
+"""Tests for the consolidated report builder."""
+
+from repro.analysis.summary import REPORT_ORDER, build_report, \
+    write_report
+
+
+def seed_results(tmp_path, stems):
+    for stem in stems:
+        (tmp_path / f"{stem}.txt").write_text(f"body of {stem}\n")
+
+
+class TestBuildReport:
+    def test_includes_present_sections_in_order(self, tmp_path):
+        seed_results(tmp_path, ["fig9", "fig1a", "table2"])
+        report = build_report(tmp_path)
+        # narrative order, not alphabetical or insertion order
+        assert report.index("Fig. 1a") < report.index("Table 2") \
+            < report.index("Fig. 9")
+        assert "body of fig9" in report
+
+    def test_reports_missing_benches(self, tmp_path):
+        seed_results(tmp_path, ["fig9"])
+        report = build_report(tmp_path)
+        assert "Missing" in report
+        assert "fig10" in report
+
+    def test_complete_run_reports_no_missing(self, tmp_path):
+        seed_results(tmp_path, [stem for stem, _ in REPORT_ORDER])
+        report = build_report(tmp_path)
+        assert "Missing" not in report
+        assert f"{len(REPORT_ORDER)} of {len(REPORT_ORDER)}" in report
+
+    def test_write_report_default_path(self, tmp_path):
+        seed_results(tmp_path, ["fig9"])
+        path = write_report(tmp_path)
+        assert path == tmp_path / "REPORT.md"
+        assert "Fig. 9" in path.read_text()
+
+    def test_empty_results_dir(self, tmp_path):
+        report = build_report(tmp_path)
+        assert "0 of" in report

@@ -1,0 +1,237 @@
+"""Tests for the bandwidth arbiter, ring flow registry and the
+controller's contention models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.network import RingNetwork
+from repro.peripherals.bandwidth import BandwidthArbiter
+from repro.runtime.controller import (
+    DRAM_DEMAND_GBPS_PER_BLOCK,
+    SystemController,
+)
+
+
+class TestBandwidthArbiter:
+    def test_undersubscribed_everyone_satisfied(self):
+        arb = BandwidthArbiter(100)
+        arb.attach("a", 30)
+        arb.attach("b", 40)
+        assert arb.shares() == {"a": 30, "b": 40}
+        assert arb.slowdown_of("a") == 1.0
+
+    def test_oversubscribed_fair_split(self):
+        arb = BandwidthArbiter(100)
+        arb.attach("a", 80)
+        arb.attach("b", 80)
+        shares = arb.shares()
+        assert shares["a"] == pytest.approx(50)
+        assert arb.slowdown_of("a") == pytest.approx(1.6)
+
+    def test_max_min_protects_small_demand(self):
+        arb = BandwidthArbiter(100)
+        arb.attach("small", 10)
+        arb.attach("big", 500)
+        shares = arb.shares()
+        assert shares["small"] == pytest.approx(10)
+        assert shares["big"] == pytest.approx(90)
+
+    def test_zero_demand_never_slowed(self):
+        arb = BandwidthArbiter(10)
+        arb.attach("idle", 0)
+        arb.attach("busy", 100)
+        assert arb.slowdown_of("idle") == 1.0
+
+    def test_detach_returns_capacity(self):
+        arb = BandwidthArbiter(100)
+        arb.attach("a", 80)
+        arb.attach("b", 80)
+        arb.detach("b")
+        assert arb.slowdown_of("a") == 1.0
+
+    def test_double_attach_rejected(self):
+        arb = BandwidthArbiter(10)
+        arb.attach("a", 1)
+        with pytest.raises(ValueError):
+            arb.attach("a", 1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BandwidthArbiter(0)
+
+    def test_oversubscription_flag(self):
+        arb = BandwidthArbiter(10)
+        arb.attach("a", 5)
+        assert not arb.is_oversubscribed()
+        arb.attach("b", 6)
+        assert arb.is_oversubscribed()
+
+    def test_add_demand_accumulates(self):
+        arb = BandwidthArbiter(100)
+        arb.add_demand("a", 30)
+        arb.add_demand("a", 20)
+        assert arb.total_demand() == pytest.approx(50)
+
+    def test_remove_demand_partial(self):
+        arb = BandwidthArbiter(100)
+        arb.add_demand("a", 30)
+        arb.add_demand("a", 20)
+        arb.remove_demand("a", 30)
+        assert arb.total_demand() == pytest.approx(20)
+        arb.remove_demand("a", 20)
+        assert "a" not in arb.tenants()
+
+    def test_remove_demand_unknown_tenant_noop(self):
+        BandwidthArbiter(10).remove_demand("ghost", 5)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50,
+                              allow_nan=False),
+                    min_size=1, max_size=10))
+    def test_add_remove_demand_roundtrip(self, amounts):
+        arb = BandwidthArbiter(100)
+        for amount in amounts:
+            arb.add_demand("t", amount)
+        for amount in amounts:
+            arb.remove_demand("t", amount)
+        assert arb.total_demand() == pytest.approx(0.0, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=200,
+                              allow_nan=False),
+                    min_size=1, max_size=10))
+    def test_shares_conserve_capacity(self, demands):
+        arb = BandwidthArbiter(100)
+        for i, d in enumerate(demands):
+            arb.attach(f"t{i}", d)
+        shares = arb.shares()
+        assert sum(shares.values()) \
+            <= min(100, sum(demands)) + 1e-6
+        for i, d in enumerate(demands):
+            assert shares[f"t{i}"] <= d + 1e-9
+
+    @given(st.lists(st.floats(min_value=1, max_value=200,
+                              allow_nan=False),
+                    min_size=2, max_size=8))
+    def test_max_min_fairness_property(self, demands):
+        """No tenant's share may exceed another's unless the smaller one
+        already has its full demand."""
+        arb = BandwidthArbiter(50)
+        for i, d in enumerate(demands):
+            arb.attach(f"t{i}", d)
+        shares = arb.shares()
+        for i, di in enumerate(demands):
+            for j, dj in enumerate(demands):
+                si, sj = shares[f"t{i}"], shares[f"t{j}"]
+                if si > sj + 1e-6:
+                    assert sj == pytest.approx(dj, rel=1e-6)
+
+
+class TestRingFlows:
+    @pytest.fixture()
+    def ring(self):
+        return RingNetwork(num_nodes=4)
+
+    def test_adjacent_path_one_segment(self, ring):
+        assert ring.segments_on_path(0, 1) == [0]
+        assert ring.segments_on_path(3, 0) == [3]
+
+    def test_across_path_two_segments(self, ring):
+        assert sorted(ring.segments_on_path(0, 2)) in ([0, 1], [2, 3])
+
+    def test_same_node_empty(self, ring):
+        assert ring.segments_on_path(2, 2) == []
+
+    def test_register_release(self, ring):
+        ring.register_flow("f1", [0, 1])
+        assert ring.flows_on_segment(0) == 1
+        ring.release_flow("f1")
+        assert ring.flows_on_segment(0) == 0
+
+    def test_duplicate_flow_rejected(self, ring):
+        ring.register_flow("f1", [0, 1])
+        with pytest.raises(ValueError):
+            ring.register_flow("f1", [2, 3])
+
+    def test_contention_counts_overlap(self, ring):
+        ring.register_flow("f1", [0, 1])
+        # a new 0-1 flow shares segment 0 with f1
+        assert ring.contention_factor([0, 1]) == 2
+        # a 2-3 flow shares nothing
+        assert ring.contention_factor([2, 3]) == 1
+
+    def test_single_board_no_contention(self, ring):
+        assert ring.contention_factor([1]) == 1
+
+
+class TestControllerContentionModels:
+    def test_dram_contention_off_by_default(self, cluster,
+                                            compiled_large):
+        controller = SystemController(cluster)
+        d = controller.try_deploy(compiled_large, 0, 0.0)
+        assert d.service_time_s \
+            == pytest.approx(compiled_large.service_time_s())
+        controller.release(d)
+
+    def test_dram_demand_attached_per_board(self, cluster,
+                                            compiled_large):
+        controller = SystemController(cluster)
+        d = controller.try_deploy(compiled_large, 0, 0.0)
+        board = d.placement.boards[0]
+        arb = controller.dram_arbiters[board]
+        assert arb.total_demand() == pytest.approx(
+            d.num_blocks * DRAM_DEMAND_GBPS_PER_BLOCK)
+        controller.release(d)
+        assert arb.total_demand() == 0
+
+    def test_dram_contention_slows_packed_board(self, cluster,
+                                                compiled_large):
+        controller = SystemController(cluster,
+                                      model_dram_contention=True)
+        base = compiled_large.service_time_s()
+        deployments = []
+        rid = 0
+        while (d := controller.try_deploy(compiled_large, rid, 0.0)) \
+                is not None:
+            deployments.append(d)
+            rid += 1
+        # once boards pack beyond the DIMM bandwidth, later admissions
+        # see a service-time markup
+        slow = [d for d in deployments if d.service_time_s > base * 1.01]
+        fast = [d for d in deployments
+                if d.service_time_s <= base * 1.01]
+        assert fast, "first deployments should be unthrottled"
+        board_demand = max(
+            arb.total_demand()
+            for arb in controller.dram_arbiters.values())
+        capacity = next(iter(
+            controller.dram_arbiters.values())).capacity_gbps
+        if board_demand > capacity:
+            assert slow, "oversubscribed board must slow someone"
+
+    def test_ring_contention_raises_overhead(self, cluster,
+                                             compiled_large,
+                                             compiled_medium):
+        """Two deployments spanning the same segment contend."""
+        controller = SystemController(cluster)
+        # fill boards 0..3 mostly, leaving fragments that force spans
+        live = []
+        rid = 0
+        while (d := controller.try_deploy(compiled_medium, rid, 0.0)) \
+                is not None:
+            live.append(d)
+            rid += 1
+        # free fragments on two adjacent board pairs
+        freed = {}
+        for d in sorted(live, key=lambda d: d.request_id):
+            b = d.placement.boards[0]
+            if freed.get(b, 0) < compiled_large.num_blocks // 2 + 1:
+                controller.release(d)
+                live.remove(d)
+                freed[b] = freed.get(b, 0) + d.num_blocks
+        spans = []
+        for i in range(3):
+            d = controller.try_deploy(compiled_large, 1000 + i, 0.0)
+            if d is not None and d.spans_boards:
+                spans.append(d)
+        if len(spans) >= 2:
+            # later spanning deployments see >= the first's slowdown
+            assert spans[-1].comm_slowdown >= spans[0].comm_slowdown

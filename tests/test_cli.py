@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.set_index == 7
+        assert args.managers == "per-device,vital"
+
+    def test_partition_flags(self):
+        args = build_parser().parse_args(
+            ["partition", "--device", "VU13P", "--no-buffer-opt"])
+        assert args.device == "VU13P" and args.no_buffer_opt
+
+
+class TestCommands:
+    def test_status(self, capsys):
+        assert main(["status", "--boards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2xXCVU37P" in out
+        assert "identical physical blocks" in out
+
+    def test_partition(self, capsys):
+        assert main(["partition"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate partitions of XCVU37P" in out
+        assert "system reserved" in out
+
+    def test_partition_hardened(self, capsys):
+        assert main(["partition", "--hardened"]) == 0
+        assert "reserved" in capsys.readouterr().out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "mlp-mnist", "S"]) == 0
+        out = capsys.readouterr().out
+        assert "mlp-mnist-S" in out
+        assert "local_pnr_s" in out
+
+    def test_links(self, capsys):
+        assert main(["links"]) == 0
+        out = capsys.readouterr().out
+        assert "inter-fpga" in out and "Gb/s" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(["simulate", "--set", "1", "--requests", "10",
+                     "--managers", "vital", "--boards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload set #1" in out
+        assert "vital" in out
+
+    def test_simulate_unknown_manager(self, capsys):
+        assert main(["simulate", "--managers", "bogus"]) == 2
+        assert "unknown managers" in capsys.readouterr().out
+
+    def test_trace_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", str(path), "--set", "4",
+                     "--requests", "15"]) == 0
+        from repro.sim.trace import load_trace
+        assert len(load_trace(path)) == 15
+
+    def test_report_from_results(self, capsys, tmp_path):
+        (tmp_path / "fig9.txt").write_text("the figure nine body\n")
+        out_path = tmp_path / "OUT.md"
+        assert main(["report", "--results", str(tmp_path),
+                     "--output", str(out_path)]) == 0
+        assert "figure nine body" in out_path.read_text()
+
+    def test_report_missing_dir(self, capsys, tmp_path):
+        assert main(["report", "--results",
+                     str(tmp_path / "nope")]) == 2
+        assert "no results directory" in capsys.readouterr().out
+
+    def test_export_db(self, capsys, tmp_path):
+        path = tmp_path / "db.json"
+        assert main(["export-db", str(path)]) == 0
+        from repro.cluster.cluster import make_cluster
+        from repro.runtime.persistence import load_bitstream_db
+        cluster = make_cluster(num_boards=1)
+        db = load_bitstream_db(path, cluster.footprint)
+        assert len(db) == 21

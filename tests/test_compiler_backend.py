@@ -1,0 +1,213 @@
+"""Tests for P&R simulation, relocation, bitstream artifacts and the
+compile-time model (flow steps 4-6)."""
+
+import pytest
+
+from repro.compiler.bitstream import VirtualBlockImage
+from repro.compiler.interface_gen import InterfaceGenerator
+from repro.compiler.partitioner import NetlistPartitioner
+from repro.compiler.pnr import GlobalPnR, LocalPnR, INTERFACE_FMAX_MHZ
+from repro.compiler.relocation import RelocationError, Relocator
+from repro.compiler.timing import CompileTimeBreakdown, CompileTimeModel
+from repro.hls.frontend import synthesize
+from repro.hls.kernels import benchmark
+
+
+@pytest.fixture(scope="module")
+def placed_blocks(partition):
+    netlist = synthesize(benchmark("vgg16", "M"))
+    part = NetlistPartitioner(partition.block_capacity).partition(netlist)
+    local = LocalPnR(block_capacity=partition.block_capacity,
+                     footprint=partition.blocks[0].footprint)
+    return local.run(part), part
+
+
+class TestLocalPnR:
+    def test_one_placed_block_per_virtual_block(self, placed_blocks):
+        placed, part = placed_blocks
+        assert len(placed) == part.num_blocks
+
+    def test_utilization_below_one(self, placed_blocks):
+        placed, _ = placed_blocks
+        assert all(0 < p.utilization <= 1.0 for p in placed)
+
+    def test_fmax_decreases_with_utilization(self):
+        assert LocalPnR._fmax(0.2) > LocalPnR._fmax(0.9)
+
+    def test_moderate_fill_meets_shell_clock(self):
+        assert LocalPnR._fmax(0.73) >= 250.0
+
+    def test_pathological_fill_misses_timing(self):
+        assert LocalPnR._fmax(1.0) < 350.0
+
+    def test_footprint_recorded(self, placed_blocks, partition):
+        placed, _ = placed_blocks
+        assert all(p.footprint == partition.blocks[0].footprint
+                   for p in placed)
+
+    def test_overfull_block_rejected(self, partition):
+        netlist = synthesize(benchmark("svhn", "L"))
+        part = NetlistPartitioner(
+            partition.block_capacity).partition(netlist)
+        local = LocalPnR(block_capacity=partition.block_capacity * 0.3,
+                         footprint="tiny")
+        with pytest.raises(ValueError, match="does not fit"):
+            local.run(part)
+
+
+class TestGlobalPnR:
+    def test_fmax_limited_by_worst_block(self, placed_blocks, partition):
+        placed, part = placed_blocks
+        iface = InterfaceGenerator().generate(part)
+        result = GlobalPnR().run(placed, iface)
+        worst = min(p.fmax_mhz for p in placed)
+        assert result.fmax_mhz == min(worst, INTERFACE_FMAX_MHZ)
+
+    def test_meets_shell_clock(self, placed_blocks, partition):
+        placed, part = placed_blocks
+        iface = InterfaceGenerator().generate(part)
+        assert GlobalPnR(shell_clock_mhz=250).run(placed,
+                                                  iface).meets_shell_clock
+
+    def test_empty_design_rejected(self, placed_blocks, partition):
+        _, part = placed_blocks
+        iface = InterfaceGenerator().generate(part)
+        with pytest.raises(ValueError):
+            GlobalPnR().run([], iface)
+
+
+class TestRelocation:
+    def test_relocates_to_every_block(self, placed_blocks, partition):
+        placed, _ = placed_blocks
+        image = VirtualBlockImage.from_placed("app", placed[0])
+        relocator = Relocator()
+        for block in partition.blocks:
+            bound = relocator.relocate(image, block)
+            assert bound.target is block
+            assert bound.rewrite_time_s < 1.0
+
+    def test_footprint_mismatch_rejected(self, placed_blocks, partition):
+        placed, _ = placed_blocks
+        image = VirtualBlockImage.from_placed("app", placed[0])
+        import dataclasses
+        alien = dataclasses.replace(partition.blocks[0],
+                                    footprint="other-device")
+        with pytest.raises(RelocationError, match="incompatible"):
+            Relocator().relocate(image, alien)
+
+    def test_speedup_vs_recompile_over_10x(self, partition):
+        model = CompileTimeModel()
+        pnr = model.pnr_time_s(150e3)
+        speedup = Relocator.speedup_vs_recompile(
+            num_physical_blocks=partition.num_blocks,
+            pnr_time_s=pnr, rewrite_time_s=0.25)
+        assert speedup > 10  # the paper's ">10x" claim
+
+
+class TestBitstreamImage:
+    def test_image_id_stable(self, placed_blocks):
+        placed, _ = placed_blocks
+        a = VirtualBlockImage.from_placed("app", placed[0])
+        b = VirtualBlockImage.from_placed("app", placed[0])
+        assert a.image_id == b.image_id
+
+    def test_image_id_distinct_per_block(self, placed_blocks):
+        placed, _ = placed_blocks
+        if len(placed) < 2:
+            pytest.skip("single-block design")
+        a = VirtualBlockImage.from_placed("app", placed[0])
+        b = VirtualBlockImage.from_placed("app", placed[1])
+        assert a.image_id != b.image_id
+
+
+class TestCompileTimeModel:
+    def test_pnr_dominates(self):
+        b = CompileTimeModel().breakdown(luts=164.5e3)
+        assert 0.80 < b.pnr_fraction < 0.90  # paper: 83.9%
+
+    def test_custom_tools_small(self):
+        b = CompileTimeModel().breakdown(luts=164.5e3)
+        assert 0.005 < b.custom_fraction < 0.03  # paper: 1.6%
+
+    def test_fractions_sum_to_one(self):
+        b = CompileTimeModel().breakdown(luts=100e3)
+        assert b.pnr_fraction + b.custom_fraction \
+            + b.synthesis_fraction == pytest.approx(1.0)
+
+    def test_zero_luts_rejected(self):
+        with pytest.raises(ValueError):
+            CompileTimeModel().breakdown(luts=0)
+
+    def test_aggregate_sums(self):
+        model = CompileTimeModel()
+        parts = [model.breakdown(luts=50e3), model.breakdown(luts=100e3)]
+        total = CompileTimeBreakdown.aggregate(parts)
+        assert total.total_s \
+            == pytest.approx(parts[0].total_s + parts[1].total_s)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompileTimeBreakdown.aggregate([])
+
+    def test_partition_dominates_custom_time(self):
+        b = CompileTimeModel().breakdown(luts=100e3)
+        assert b.partition_s > b.interface_gen_s
+        assert b.partition_s > b.relocation_s
+
+
+class TestFlow:
+    def test_compiled_app_valid(self, compiled_medium, partition):
+        compiled_medium.validate()
+        assert compiled_medium.footprint \
+            == partition.blocks[0].footprint
+
+    def test_blocks_match_blocks_for(self, compiled_medium, partition):
+        from repro.compiler.partitioner import blocks_for
+        expected = blocks_for(compiled_medium.resources,
+                              partition.block_capacity)
+        # retries may add a block or two when legalization is tight
+        assert expected <= compiled_medium.num_blocks <= expected + 2
+
+    def test_meets_shell_clock(self, compiled_large):
+        assert compiled_large.fmax_mhz >= 250.0
+
+    def test_breakdown_attached(self, compiled_large):
+        assert compiled_large.breakdown.total_s > 0
+        assert compiled_large.breakdown.measured_custom_s > 0
+
+    def test_interface_deadlock_free(self, compiled_large):
+        assert compiled_large.interface.verify_deadlock_free()
+
+    def test_service_time_from_spec(self, compiled_small):
+        assert compiled_small.service_time_s() \
+            == pytest.approx(compiled_small.spec.service_time_s())
+
+    def test_compile_with_supplied_netlist(self, flow):
+        """Callers with their own post-synthesis netlist skip step 1."""
+        from repro.core.programming import custom_kernel
+        from repro.netlist.generator import NetlistBuilder
+        from repro.fabric.resources import ResourceVector
+        builder = NetlistBuilder("byon", seed=1, macro_lut=128)
+        builder.add_module(
+            "core", ResourceVector(lut=5000, dff=9000, dsp=8,
+                                   bram_mb=0.3))
+        netlist = builder.build()
+        spec = custom_kernel("byon", lut=5000, dff=9000, dsp=8,
+                             bram_mb=0.3, service_time_s=3.0)
+        app = flow.compile(spec, netlist=netlist)
+        app.validate()
+        assert app.num_blocks == 1
+
+    def test_compile_rejects_mismatched_netlist(self, flow):
+        from repro.core.programming import custom_kernel
+        from repro.netlist.generator import NetlistBuilder
+        from repro.fabric.resources import ResourceVector
+        builder = NetlistBuilder("liar", seed=1, macro_lut=128)
+        builder.add_module(
+            "core", ResourceVector(lut=90e3, dff=90e3, dsp=0,
+                                   bram_mb=0))
+        netlist = builder.build()
+        tiny_spec = custom_kernel("liar", lut=100, dff=100, dsp=0,
+                                  bram_mb=0)
+        with pytest.raises(ValueError, match="exceeds the declared"):
+            flow.compile(tiny_spec, netlist=netlist)

@@ -1,0 +1,134 @@
+"""Tests for detailed intra-block place-and-route."""
+
+import pytest
+
+from repro.compiler.detailed_pnr import (
+    BinGrid,
+    detailed_place_and_route,
+)
+from repro.compiler.partitioner import NetlistPartitioner
+from repro.compiler.pnr import LocalPnR
+from repro.fabric.resources import ResourceVector
+from repro.hls.frontend import synthesize
+from repro.hls.kernels import benchmark
+
+
+@pytest.fixture(scope="module")
+def partitioned(partition):
+    netlist = synthesize(benchmark("lenet5", "M"))
+    result = NetlistPartitioner(
+        partition.block_capacity).partition(netlist)
+    return netlist, result
+
+
+class TestBinGrid:
+    def test_for_block_capacity_covers_fill_target(self, partition):
+        grid = BinGrid.for_block(partition.block_capacity, cols=8,
+                                 rows=6, fill_target=0.85)
+        total = grid.bin_capacity * (8 * 6)
+        # the grid can hold the whole block at 1/0.85 density
+        assert partition.block_capacity.fits_in(total)
+
+    def test_neighbors_interior_and_corner(self):
+        grid = BinGrid(cols=4, rows=3,
+                       bin_capacity=ResourceVector(lut=10))
+        assert len(grid.neighbors(5)) == 4
+        assert len(grid.neighbors(0)) == 2
+
+    def test_position_index_roundtrip(self):
+        grid = BinGrid(cols=5, rows=4,
+                       bin_capacity=ResourceVector(lut=10))
+        for b in range(grid.num_bins):
+            assert grid.index(*grid.position(b)) == b
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            BinGrid(cols=0, rows=1,
+                    bin_capacity=ResourceVector(lut=1))
+
+
+class TestDetailedPnR:
+    def test_every_macro_placed_in_grid(self, partitioned, partition):
+        netlist, result = partitioned
+        out = detailed_place_and_route(netlist, result, 0,
+                                       partition.block_capacity)
+        members = [u for u, vb in result.assignment.items()
+                   if vb == 0 and not netlist.primitives[u].is_io()]
+        assert set(out.placement) == set(members)
+        grid = BinGrid.for_block(partition.block_capacity)
+        assert all(0 <= b < grid.num_bins
+                   for b in out.placement.values())
+
+    def test_no_bin_overflow(self, partitioned, partition):
+        netlist, result = partitioned
+        out = detailed_place_and_route(netlist, result, 0,
+                                       partition.block_capacity)
+        assert out.overflow_bins == 0
+
+    def test_router_converges(self, partitioned, partition):
+        netlist, result = partitioned
+        out = detailed_place_and_route(netlist, result, 0,
+                                       partition.block_capacity)
+        assert out.routed
+        assert out.router_iterations >= 1
+
+    def test_meets_shell_clock(self, partitioned, partition):
+        netlist, result = partitioned
+        out = detailed_place_and_route(netlist, result, 0,
+                                       partition.block_capacity)
+        assert out.fmax_mhz >= 250.0
+
+    def test_agrees_with_analytic_model(self, partitioned, partition):
+        """The calibrated LocalPnR fmax and the detailed fmax agree to
+        within a factor ~2 -- same ballpark, as intended (they are
+        independent models: utilization proxy vs placed wirelength)."""
+        netlist, result = partitioned
+        detailed = detailed_place_and_route(netlist, result, 0,
+                                            partition.block_capacity)
+        util = result.block_usage[0].utilization_of(
+            partition.block_capacity)
+        analytic = LocalPnR._fmax(util)
+        ratio = detailed.fmax_mhz / analytic
+        assert 0.5 < ratio < 2.0
+
+    def test_sa_improves_or_matches_greedy(self, partitioned,
+                                           partition):
+        netlist, result = partitioned
+        greedy = detailed_place_and_route(
+            netlist, result, 0, partition.block_capacity, sa_moves=0)
+        annealed = detailed_place_and_route(
+            netlist, result, 0, partition.block_capacity,
+            sa_moves=4000)
+        assert annealed.hpwl <= greedy.hpwl * 1.001
+
+    def test_deterministic_per_seed(self, partitioned, partition):
+        netlist, result = partitioned
+        a = detailed_place_and_route(netlist, result, 0,
+                                     partition.block_capacity, seed=4)
+        b = detailed_place_and_route(netlist, result, 0,
+                                     partition.block_capacity, seed=4)
+        assert a.placement == b.placement
+        assert a.hpwl == b.hpwl
+
+    def test_empty_block_rejected(self, partitioned, partition):
+        netlist, result = partitioned
+        with pytest.raises(ValueError, match="no logic"):
+            detailed_place_and_route(netlist, result, 99,
+                                     partition.block_capacity)
+
+    def test_tight_channels_force_iterations(self, partitioned,
+                                             partition):
+        """With scarce routing, the negotiated router works harder (or
+        honestly fails), never silently overuses."""
+        netlist, result = partitioned
+        grid = BinGrid.for_block(partition.block_capacity)
+        tight = BinGrid(cols=grid.cols, rows=grid.rows,
+                        bin_capacity=grid.bin_capacity,
+                        channel_capacity=2)
+        out = detailed_place_and_route(netlist, result, 0,
+                                       partition.block_capacity,
+                                       grid=tight)
+        if out.routed:
+            assert out.max_channel_use <= 2
+        else:
+            assert out.router_iterations >= 12

@@ -1,0 +1,146 @@
+"""Tests for the FM min-cut partitioner (the Section 4 alternative)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.fm import FMPartitioner, fm_bipartition
+from repro.compiler.partitioner import NetlistPartitioner, blocks_for
+from repro.fabric.resources import ResourceVector
+from repro.hls.frontend import synthesize
+from repro.hls.kernels import benchmark
+from repro.netlist.netlist import Netlist
+from repro.netlist.primitives import PrimitiveType
+
+
+def two_communities(k=12, seed=0):
+    """Two densely connected groups joined by one thin net."""
+    nl = Netlist("communities")
+    res = ResourceVector(lut=10, dff=20)
+    groups = []
+    for _ in range(2):
+        members = [nl.add_primitive(PrimitiveType.MACRO, resources=res)
+                   for _ in range(k)]
+        for i, a in enumerate(members):
+            for b in members[i + 1:i + 4]:
+                nl.add_net(a, [b], width_bits=32)
+        groups.append(members)
+    nl.add_net(groups[0][-1], [groups[1][0]], width_bits=1)
+    return nl, groups
+
+
+class TestBipartition:
+    def test_finds_the_natural_cut(self):
+        nl, groups = two_communities()
+        cap = ResourceVector(lut=130, dff=260)
+        left, right = fm_bipartition(nl, sorted(nl.primitives),
+                                     cap, cap)
+        sides = [left, right]
+        # each community lands whole on one side
+        for group in groups:
+            on_left = sum(1 for u in group if u in left)
+            assert on_left in (0, len(group))
+        assignment = {u: 0 for u in left} | {u: 1 for u in right}
+        assert nl.cut_bandwidth(assignment) == 1  # only the thin net
+
+    def test_balance_respected(self):
+        nl, _ = two_communities()
+        cap = ResourceVector(lut=130, dff=260)
+        left, right = fm_bipartition(nl, sorted(nl.primitives),
+                                     cap, cap)
+        for side in (left, right):
+            total = sum((nl.primitives[u].resources for u in side),
+                        ResourceVector.zero())
+            assert total.fits_in(cap)
+
+    def test_infeasible_balance_raises(self):
+        nl, _ = two_communities(k=6)
+        tiny = ResourceVector(lut=20, dff=40)
+        with pytest.raises(ValueError, match="balance"):
+            fm_bipartition(nl, sorted(nl.primitives), tiny, tiny)
+
+    def test_deterministic_per_seed(self):
+        nl, _ = two_communities()
+        cap = ResourceVector(lut=130, dff=260)
+        a = fm_bipartition(nl, sorted(nl.primitives), cap, cap, seed=5)
+        b = fm_bipartition(nl, sorted(nl.primitives), cap, cap, seed=5)
+        assert a == b
+
+
+class TestFMProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(8, 30))
+    def test_bipartition_always_balanced_or_raises(self, seed, k):
+        nl, _ = two_communities(k=k, seed=seed)
+        cap = ResourceVector(lut=11 * k, dff=22 * k)
+        try:
+            left, right = fm_bipartition(nl, sorted(nl.primitives),
+                                         cap, cap, seed=seed)
+        except ValueError:
+            return  # explicit refusal is acceptable; silence is not
+        for side in (left, right):
+            total = sum((nl.primitives[u].resources for u in side),
+                        ResourceVector.zero())
+            assert total.fits_in(cap)
+        assert left | right == set(nl.primitives)
+        assert not left & right
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_fm_never_worse_than_everything_cut(self, seed):
+        """FM's cut never exceeds the total net weight (sanity bound)."""
+        nl, _ = two_communities(k=10, seed=seed)
+        cap = ResourceVector(lut=120, dff=240)
+        left, right = fm_bipartition(nl, sorted(nl.primitives),
+                                     cap, cap, seed=seed)
+        assignment = {u: 0 for u in left} | {u: 1 for u in right}
+        total_weight = sum(n.width_bits for n in nl.nets.values())
+        assert nl.cut_bandwidth(assignment) <= total_weight
+
+
+class TestFMPartitioner:
+    def test_all_table2_designs_partition(self, partition):
+        """Every multi-block benchmark survives recursive FM."""
+        cap = partition.block_capacity
+        for family, size in [("lenet5", "M"), ("svhn", "L"),
+                             ("vgg16", "L")]:
+            spec = benchmark(family, size)
+            netlist = synthesize(spec)
+            result = FMPartitioner(cap).partition(netlist)
+            result.validate(cap)
+            assert set(result.assignment) == set(netlist.primitives)
+
+    def test_cut_in_same_class_as_placement_based(self, partition):
+        """FM (pure min-cut) and the paper's algorithm land in the same
+        cut ballpark; neither dominates across designs."""
+        cap = partition.block_capacity
+        spec = benchmark("alexnet", "L")
+        netlist = synthesize(spec)
+        n = blocks_for(spec.resources, cap)
+        fm = FMPartitioner(cap).partition(netlist, num_blocks=n)
+        pl = NetlistPartitioner(cap).partition(netlist, num_blocks=n)
+        ratio = fm.cut_bandwidth_bits / pl.cut_bandwidth_bits
+        assert 0.1 < ratio < 10
+
+    def test_may_use_extra_blocks_when_tight(self, partition):
+        """FM's bisection tree sometimes needs retry blocks -- the
+        utilization cost the ablation quantifies."""
+        cap = partition.block_capacity
+        spec = benchmark("svhn", "L")
+        netlist = synthesize(spec)
+        n = blocks_for(spec.resources, cap)
+        result = FMPartitioner(cap).partition(netlist, num_blocks=n)
+        assert n <= result.num_blocks <= n + 2
+
+    def test_single_block(self, partition):
+        netlist = synthesize(benchmark("mlp-mnist", "S"))
+        result = FMPartitioner(partition.block_capacity).partition(
+            netlist, num_blocks=1)
+        assert result.num_blocks == 1
+        assert result.cut_bandwidth_bits == 0
+
+    def test_impossible_raises(self, partition):
+        netlist = synthesize(benchmark("svhn", "L"))
+        tiny = partition.block_capacity * 0.05
+        with pytest.raises(RuntimeError, match="FM partitioning"):
+            FMPartitioner(tiny).partition(netlist, num_blocks=2,
+                                          max_retries=0)

@@ -1,0 +1,123 @@
+"""Tests for the configuration-frame model behind relocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st, HealthCheck
+
+from repro.compiler.frames import (
+    ConfigFrame,
+    FRAME_WORDS,
+    FrameAddress,
+    FrameRelocationError,
+    PartialBitstream,
+    frame_window,
+    relocate_bitstream,
+)
+
+
+@pytest.fixture(scope="module")
+def blocks(partition):
+    return partition.blocks
+
+
+@pytest.fixture(scope="module")
+def columns(partition):
+    return sum(partition.user_columns.values())
+
+
+class TestFrameBasics:
+    def test_payload_size_enforced(self):
+        with pytest.raises(ValueError, match="bytes"):
+            ConfigFrame(FrameAddress(0, 0), b"short")
+
+    def test_duplicate_addresses_rejected(self):
+        payload = bytes(FRAME_WORDS * 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            PartialBitstream([ConfigFrame(FrameAddress(0, 0), payload),
+                              ConfigFrame(FrameAddress(0, 0), payload)])
+
+    def test_frames_sorted_by_address(self, blocks, columns):
+        bs = PartialBitstream.for_block(blocks[0], columns)
+        addresses = [f.address for f in bs.frames]
+        assert addresses == sorted(addresses)
+
+    def test_window_covers_block(self, blocks, columns):
+        rows, cols = frame_window(blocks[0], columns)
+        assert len(rows) == blocks[0].tile_rows
+        assert len(cols) == columns
+
+    def test_windows_disjoint_between_blocks(self, blocks, columns):
+        r0, _ = frame_window(blocks[0], columns)
+        r1, _ = frame_window(blocks[1], columns)
+        assert set(r0).isdisjoint(set(r1))
+
+    def test_for_block_deterministic_per_seed(self, blocks, columns):
+        a = PartialBitstream.for_block(blocks[0], columns, seed=3)
+        b = PartialBitstream.for_block(blocks[0], columns, seed=3)
+        c = PartialBitstream.for_block(blocks[0], columns, seed=4)
+        assert a.crc == b.crc != c.crc
+
+    def test_verify_detects_corruption(self, blocks, columns):
+        bs = PartialBitstream.for_block(blocks[0], columns, seed=9)
+        assert bs.verify()
+        original = bs.frames[0].payload
+        flipped = bytes([original[0] ^ 0xFF]) + original[1:]
+        bs.frames[0] = ConfigFrame(bs.frames[0].address, flipped)
+        assert not bs.verify()
+
+
+class TestFrameRelocation:
+    def test_payloads_untouched(self, blocks, columns):
+        bs = PartialBitstream.for_block(blocks[0], columns, seed=7)
+        moved = relocate_bitstream(bs, blocks[0], blocks[1], columns)
+        assert moved.payload_digest() == bs.payload_digest()
+        assert moved.num_frames == bs.num_frames
+
+    def test_addresses_land_in_target_window(self, blocks, columns):
+        bs = PartialBitstream.for_block(blocks[0], columns)
+        moved = relocate_bitstream(bs, blocks[0], blocks[-1], columns)
+        rows, cols = frame_window(blocks[-1], columns)
+        for frame in moved.frames:
+            assert frame.address.row in rows
+            assert frame.address.column in cols
+
+    def test_roundtrip_is_identity(self, blocks, columns):
+        bs = PartialBitstream.for_block(blocks[0], columns, seed=11)
+        there = relocate_bitstream(bs, blocks[0], blocks[5], columns)
+        back = relocate_bitstream(there, blocks[5], blocks[0], columns)
+        assert back.crc == bs.crc
+
+    def test_cross_die_relocation_works(self, blocks, columns):
+        src = blocks[0]
+        dst = next(b for b in blocks if b.die_index != src.die_index)
+        bs = PartialBitstream.for_block(src, columns)
+        moved = relocate_bitstream(bs, src, dst, columns)
+        assert moved.verify()
+
+    def test_foreign_footprint_rejected(self, blocks, columns):
+        import dataclasses
+        alien = dataclasses.replace(blocks[1], footprint="other")
+        bs = PartialBitstream.for_block(blocks[0], columns)
+        with pytest.raises(FrameRelocationError, match="congruent"):
+            relocate_bitstream(bs, blocks[0], alien, columns)
+
+    def test_out_of_window_frame_rejected(self, blocks, columns):
+        payload = bytes(FRAME_WORDS * 4)
+        rogue = PartialBitstream(
+            [ConfigFrame(FrameAddress(row=999_999, column=0), payload)])
+        with pytest.raises(FrameRelocationError, match="outside"):
+            relocate_bitstream(rogue, blocks[0], blocks[1], columns)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(src=st.integers(0, 14), dst=st.integers(0, 14),
+           seed=st.integers(0, 1000))
+    def test_relocation_property(self, src, dst, seed, partition):
+        columns = sum(partition.user_columns.values())
+        blocks = partition.blocks
+        bs = PartialBitstream.for_block(blocks[src], columns, seed=seed)
+        moved = relocate_bitstream(bs, blocks[src], blocks[dst],
+                                   columns)
+        assert moved.payload_digest() == bs.payload_digest()
+        assert moved.verify()
+        if src == dst:
+            assert moved.crc == bs.crc

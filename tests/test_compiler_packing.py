@@ -1,0 +1,104 @@
+"""Tests for Algorithm 1 (greedy packing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.packing import GreedyPacker
+from repro.fabric.resources import ResourceVector
+from repro.netlist.netlist import Netlist
+from repro.netlist.primitives import PrimitiveType
+
+
+def lut_chain(n):
+    nl = Netlist()
+    prims = [nl.add_primitive(PrimitiveType.LUT) for _ in range(n)]
+    for a, b in zip(prims, prims[1:]):
+        nl.add_net(a, [b])
+    return nl
+
+
+def two_cliques(k):
+    """Two densely connected groups joined by one thin net."""
+    nl = Netlist()
+    left = [nl.add_primitive(PrimitiveType.LUT) for _ in range(k)]
+    right = [nl.add_primitive(PrimitiveType.LUT) for _ in range(k)]
+    for group in (left, right):
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                nl.add_net(a, [b])
+    nl.add_net(left[-1], [right[0]])
+    return nl, left, right
+
+
+class TestPacking:
+    def test_every_primitive_packed_once(self):
+        nl = lut_chain(50)
+        clusters = GreedyPacker(ResourceVector(lut=10, dff=10)).pack(nl)
+        seen = [uid for c in clusters for uid in c.members]
+        assert sorted(seen) == sorted(nl.primitives)
+
+    def test_capacity_respected(self):
+        nl = lut_chain(64)
+        cap = ResourceVector(lut=7, dff=7)
+        for cluster in GreedyPacker(cap).pack(nl):
+            assert cluster.resources.fits_in(cap)
+
+    def test_attraction_keeps_cliques_together(self):
+        nl, left, right = two_cliques(6)
+        cap = ResourceVector(lut=6, dff=6)
+        clusters = GreedyPacker(cap, seed=3).pack(nl)
+        # no cluster should mix many members of both cliques
+        for cluster in clusters:
+            in_left = sum(1 for u in cluster.members if u in set(left))
+            in_right = len(cluster.members) - in_left
+            assert min(in_left, in_right) <= 1
+
+    def test_small_clusters_merged(self):
+        nl = lut_chain(21)
+        cap = ResourceVector(lut=10, dff=10)
+        clusters = GreedyPacker(cap, merge_threshold=0.25,
+                                seed=0).pack(nl)
+        fills = [c.resources.utilization_of(cap) for c in clusters]
+        # after merging, at most one under-filled straggler cluster
+        assert sum(1 for f in fills if f < 0.25) <= 1
+
+    def test_cluster_uids_renumbered(self):
+        nl = lut_chain(30)
+        clusters = GreedyPacker(ResourceVector(lut=8, dff=8)).pack(nl)
+        assert [c.uid for c in clusters] == list(range(len(clusters)))
+
+    def test_deterministic_per_seed(self):
+        nl = lut_chain(40)
+        cap = ResourceVector(lut=9, dff=9)
+        a = GreedyPacker(cap, seed=11).pack(nl)
+        b = GreedyPacker(cap, seed=11).pack(nl)
+        assert [c.members for c in a] == [c.members for c in b]
+
+    def test_oversized_primitive_gets_own_cluster(self):
+        nl = Netlist()
+        big = nl.add_primitive(
+            PrimitiveType.MACRO,
+            resources=ResourceVector(lut=100, dff=100))
+        small = nl.add_primitive(PrimitiveType.LUT)
+        nl.add_net(big, [small])
+        clusters = GreedyPacker(ResourceVector(lut=10, dff=10)).pack(nl)
+        assert any(big in c.members and len(c) == 1 for c in clusters) \
+            or any(big in c.members for c in clusters)
+
+    def test_empty_netlist(self):
+        assert GreedyPacker(ResourceVector(lut=10)).pack(Netlist()) == []
+
+
+class TestPackingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=80),
+           st.integers(min_value=2, max_value=20))
+    def test_partition_property(self, n, cap_lut):
+        nl = lut_chain(n)
+        clusters = GreedyPacker(
+            ResourceVector(lut=cap_lut, dff=cap_lut)).pack(nl)
+        members = sorted(uid for c in clusters for uid in c.members)
+        assert members == sorted(nl.primitives)
+        total = sum((c.resources for c in clusters),
+                    ResourceVector.zero())
+        assert total.lut == pytest.approx(n)

@@ -1,0 +1,133 @@
+"""Stress tests: pathological netlist topologies through the pipeline.
+
+The Table 2 accelerators are well-behaved module pipelines; these tests
+feed the partitioner/interface-generator shapes that break naive graph
+heuristics -- stars, cliques, disconnected forests, feedback meshes --
+and assert the structural invariants still hold.
+"""
+
+import pytest
+
+from repro.compiler.interface_gen import InterfaceGenerator
+from repro.compiler.partitioner import NetlistPartitioner
+from repro.fabric.resources import ResourceVector
+from repro.netlist.netlist import Netlist
+from repro.netlist.primitives import PrimitiveType
+
+BLOCK = ResourceVector(lut=400, dff=800, dsp=8, bram_mb=0.5)
+
+
+def macros(nl, n, lut=50):
+    res = ResourceVector(lut=lut, dff=lut * 2, dsp=0.2, bram_mb=0.01)
+    return [nl.add_primitive(PrimitiveType.MACRO, resources=res)
+            for _ in range(n)]
+
+
+def partition_of(nl, blocks):
+    result = NetlistPartitioner(BLOCK, seed=3).partition(
+        nl, num_blocks=blocks)
+    result.validate(BLOCK)
+    return result
+
+
+class TestPathologicalTopologies:
+    def test_star_hub(self):
+        """One hub driving 60 leaves (broadcast-style)."""
+        nl = Netlist("star")
+        hub, *leaves = macros(nl, 61, lut=20)
+        for leaf in leaves:
+            nl.add_net(hub, [leaf], width_bits=16)
+        result = partition_of(nl, 4)
+        iface = InterfaceGenerator().generate(result)
+        assert iface.verify_deadlock_free()
+
+    def test_dense_clique(self):
+        """All-to-all among 24 macros: any cut is expensive, but the
+        pipeline must still terminate with a legal partition."""
+        nl = Netlist("clique")
+        nodes = macros(nl, 24, lut=60)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                nl.add_net(a, [b], width_bits=4)
+        result = partition_of(nl, 4)
+        assert result.cut_bandwidth_bits > 0
+
+    def test_disconnected_forest(self):
+        """Six unconnected chains (multi-kernel designs); block count
+        left to :func:`blocks_for` since forests pack imperfectly."""
+        nl = Netlist("forest")
+        for _ in range(6):
+            chain = macros(nl, 8, lut=40)
+            for a, b in zip(chain, chain[1:]):
+                nl.add_net(a, [b], width_bits=32)
+        result = NetlistPartitioner(BLOCK, seed=3).partition(nl)
+        result.validate(BLOCK)
+        assert set(result.assignment.values()) \
+            <= set(range(result.num_blocks))
+
+    def test_feedback_mesh(self):
+        """Every stage feeds back to stage 0 (deep control loops)."""
+        nl = Netlist("mesh")
+        chain = macros(nl, 30, lut=40)
+        for a, b in zip(chain, chain[1:]):
+            nl.add_net(a, [b], width_bits=32)
+        for node in chain[1:]:
+            nl.add_net(node, [chain[0]], width_bits=8)
+        result = partition_of(nl, 4)
+        iface = InterfaceGenerator().generate(result)
+        # cycles across blocks must have received tokens
+        assert iface.verify_deadlock_free()
+
+    def test_single_giant_macro(self):
+        """A macro nearly as big as a block partitions alone."""
+        nl = Netlist("giant")
+        giant = nl.add_primitive(
+            PrimitiveType.MACRO,
+            resources=ResourceVector(lut=280, dff=560, dsp=5,
+                                     bram_mb=0.3))
+        small = macros(nl, 10, lut=20)
+        for s in small:
+            nl.add_net(giant, [s], width_bits=8)
+        result = partition_of(nl, 2)
+        giant_block = result.assignment[giant]
+        assert result.block_usage[giant_block].fits_in(BLOCK)
+
+    def test_wide_buses(self):
+        """4k-bit buses between stages stress the bandwidth objective."""
+        nl = Netlist("buses")
+        chain = macros(nl, 16, lut=80)
+        for a, b in zip(chain, chain[1:]):
+            nl.add_net(a, [b], width_bits=4096)
+        result = partition_of(nl, 4)
+        iface = InterfaceGenerator().generate(result)
+        for channel in iface.channels:
+            assert channel.serialization_factor >= 1.0
+
+
+class TestPipelineDeterminism:
+    def test_flow_is_deterministic(self, cluster):
+        from repro.compiler.flow import CompilationFlow
+        from repro.hls.kernels import benchmark
+        spec = benchmark("alexnet", "S")
+        a = CompilationFlow(fabric=cluster.partition,
+                            seed=5).compile(spec)
+        b = CompilationFlow(fabric=cluster.partition,
+                            seed=5).compile(spec)
+        assert a.num_blocks == b.num_blocks
+        assert a.cut_bandwidth_bits == b.cut_bandwidth_bits
+        assert a.flows == b.flows
+        assert [i.image_id for i in a.images] \
+            == [i.image_id for i in b.images]
+
+    def test_seed_changes_partition_not_validity(self, cluster):
+        from repro.compiler.flow import CompilationFlow
+        from repro.hls.kernels import benchmark
+        spec = benchmark("lenet5", "L")
+        apps = [CompilationFlow(fabric=cluster.partition,
+                                seed=s).compile(spec)
+                for s in (1, 2)]
+        for app in apps:
+            app.validate()
+        # cut bandwidth varies with the heuristic seed but stays sane
+        cuts = [a.cut_bandwidth_bits for a in apps]
+        assert max(cuts) < 4 * min(cuts)

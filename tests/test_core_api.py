@@ -1,0 +1,103 @@
+"""Tests for the Programming Layer and the ViTALStack facade."""
+
+import pytest
+
+from repro import (
+    ViTALStack,
+    benchmark,
+    custom_kernel,
+)
+from repro.core.programming import VirtualFPGA
+from repro.fabric.resources import ResourceVector
+
+
+@pytest.fixture(scope="module")
+def stack(cluster):
+    return ViTALStack(cluster=cluster)
+
+
+class TestCustomKernel:
+    def test_roundtrips_service_time(self):
+        k = custom_kernel("k", lut=10e3, dff=20e3, dsp=64, bram_mb=2,
+                          service_time_s=17.0)
+        assert k.service_time_s() == pytest.approx(17.0)
+
+    def test_roundtrips_without_dsp(self):
+        k = custom_kernel("k", lut=10e3, dff=20e3, dsp=0, bram_mb=2,
+                          service_time_s=9.0)
+        assert k.service_time_s() == pytest.approx(9.0)
+
+    def test_rejects_logicless_kernel(self):
+        with pytest.raises(ValueError):
+            custom_kernel("k", lut=0, dff=0, dsp=1, bram_mb=0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            custom_kernel("k", lut=1, dff=1, dsp=0, bram_mb=0,
+                          service_time_s=0)
+
+
+class TestVirtualFPGA:
+    def test_admits_normal_kernel(self, cluster):
+        vf = VirtualFPGA(pool_capacity=cluster.partition.user_resources()
+                         * cluster.num_boards)
+        assert vf.admits(benchmark("svhn", "L"))
+
+    def test_rejects_monster_kernel(self):
+        vf = VirtualFPGA(pool_capacity=ResourceVector(lut=1000, dff=1000))
+        monster = custom_kernel("m", lut=1e9, dff=1e9, dsp=0, bram_mb=0)
+        assert not vf.admits(monster)
+        with pytest.raises(ValueError, match="aggregated cluster pool"):
+            vf.check(monster)
+
+    def test_headroom(self):
+        vf = VirtualFPGA(pool_capacity=ResourceVector(lut=1000,
+                                                      dff=1000))
+        k = custom_kernel("k", lut=100, dff=100, dsp=0, bram_mb=0)
+        assert vf.headroom(k) == pytest.approx(10.0)
+
+
+class TestViTALStack:
+    def test_compile_idempotent(self, stack):
+        spec = benchmark("vgg16", "S")
+        a = stack.compile(spec)
+        b = stack.compile(spec)
+        assert a is b
+
+    def test_deploy_release_cycle(self, stack):
+        d = stack.deploy(benchmark("vgg16", "S"))
+        assert d is not None
+        assert stack.utilization() > 0
+        stack.check_isolation()
+        stack.release(d)
+        assert len(stack.running()) == 0
+
+    def test_deploy_returns_none_when_full(self, cluster):
+        stack = ViTALStack(cluster=cluster)
+        spec = benchmark("resnet18", "L")
+        live = []
+        while (d := stack.deploy(spec)) is not None:
+            live.append(d)
+        assert live
+        for d in live:
+            stack.release(d)
+
+    def test_status_snapshot(self, stack):
+        status = stack.status()
+        assert status["capacity_blocks"] == 60
+        assert "utilization" in status
+
+    def test_custom_kernel_end_to_end(self, stack):
+        k = custom_kernel("tiny-filter", lut=30e3, dff=40e3, dsp=16,
+                          bram_mb=1.5, service_time_s=5.0)
+        d = stack.deploy(k)
+        assert d is not None
+        assert d.service_time_s == pytest.approx(5.0)
+        stack.release(d)
+
+    def test_free_blocks_accounting(self, stack):
+        before = stack.free_blocks()
+        d = stack.deploy(benchmark("vgg16", "S"))
+        assert stack.free_blocks() == before - d.num_blocks
+        stack.release(d)
+        assert stack.free_blocks() == before

@@ -1,0 +1,181 @@
+"""Edge-case sweep across modules with lighter dedicated coverage."""
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.fabric.device import ColumnType
+from repro.fabric.resources import ResourceVector
+from repro.hls.kernels import SHELL_CLOCK_HZ, benchmark
+from repro.interconnect.channel import Channel
+from repro.interconnect.links import LinkClass, LinkModel
+from repro.runtime.controller import SystemController
+from repro.runtime.policy import CommunicationAwarePolicy
+from repro.sim.workload import WorkloadGenerator
+
+
+class TestSingleBoardCluster:
+    """Degenerate cluster: one board, ring of one node."""
+
+    @pytest.fixture(scope="class")
+    def solo(self):
+        return make_cluster(num_boards=1)
+
+    def test_ring_distance(self, solo):
+        assert solo.network.distance(0, 0) == 0
+        assert solo.network.span_cost([0]) == 0
+
+    def test_deploy_works(self, solo, compiled_large):
+        controller = SystemController(solo)
+        d = controller.try_deploy(compiled_large, 0, 0.0)
+        assert d is not None and not d.spans_boards
+        controller.release(d)
+
+    def test_policy_never_spans(self, solo, compiled_large):
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, {0: list(range(15))}, solo.network)
+        assert placement.num_boards == 1
+
+    def test_no_room_returns_none(self, solo, compiled_large):
+        controller = SystemController(solo)
+        live = []
+        while (d := controller.try_deploy(compiled_large,
+                                          len(live), 0.0)):
+            live.append(d)
+        assert len(live) == 1  # 10-11 of 15 blocks used
+        assert controller.try_deploy(compiled_large, 99, 0.0) is None
+
+
+class TestEightBoardCluster:
+    """A larger ring exercises multi-round subsets up to C(8, k)."""
+
+    @pytest.fixture(scope="class")
+    def wide(self):
+        return make_cluster(num_boards=8)
+
+    def test_ring_distances(self, wide):
+        assert wide.network.distance(0, 4) == 4
+        assert wide.network.distance(1, 7) == 2
+
+    def test_policy_prefers_adjacent_pair(self, wide, compiled_large):
+        free = {b: list(range(6)) for b in range(8)}
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free, wide.network)
+        boards = placement.boards
+        assert len(boards) == 2
+        assert wide.network.distance(*boards) == 1
+
+    def test_saturation_and_drain(self, wide, compiled_medium):
+        controller = SystemController(wide)
+        live = []
+        while (d := controller.try_deploy(compiled_medium,
+                                          len(live), 0.0)):
+            live.append(d)
+        assert controller.busy_blocks() \
+            == len(live) * compiled_medium.num_blocks
+        for d in live:
+            controller.release(d)
+        assert controller.busy_blocks() == 0
+
+
+class TestLinkModelEdges:
+    def test_custom_link_model(self):
+        slow = LinkModel(kind=LinkClass.INTER_FPGA,
+                         bandwidth_gbps=10.0, latency_cycles=1000,
+                         deterministic=False)
+        assert slow.bits_per_cycle == pytest.approx(40.0)
+        assert slow.round_trip_cycles() == 2002
+
+    def test_channel_with_custom_model(self):
+        slow = LinkModel(kind=LinkClass.INTER_FPGA,
+                         bandwidth_gbps=10.0, latency_cycles=5,
+                         deterministic=False)
+        ch = Channel("slow", slow, fifo_depth=16)
+        ch.send(0)
+        ch.step(5)
+        assert ch.has_data()
+
+    def test_zero_cycle_throughput(self):
+        ch = Channel("c", LinkClass.ON_CHIP)
+        assert ch.throughput_gbps(0) == 0.0
+
+
+class TestKernelSpecEdges:
+    def test_shell_clock_constant(self):
+        assert SHELL_CLOCK_HZ == 250e6
+
+    def test_spec_is_hashable_and_frozen(self):
+        a = benchmark("vgg16", "S")
+        b = benchmark("vgg16", "S")
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.family = "other"  # type: ignore[misc]
+
+    def test_all_sizes_distinct_names(self):
+        names = {benchmark("vgg16", s).name for s in "SML"}
+        assert len(names) == 3
+
+
+class TestWorkloadEdges:
+    def test_single_request_set(self):
+        requests = WorkloadGenerator().generate(1, num_requests=1)
+        assert len(requests) == 1
+        assert requests[0].request_id == 0
+
+    def test_distinct_sets_distinct_mixes(self):
+        gen = WorkloadGenerator(seed=1)
+        all_s = gen.generate(1, num_requests=30)
+        all_l = gen.generate(3, num_requests=30)
+        assert {r.spec.size.value for r in all_s} == {"S"}
+        assert {r.spec.size.value for r in all_l} == {"L"}
+
+
+class TestFabricEdges:
+    def test_column_type_str(self):
+        assert str(ColumnType.BRAM) == "bram"
+
+    def test_partition_user_columns_accounting(self, partition):
+        total = sum(partition.user_columns.values()) \
+            + sum(partition.reserved_columns.values())
+        device_cols = sum(
+            1 for kind in partition.device.dies[0].columns
+            if kind is not ColumnType.IO)
+        assert total == device_cols
+
+    def test_block_sub_blocks(self, partition):
+        assert all(b.sub_blocks == 2 for b in partition.blocks)
+
+    def test_resource_vector_mul_zero(self):
+        assert (ResourceVector(lut=5) * 0).is_zero()
+
+
+class TestControllerStatusEdges:
+    def test_running_snapshot_is_copy(self, cluster, compiled_small):
+        controller = SystemController(cluster)
+        controller.try_deploy(compiled_small, 0, 0.0)
+        running = controller.running()
+        running.clear()
+        assert len(controller.running()) == 1
+
+    def test_deploy_registers_bitstream(self, cluster,
+                                        compiled_small):
+        controller = SystemController(cluster)
+        assert compiled_small.name not in controller.bitstream_db
+        controller.try_deploy(compiled_small, 0, 0.0)
+        assert compiled_small.name in controller.bitstream_db
+
+    def test_config_port_queues_same_board(self, cluster,
+                                           compiled_small):
+        """Two simultaneous deployments to one board serialize on its
+        configuration port; on different boards they do not."""
+        controller = SystemController(cluster)
+        times = []
+        for rid in range(8):  # fill board 0 first, then board 1
+            d = controller.try_deploy(compiled_small, rid, 0.0)
+            times.append((d.placement.boards[0], d.reconfig_time_s))
+        by_board: dict[int, list[float]] = {}
+        for board, t in times:
+            by_board.setdefault(board, []).append(t)
+        for board, ts in by_board.items():
+            if len(ts) >= 2:
+                # each later deployment waits behind the earlier ones
+                assert ts[1] > ts[0]

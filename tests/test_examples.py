@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are the public face of the library; each must execute without
+errors and print its key claims.  They run as subprocesses so import
+side effects and ``__main__`` guards are exercised exactly as a user
+would hit them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["compiled svhn-L", "cluster utilization"]),
+    ("scale_out_acceleration.py",
+     ["spans FPGAs: True", "latency overhead"]),
+    ("secure_multi_tenancy.py",
+     ["blocked by the translation unit", "verified disjoint"]),
+    ("heterogeneous_cluster.py",
+     ["compiled once per footprint group", "isolation verified"]),
+    ("rtl_to_cloud.py",
+     ["equivalence check", "deployed parity64"]),
+    ("operator_day.py",
+     ["quota: free-tier", "restarted controller"]),
+    ("multi_tenant_cloud.py",
+     ["one workload-set replay", "cuts mean response time"]),
+]
+
+
+@pytest.mark.parametrize("script,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for phrase in expected:
+        assert phrase in result.stdout, (script, phrase)

@@ -1,0 +1,79 @@
+"""Tests for the device catalog (Fig. 1 inputs, Table 4 substrate)."""
+
+import pytest
+
+from repro.fabric.devices import (
+    CAPACITY_TIMELINE,
+    DEVICE_CATALOG,
+    device_by_name,
+    make_vu13p,
+    make_xcvu37p,
+)
+
+
+class TestXCVU37P:
+    def test_three_dies(self):
+        assert make_xcvu37p().num_dies == 3
+
+    def test_capacity_near_datasheet(self):
+        cap = make_xcvu37p().capacity
+        assert cap.lut == pytest.approx(1.30e6, rel=0.03)
+        assert cap.dff == pytest.approx(2.60e6, rel=0.03)
+        assert cap.dsp == pytest.approx(8640, rel=0.06)
+        assert cap.bram_mb == pytest.approx(78, rel=0.05)
+
+    def test_five_clock_region_rows_per_die(self):
+        device = make_xcvu37p()
+        assert all(d.clock_region_rows == 5 for d in device.dies)
+
+    def test_homogeneous_dies(self):
+        assert make_xcvu37p().homogeneous_dies()
+
+
+class TestVU13P:
+    def test_four_dies(self):
+        assert make_vu13p().num_dies == 4
+
+    def test_larger_than_vu37p_in_logic(self):
+        assert make_vu13p().capacity.lut > make_xcvu37p().capacity.lut
+
+    def test_capacity_near_datasheet(self):
+        cap = make_vu13p().capacity
+        assert cap.lut == pytest.approx(1.73e6, rel=0.03)
+        assert cap.dsp == pytest.approx(12288, rel=0.05)
+
+
+class TestCatalog:
+    def test_lookup_case_insensitive(self):
+        assert device_by_name("xcvu37p").name == "XCVU37P"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="catalog has"):
+            device_by_name("XC7Z020")
+
+    def test_catalog_factories_build_fresh_instances(self):
+        a = DEVICE_CATALOG["XCVU37P"]()
+        b = DEVICE_CATALOG["XCVU37P"]()
+        assert a is not b and a.capacity == b.capacity
+
+
+class TestCapacityTimeline:
+    def test_sorted_by_year(self):
+        years = [p.year for p in CAPACITY_TIMELINE]
+        assert years == sorted(years)
+
+    def test_spans_two_decades(self):
+        assert CAPACITY_TIMELINE[-1].year - CAPACITY_TIMELINE[0].year >= 15
+
+    def test_growth_over_100x(self):
+        # Fig. 1b's point: capacity grew by orders of magnitude
+        first = CAPACITY_TIMELINE[0].logic_cells_k
+        peak = max(p.logic_cells_k for p in CAPACITY_TIMELINE)
+        assert peak / first > 100
+
+    def test_monotone_in_trend(self):
+        # the trend grows even though individual flagships fluctuate
+        # (e.g. the HBM part XCVU37P trades logic for memory): each point
+        # beats the one four generations earlier
+        cells = [p.logic_cells_k for p in CAPACITY_TIMELINE]
+        assert all(b > a for a, b in zip(cells, cells[4:]))

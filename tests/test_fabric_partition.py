@@ -1,0 +1,180 @@
+"""Tests for the Architecture Layer's fabric partitioning (Fig. 7, §5.3)."""
+
+import pytest
+
+from repro.fabric.device import ColumnType
+from repro.fabric.partition import (
+    BufferModel,
+    PartitionConstraints,
+    PartitionPlanner,
+    RegionKind,
+)
+from repro.fabric.devices import make_xcvu37p
+
+
+class TestBufferModel:
+    def test_per_channel_bram_matches_width_depth(self):
+        bm = BufferModel(channel_width_bits=512, fifo_depth=1024)
+        assert bm.per_channel().bram_mb \
+            == pytest.approx(512 * 1024 * 2 / 1e6)
+
+    def test_all_channels_buffered_without_optimization(self):
+        bm = BufferModel(ports_per_block=4)
+        assert bm.buffered_channels(15, 3, False) == 60
+
+    def test_only_boundary_channels_with_optimization(self):
+        bm = BufferModel(inter_die_lanes=2, transceiver_channels=4)
+        assert bm.buffered_channels(15, 3, True) == 2 * 2 + 4
+
+    def test_optimization_reduces_demand(self):
+        bm = BufferModel()
+        with_opt = bm.communication_demand(15, 3, True)
+        without = bm.communication_demand(15, 3, False)
+        assert with_opt.total_cost() < without.total_cost()
+
+    def test_unbuffered_channels_still_pay_control(self):
+        bm = BufferModel()
+        demand = bm.communication_demand(15, 3, True)
+        # more LUTs than buffered channels alone would need
+        buffered = bm.buffered_channels(15, 3, True)
+        assert demand.lut > buffered * bm.control_luts
+
+
+class TestPlannedPartition:
+    def test_fifteen_blocks_five_per_die(self, partition):
+        assert partition.num_blocks == 15
+        assert partition.blocks_per_die == 5
+
+    def test_blocks_identical(self, partition):
+        footprints = {b.footprint for b in partition.blocks}
+        capacities = {b.capacity for b in partition.blocks}
+        assert len(footprints) == 1 and len(capacities) == 1
+
+    def test_block_capacity_matches_table4_shape(self, partition):
+        cap = partition.block_capacity
+        # Table 4: 79.2k LUT / 158.4k DFF / 580 DSP / 4.22 Mb
+        assert cap.lut == pytest.approx(79.2e3, rel=0.10)
+        assert cap.dff == pytest.approx(2 * cap.lut)
+        assert cap.dsp == pytest.approx(580, rel=0.05)
+        assert cap.bram_mb == pytest.approx(4.22, rel=0.05)
+
+    def test_reserved_below_ten_percent(self, partition):
+        assert partition.reserved_fraction() < 0.10
+
+    def test_blocks_do_not_cross_die_boundaries(self, partition):
+        for block in partition.blocks:
+            die = partition.device.die(block.die_index)
+            assert (block.clock_region_row + block.height_clock_regions
+                    <= die.clock_region_rows)
+
+    def test_blocks_clock_aligned(self, partition):
+        for block in partition.blocks:
+            assert block.clock_region_row % block.height_clock_regions == 0
+
+    def test_validate_passes(self, partition):
+        partition.validate()
+
+    def test_regions_cover_all_kinds(self, partition):
+        kinds = {r.kind for r in partition.regions}
+        assert kinds == {RegionKind.USER, RegionKind.COMMUNICATION,
+                         RegionKind.SERVICE, RegionKind.TRANSCEIVER}
+
+    def test_user_plus_reserved_below_device(self, partition):
+        total = partition.user_resources() \
+            + partition.reserved_resources()
+        assert total.fits_in(partition.device.capacity)
+
+    def test_relocation_compatibility_all_pairs(self, partition):
+        first = partition.blocks[0]
+        assert all(first.compatible_with(b) for b in partition.blocks)
+
+    def test_describe_mentions_counts(self, partition):
+        text = partition.describe()
+        assert "15 identical physical blocks" in text
+
+
+class TestDesignSpaceExploration:
+    def test_candidate_count_small(self, device):
+        # Section 5.3: "our search space is relatively small (<10)"
+        assert len(PartitionPlanner(device).candidates()) < 10
+
+    def test_optimal_maximizes_user_fraction(self, device):
+        planner = PartitionPlanner(device)
+        best = planner.plan()
+        feasible = [c for c in planner.candidates()
+                    if c.reserved_fraction() <= 0.10
+                    and c.num_blocks >= 8]
+        assert best.user_fraction() \
+            == max(c.user_fraction() for c in feasible)
+
+    def test_infeasible_constraints_raise(self, device):
+        constraints = PartitionConstraints(max_reserved_fraction=1e-6)
+        with pytest.raises(RuntimeError, match="no feasible partition"):
+            PartitionPlanner(device, constraints).plan()
+
+    def test_min_blocks_constraint_respected(self, device):
+        constraints = PartitionConstraints(min_blocks_per_device=8)
+        part = PartitionPlanner(device, constraints).plan()
+        assert part.num_blocks >= 8
+
+    def test_heterogeneous_dies_rejected(self):
+        device = make_xcvu37p()
+        device.dies[0].tile_rows = 480  # corrupt one die
+        device.dies[0].clock_region_rows = 10
+        with pytest.raises(ValueError, match="identical column grids"):
+            PartitionPlanner(device)
+
+
+class TestBufferRemovalOptimization:
+    """Section 5.3: removing intra-FPGA buffers cut reserved resources by
+    82.3% and kept the total below 10%."""
+
+    def test_reserved_demand_reduction_large(self, device):
+        bm = BufferModel()
+        cons = PartitionConstraints()
+        fixed_lut = cons.service_luts + cons.pipeline_luts
+        from repro.fabric.resources import ResourceVector
+        fixed = ResourceVector(lut=fixed_lut, dff=fixed_lut * 2,
+                               bram_mb=cons.service_bram_mb)
+        with_opt = (bm.communication_demand(15, 3, True)
+                    + fixed).total_cost()
+        without = (bm.communication_demand(15, 3, False)
+                   + fixed).total_cost()
+        reduction = 1 - with_opt / without
+        assert 0.60 < reduction < 0.95  # paper: 82.3%
+
+    def test_unoptimized_partition_reserves_more(self, device, partition):
+        cons = PartitionConstraints(remove_intra_fpga_buffers=False,
+                                    max_reserved_fraction=1.0)
+        unopt = PartitionPlanner(device, cons).plan()
+        assert unopt.reserved_fraction() > partition.reserved_fraction()
+
+    def test_unoptimized_blocks_lose_bram(self, device, partition):
+        cons = PartitionConstraints(remove_intra_fpga_buffers=False,
+                                    max_reserved_fraction=1.0)
+        unopt = PartitionPlanner(device, cons).plan()
+        assert unopt.block_capacity.bram_mb \
+            < partition.block_capacity.bram_mb
+
+
+class TestHardenedSystemRegions:
+    """Section 3.5.2's further optimization: system circuits in hard IP."""
+
+    def test_hardening_reduces_reserved(self, device, partition):
+        cons = PartitionConstraints(hardened_system_regions=True)
+        hardened = PartitionPlanner(device, cons).plan()
+        assert hardened.reserved_fraction() \
+            <= partition.reserved_fraction()
+
+    def test_hardening_grows_user_blocks(self, device, partition):
+        cons = PartitionConstraints(hardened_system_regions=True)
+        hardened = PartitionPlanner(device, cons).plan()
+        assert hardened.block_capacity.total_cost() \
+            >= partition.block_capacity.total_cost()
+
+    def test_hardening_rescues_unoptimized_buffers(self, device):
+        """Even without buffer removal, hard IP absorbs the cost."""
+        cons = PartitionConstraints(remove_intra_fpga_buffers=False,
+                                    hardened_system_regions=True)
+        part = PartitionPlanner(device, cons).plan()
+        assert part.reserved_fraction() < 0.10

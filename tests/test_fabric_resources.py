@@ -1,0 +1,174 @@
+"""Unit and property tests for the resource algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fabric.resources import ResourceVector
+
+
+def vec(lut=0, dff=0, dsp=0, bram=0.0):
+    return ResourceVector(lut=lut, dff=dff, dsp=dsp, bram_mb=bram)
+
+
+finite = st.floats(min_value=0, max_value=1e7, allow_nan=False,
+                   allow_infinity=False)
+vectors = st.builds(ResourceVector, lut=finite, dff=finite, dsp=finite,
+                    bram_mb=finite)
+
+
+class TestConstruction:
+    def test_zero_is_all_zero(self):
+        z = ResourceVector.zero()
+        assert z.lut == z.dff == z.dsp == z.bram_mb == 0
+
+    def test_of_alias(self):
+        assert ResourceVector.of(lut=5, dsp=2) == vec(lut=5, dsp=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ResourceVector(lut=float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            ResourceVector(bram_mb=float("inf"))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            vec(lut=1).lut = 2  # type: ignore[misc]
+
+
+class TestAlgebra:
+    def test_add(self):
+        assert vec(1, 2, 3, 4.0) + vec(10, 20, 30, 40.0) \
+            == vec(11, 22, 33, 44.0)
+
+    def test_sub(self):
+        assert vec(10, 20, 30, 40.0) - vec(1, 2, 3, 4.0) \
+            == vec(9, 18, 27, 36.0)
+
+    def test_scale(self):
+        assert vec(2, 4, 6, 8.0) * 0.5 == vec(1, 2, 3, 4.0)
+
+    def test_rmul(self):
+        assert 3 * vec(1) == vec(3)
+
+    def test_neg(self):
+        assert -vec(1, 1, 1, 1.0) == vec(-1, -1, -1, -1.0)
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            vec(1) + 5  # type: ignore[operator]
+
+    def test_clamp_nonnegative(self):
+        clamped = (vec(1) - vec(2, 0, 0, 3.0)).clamp_nonnegative()
+        assert clamped == vec(0, 0, 0, 0.0)
+        assert clamped.is_nonnegative()
+
+    def test_max_with(self):
+        assert vec(1, 9, 2, 0.5).max_with(vec(5, 3, 2, 1.0)) \
+            == vec(5, 9, 2, 1.0)
+
+
+class TestOrdering:
+    def test_fits_in_true(self):
+        assert vec(1, 2, 3, 4.0).fits_in(vec(1, 2, 3, 4.0))
+
+    def test_fits_in_false_single_axis(self):
+        # one overflowing component is enough to reject
+        assert not vec(1, 2, 3, 4.1).fits_in(vec(9, 9, 9, 4.0))
+
+    def test_dominates_is_inverse_of_fits(self):
+        a, b = vec(5, 5, 5, 5.0), vec(2, 2, 2, 2.0)
+        assert a.dominates(b) and b.fits_in(a)
+
+    def test_is_zero(self):
+        assert ResourceVector.zero().is_zero()
+        assert not vec(dsp=1).is_zero()
+
+
+class TestDerived:
+    def test_utilization_max_component(self):
+        demand = vec(50, 10, 0, 2.0)
+        cap = vec(100, 100, 10, 4.0)
+        assert demand.utilization_of(cap) == pytest.approx(0.5)
+
+    def test_utilization_ignores_zero_demand_axes(self):
+        assert vec(lut=10).utilization_of(vec(lut=20)) \
+            == pytest.approx(0.5)
+
+    def test_utilization_infinite_when_capacity_missing(self):
+        assert math.isinf(vec(dsp=1).utilization_of(vec(lut=100, dff=100)))
+
+    def test_blocks_needed_exact(self):
+        assert vec(lut=100).blocks_needed(vec(lut=50, dff=1)) == 2
+
+    def test_blocks_needed_rounds_up(self):
+        assert vec(lut=101).blocks_needed(vec(lut=50, dff=1)) == 3
+
+    def test_blocks_needed_minimum_one(self):
+        assert vec(lut=1).blocks_needed(vec(lut=1000, dff=1)) == 1
+
+    def test_blocks_needed_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            vec(dsp=1).blocks_needed(vec(lut=1000, dff=1))
+
+    def test_total_cost_monotone(self):
+        assert vec(10, 10, 1, 0.1).total_cost() \
+            > vec(5, 5, 1, 0.1).total_cost()
+
+    def test_as_dict_roundtrip(self):
+        v = vec(1, 2, 3, 4.0)
+        assert ResourceVector(**v.as_dict()) == v
+
+    def test_str_compact(self):
+        text = str(vec(79200, 158400, 580, 4.22))
+        assert "79.2k LUT" in text and "580 DSP" in text
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors, vectors, vectors)
+    def test_add_associative(self, a, b, c):
+        left = (a + b) + c
+        right = a + (b + c)
+        for f in ("lut", "dff", "dsp", "bram_mb"):
+            assert getattr(left, f) == pytest.approx(getattr(right, f))
+
+    @given(vectors)
+    def test_zero_identity(self, a):
+        assert a + ResourceVector.zero() == a
+
+    @given(vectors, vectors)
+    def test_fits_in_antisymmetric_up_to_equality(self, a, b):
+        if a.fits_in(b) and b.fits_in(a):
+            assert a == b
+
+    @given(vectors, vectors, vectors)
+    def test_fits_in_transitive(self, a, b, c):
+        if a.fits_in(b) and b.fits_in(c):
+            assert a.fits_in(c)
+
+    @given(vectors, vectors)
+    def test_sum_fits_when_parts_fit_half(self, a, b):
+        cap = a.max_with(b) * 2
+        assert (a + b).fits_in(cap)
+
+    @given(vectors)
+    def test_blocks_needed_covers_demand(self, demand):
+        cap = ResourceVector(lut=1000, dff=1000, dsp=100, bram_mb=10)
+        n = demand.blocks_needed(cap)
+        # n blocks must actually cover the demand (allowing float slack)
+        assert demand.fits_in(cap * (n * (1 + 1e-9) + 1e-9))
+
+    @given(vectors, st.floats(min_value=0.1, max_value=10))
+    def test_utilization_scales_linearly(self, v, k):
+        cap = ResourceVector(lut=1e6, dff=1e6, dsp=1e4, bram_mb=100)
+        if v.is_zero():
+            return
+        assert (v * k).utilization_of(cap) \
+            == pytest.approx(v.utilization_of(cap) * k, rel=1e-6)

@@ -1,0 +1,50 @@
+"""Partition planning on the second catalog device (VU13P).
+
+The planner's constraints are architecture-generic; this suite confirms
+the DSE behaves sensibly on a device with a different die count (4),
+clock-region grid (4 rows/die) and column mix than the paper's XCVU37P.
+"""
+
+import pytest
+
+from repro.fabric.devices import make_vu13p
+from repro.fabric.partition import PartitionPlanner
+
+
+@pytest.fixture(scope="module")
+def vu13p_partition():
+    return PartitionPlanner(make_vu13p()).plan()
+
+
+class TestVU13PPlanning:
+    def test_plan_is_feasible(self, vu13p_partition):
+        vu13p_partition.validate()
+        assert vu13p_partition.reserved_fraction() < 0.10
+
+    def test_blocks_identical(self, vu13p_partition):
+        assert len({b.footprint
+                    for b in vu13p_partition.blocks}) == 1
+
+    def test_blocks_per_die_divides_clock_rows(self, vu13p_partition):
+        device = vu13p_partition.device
+        per_die = vu13p_partition.blocks_per_die
+        height = vu13p_partition.blocks[0].height_clock_regions
+        assert per_die * height <= device.dies[0].clock_region_rows
+
+    def test_footprint_differs_from_vu37p(self, vu13p_partition,
+                                          partition):
+        assert vu13p_partition.blocks[0].footprint \
+            != partition.blocks[0].footprint
+
+    def test_blocks_bigger_than_vu37p_or_more_numerous(
+            self, vu13p_partition, partition):
+        """A larger device yields more aggregate user capacity."""
+        assert vu13p_partition.user_resources().total_cost() \
+            > partition.user_resources().total_cost()
+
+    def test_min_blocks_respected(self, vu13p_partition):
+        assert vu13p_partition.num_blocks >= 8
+
+    def test_four_dies_spanned(self, vu13p_partition):
+        assert {b.die_index for b in vu13p_partition.blocks} \
+            == {0, 1, 2, 3}

@@ -1,0 +1,132 @@
+"""End-to-end integration tests across all four layers."""
+
+import pytest
+
+from repro import ViTALStack, benchmark, make_cluster
+from repro.compiler.relocation import Relocator
+from repro.runtime.isolation import verify_isolation
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import WorkloadGenerator
+
+
+class TestCompileOnceDeployAnywhere:
+    """The thesis: one compilation serves every placement."""
+
+    def test_same_app_lands_on_different_boards(self, cluster):
+        stack = ViTALStack(cluster=cluster)
+        spec = benchmark("alexnet", "M")
+        app = stack.compile(spec)
+        boards_seen = set()
+        live = []
+        while (d := stack.deploy(app)) is not None:
+            boards_seen.update(d.placement.boards)
+            live.append(d)
+        assert len(boards_seen) == cluster.num_boards
+        for d in live:
+            stack.release(d)
+
+    def test_images_relocate_across_all_cluster_blocks(self, cluster,
+                                                       compiled_small):
+        relocator = Relocator()
+        image = compiled_small.images[0]
+        for address in cluster.all_addresses():
+            relocator.relocate(image, cluster.block_at(address))
+
+    def test_placement_changes_between_deployments(self, cluster):
+        stack = ViTALStack(cluster=cluster)
+        app = stack.compile(benchmark("lenet5", "S"))
+        blocker = stack.deploy(app)
+        d1 = stack.deploy(app)
+        addr1 = set(d1.placement.addresses)
+        stack.release(d1)
+        d2 = stack.deploy(app)  # blocker still holds d? blocks
+        # same bitstream, potentially different physical blocks --
+        # and never the blocker's blocks
+        assert set(d2.placement.addresses).isdisjoint(
+            set(blocker.placement.addresses))
+        stack.release(d2)
+        stack.release(blocker)
+        assert addr1  # sanity
+
+
+class TestMultiTenantChurn:
+    def test_isolation_through_full_workload(self, cluster,
+                                             compiled_apps):
+        """Replay a real workload set and re-verify isolation at the
+        end (the simulator exercises deploy/release hundreds of
+        times)."""
+        from repro.runtime.controller import SystemController
+        gen = WorkloadGenerator(seed=9)
+        requests = [
+            r for r in gen.generate(7, num_requests=40,
+                                    mean_interarrival_s=2.0)
+            if r.spec.name in compiled_apps]
+        manager = SystemController(cluster)
+        result = run_experiment(manager, requests, compiled_apps)
+        assert all(r.finished for r in result.records)
+        verify_isolation(manager)
+        assert manager.busy_blocks() == 0
+
+    def test_memory_clean_after_churn(self, cluster, compiled_medium):
+        stack = ViTALStack(cluster=cluster)
+        for _ in range(5):
+            live = []
+            while (d := stack.deploy(compiled_medium)) is not None:
+                live.append(d)
+            for d in live:
+                stack.release(d)
+        for memory in stack.controller.memories.values():
+            assert memory.used_bytes() == 0
+
+
+class TestScaleOutAcceleration:
+    def test_app_larger_than_one_board_runs(self, cluster):
+        """Scale-out: an app that cannot fit any single FPGA's free
+        space still deploys by spanning boards -- the capability no
+        baseline has."""
+        stack = ViTALStack(cluster=cluster)
+        big = stack.compile(benchmark("svhn", "L"))
+        filler = stack.compile(benchmark("resnet18", "M"))
+        live = []
+        # leave only fragments on each board
+        while (d := stack.deploy(filler)) is not None:
+            live.append(d)
+        # free a few fragments on different boards
+        for d in live[:2]:
+            stack.release(d)
+        d_big = stack.deploy(big)
+        if d_big is not None:
+            assert d_big.num_blocks == big.num_blocks
+            stack.check_isolation()
+            stack.release(d_big)
+        for d in live[2:]:
+            stack.release(d)
+
+    def test_spanning_deployment_overhead_tiny(self, cluster):
+        stack = ViTALStack(cluster=cluster)
+        app = stack.compile(benchmark("svhn", "L"))
+        small = stack.compile(benchmark("mlp-mnist", "S"))
+        live = []
+        while (d := stack.deploy(small)) is not None:
+            live.append(d)
+        # free 10 blocks split across two boards
+        freed = 0
+        for d in live:
+            if freed >= 10:
+                break
+            stack.release(d)
+            live.remove(d)
+            freed += d.num_blocks
+        d_big = stack.deploy(app)
+        if d_big is not None and d_big.spans_boards:
+            assert d_big.latency_overhead_fraction < 3e-4  # <0.03%
+            stack.release(d_big)
+
+
+class TestFreshClusterFactory:
+    def test_two_boards(self):
+        cluster = make_cluster(num_boards=2)
+        stack = ViTALStack(cluster=cluster)
+        d = stack.deploy(benchmark("cifar10", "S"))
+        assert d is not None
+        stack.release(d)

@@ -1,0 +1,231 @@
+"""Tests for links, FIFOs, channels and the dataflow-firing simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.channel import Channel
+from repro.interconnect.fifo import BoundedFifo, CreditCounter
+from repro.interconnect.links import LINKS, LinkClass, SHELL_CLOCK_MHZ
+from repro.interconnect.simulator import (
+    BlockNode,
+    TrafficSimulator,
+    measure_channel_bandwidth,
+    random_traffic_experiment,
+)
+
+
+class TestLinks:
+    def test_three_classes(self):
+        assert set(LINKS) == set(LinkClass)
+
+    def test_inter_fpga_is_100gbps(self):
+        assert LINKS[LinkClass.INTER_FPGA].bandwidth_gbps == 100.0
+
+    def test_inter_die_is_312gbps(self):
+        assert LINKS[LinkClass.INTER_DIE].bandwidth_gbps == 312.5
+
+    def test_bits_per_cycle(self):
+        link = LINKS[LinkClass.INTER_FPGA]
+        assert link.bits_per_cycle \
+            == pytest.approx(100e3 / SHELL_CLOCK_MHZ)
+
+    def test_latency_ordering(self):
+        assert LINKS[LinkClass.ON_CHIP].latency_cycles \
+            < LINKS[LinkClass.INTER_DIE].latency_cycles \
+            < LINKS[LinkClass.INTER_FPGA].latency_cycles
+
+    def test_only_inter_fpga_nondeterministic(self):
+        assert LINKS[LinkClass.ON_CHIP].deterministic
+        assert LINKS[LinkClass.INTER_DIE].deterministic
+        assert not LINKS[LinkClass.INTER_FPGA].deterministic
+
+    def test_round_trip_covers_both_directions(self):
+        link = LINKS[LinkClass.INTER_FPGA]
+        assert link.round_trip_cycles() > 2 * link.latency_cycles
+
+
+class TestBoundedFifo:
+    def test_push_pop_fifo_order(self):
+        f = BoundedFifo(4)
+        for i in range(3):
+            f.push(i)
+        assert [f.pop(), f.pop(), f.pop()] == [0, 1, 2]
+
+    def test_overflow_raises(self):
+        f = BoundedFifo(1)
+        f.push("x")
+        with pytest.raises(OverflowError):
+            f.push("y")
+
+    def test_underflow_raises(self):
+        with pytest.raises(IndexError):
+            BoundedFifo(1).pop()
+
+    def test_peek_nondestructive(self):
+        f = BoundedFifo(2)
+        f.push("a")
+        assert f.peek() == "a" and len(f) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(0)
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_fifo_preserves_order(self, items):
+        f = BoundedFifo(max(1, len(items)))
+        for item in items:
+            f.push(item)
+        assert [f.pop() for _ in items] == items
+
+
+class TestCreditCounter:
+    def test_consume_restore_cycle(self):
+        c = CreditCounter(2)
+        c.consume()
+        c.consume()
+        assert not c.can_send()
+        c.restore()
+        assert c.can_send()
+
+    def test_consume_at_zero_raises(self):
+        c = CreditCounter(1)
+        c.consume()
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            c.consume()
+
+    def test_restore_above_initial_raises(self):
+        with pytest.raises(RuntimeError, match="protocol bug"):
+            CreditCounter(1).restore()
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_invariant_zero_to_initial(self, ops):
+        c = CreditCounter(5)
+        for consume in ops:
+            if consume and c.can_send():
+                c.consume()
+            elif not consume and c.available < c.initial:
+                c.restore()
+            assert 0 <= c.available <= c.initial
+
+
+class TestChannel:
+    def test_latency_respected(self):
+        ch = Channel("c", LinkClass.INTER_DIE, fifo_depth=8)
+        ch.send(0, payload="p")
+        ch.step(3)   # latency is 4: not yet delivered
+        assert not ch.has_data()
+        ch.step(4)
+        assert ch.has_data()
+        assert ch.receive(4) == "p"
+
+    def test_credits_block_when_receiver_full(self):
+        ch = Channel("c", LinkClass.ON_CHIP, fifo_depth=2)
+        for cycle in range(2):
+            assert ch.can_accept()
+            ch.send(cycle)
+        assert not ch.can_accept()
+
+    def test_credit_returns_after_drain(self):
+        ch = Channel("c", LinkClass.ON_CHIP, fifo_depth=1)
+        ch.send(0)
+        ch.step(1)
+        ch.receive(1)
+        assert not ch.can_accept()   # credit still in flight
+        ch.step(2)
+        assert ch.can_accept()
+
+    def test_init_tokens_preloaded(self):
+        ch = Channel("c", LinkClass.ON_CHIP, fifo_depth=4, init_tokens=2)
+        assert ch.has_data()
+        assert ch.receive(0) is None  # init token carries no payload
+
+    def test_init_tokens_capped_by_depth(self):
+        with pytest.raises(ValueError):
+            Channel("c", LinkClass.ON_CHIP, fifo_depth=2, init_tokens=3)
+
+    def test_mean_latency_counts_real_flits(self):
+        ch = Channel("c", LinkClass.ON_CHIP, fifo_depth=4, init_tokens=1)
+        ch.receive(0)                  # drain the init token
+        ch.send(0, payload="x")
+        ch.step(1)
+        ch.receive(1)
+        assert ch.mean_latency_cycles() == pytest.approx(1.0)
+
+
+class TestTable4Bandwidth:
+    """Benchmark set 1: the maximum bandwidth of the LI interface."""
+
+    @pytest.mark.parametrize("link", list(LinkClass))
+    def test_saturates_link_capacity(self, link):
+        # window long enough that the pipeline-fill transient (one link
+        # latency) is amortized below the tolerance
+        cycles = 200 * LINKS[link].round_trip_cycles()
+        bw, _ = measure_channel_bandwidth(link, cycles=cycles)
+        assert bw == pytest.approx(LINKS[link].bandwidth_gbps, rel=0.03)
+
+    def test_shallow_fifo_limits_throughput(self):
+        link = LINKS[LinkClass.INTER_FPGA]
+        bw, _ = measure_channel_bandwidth(LinkClass.INTER_FPGA,
+                                          fifo_depth=64, cycles=5000)
+        expected = link.bandwidth_gbps * 64 / link.round_trip_cycles()
+        assert bw == pytest.approx(expected, rel=0.10)
+
+    def test_latency_matches_link(self):
+        _, lat = measure_channel_bandwidth(LinkClass.INTER_FPGA,
+                                           cycles=3000)
+        assert lat >= LINKS[LinkClass.INTER_FPGA].latency_cycles
+
+    def test_offered_load_sweep_monotone(self):
+        results = random_traffic_experiment(
+            LinkClass.INTER_DIE, rates=[0.25, 0.5, 1.0], cycles=4000)
+        accepted = [r.accepted_gbps for r in results]
+        assert accepted[0] < accepted[1] < accepted[2]
+        assert results[-1].saturation > 0.95
+
+
+class TestDeadlockBehavior:
+    def test_token_less_cycle_deadlocks(self):
+        sim = TrafficSimulator()
+        a = sim.add_node(BlockNode("a"))
+        b = sim.add_node(BlockNode("b"))
+        sim.connect(a, b, Channel("ab", LinkClass.ON_CHIP, fifo_depth=8))
+        sim.connect(b, a, Channel("ba", LinkClass.ON_CHIP, fifo_depth=8))
+        assert sim.deadlocked()
+
+    def test_initialized_cycle_progresses(self):
+        sim = TrafficSimulator()
+        a = sim.add_node(BlockNode("a"))
+        b = sim.add_node(BlockNode("b"))
+        sim.connect(a, b, Channel("ab", LinkClass.ON_CHIP, fifo_depth=8))
+        sim.connect(b, a, Channel("ba", LinkClass.ON_CHIP, fifo_depth=8,
+                                  init_tokens=4))
+        assert not sim.deadlocked()
+
+    def test_pipeline_throughput_near_one(self):
+        sim = TrafficSimulator()
+        src = sim.add_node(BlockNode("src", is_source=True))
+        mid = sim.add_node(BlockNode("mid"))
+        dst = sim.add_node(BlockNode("dst", is_sink=True))
+        sim.connect(src, mid,
+                    Channel("a", LinkClass.ON_CHIP, fifo_depth=8))
+        sim.connect(mid, dst,
+                    Channel("b", LinkClass.ON_CHIP, fifo_depth=8))
+        sim.run(2000)
+        assert mid.utilization() > 0.95
+
+    def test_backpressure_propagates_upstream(self):
+        """A rate-limited sink throttles the whole pipeline losslessly."""
+        sim = TrafficSimulator()
+        src = sim.add_node(BlockNode("src", is_source=True))
+        dst = sim.add_node(BlockNode("dst", is_sink=True, rate=0.25,
+                                     seed=3))
+        ch = sim.connect(src, dst,
+                         Channel("a", LinkClass.ON_CHIP, fifo_depth=4))
+        sim.run(4000)
+        assert src.fired == pytest.approx(dst.fired, abs=8)
+        assert src.fired < 0.35 * 4000   # throttled well below full rate
+        assert ch.sent - ch.consumed <= ch.rx_fifo.capacity + 1
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            BlockNode("x", rate=0)

@@ -1,0 +1,148 @@
+"""Tests for primitives and the netlist graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fabric.resources import ResourceVector
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.primitives import Primitive, PrimitiveType, \
+    UNIT_RESOURCES
+
+
+class TestPrimitive:
+    def test_unit_lut(self):
+        p = Primitive.unit(0, PrimitiveType.LUT)
+        assert p.resources == ResourceVector(lut=1)
+
+    def test_unit_bram_is_36kb(self):
+        p = Primitive.unit(1, PrimitiveType.BRAM)
+        assert p.resources.bram_mb == pytest.approx(0.036)
+
+    def test_macro_carries_resources(self):
+        res = ResourceVector(lut=100, dff=200, dsp=3, bram_mb=0.1)
+        p = Primitive.macro(2, res, name="pe")
+        assert p.resources == res and p.kind is PrimitiveType.MACRO
+
+    def test_iopad_is_free(self):
+        assert UNIT_RESOURCES[PrimitiveType.IOPAD].is_zero()
+
+    def test_is_io(self):
+        assert Primitive.unit(0, PrimitiveType.IOPAD).is_io()
+        assert not Primitive.unit(1, PrimitiveType.LUT).is_io()
+
+
+class TestNetlistConstruction:
+    def test_uids_sequential(self):
+        nl = Netlist()
+        a = nl.add_primitive(PrimitiveType.LUT)
+        b = nl.add_primitive(PrimitiveType.FF)
+        assert (a, b) == (0, 1)
+
+    def test_macro_requires_resources(self):
+        nl = Netlist()
+        with pytest.raises(ValueError, match="explicit resources"):
+            nl.add_primitive(PrimitiveType.MACRO)
+
+    def test_net_rejects_unknown_driver(self):
+        nl = Netlist()
+        a = nl.add_primitive(PrimitiveType.LUT)
+        with pytest.raises(KeyError):
+            nl.add_net(99, [a])
+
+    def test_net_rejects_unknown_sink(self):
+        nl = Netlist()
+        a = nl.add_primitive(PrimitiveType.LUT)
+        with pytest.raises(KeyError):
+            nl.add_net(a, [99])
+
+    def test_net_rejects_nonpositive_width(self):
+        nl = Netlist()
+        a = nl.add_primitive(PrimitiveType.LUT)
+        b = nl.add_primitive(PrimitiveType.FF)
+        with pytest.raises(ValueError):
+            nl.add_net(a, [b], width_bits=0)
+
+    def test_add_port_creates_iopad(self):
+        nl = Netlist()
+        port = nl.add_port("s_axis", PortDirection.INPUT, 64)
+        assert nl.primitives[port.primitive_uid].is_io()
+        assert nl.input_ports() == [port]
+        assert nl.output_ports() == []
+
+
+class TestNetlistQueries:
+    @pytest.fixture()
+    def diamond(self):
+        """a -> b, a -> c, b -> d, c -> d."""
+        nl = Netlist("diamond")
+        a, b, c, d = (nl.add_primitive(PrimitiveType.LUT)
+                      for _ in range(4))
+        nl.add_net(a, [b, c], width_bits=8)
+        nl.add_net(b, [d], width_bits=4)
+        nl.add_net(c, [d], width_bits=2)
+        return nl, (a, b, c, d)
+
+    def test_neighbors(self, diamond):
+        nl, (a, b, c, d) = diamond
+        assert nl.neighbors(a) == {b, c}
+        assert nl.neighbors(d) == {b, c}
+
+    def test_incident_nets(self, diamond):
+        nl, (a, b, c, d) = diamond
+        assert len(nl.incident_nets(d)) == 2
+
+    def test_resource_usage_sums(self, diamond):
+        nl, _ = diamond
+        assert nl.resource_usage() == ResourceVector(lut=4)
+
+    def test_cut_bandwidth_zero_when_together(self, diamond):
+        nl, prims = diamond
+        assignment = {p: 0 for p in prims}
+        assert nl.cut_bandwidth(assignment) == 0
+
+    def test_cut_bandwidth_counts_width(self, diamond):
+        nl, (a, b, c, d) = diamond
+        assignment = {a: 0, b: 0, c: 0, d: 1}
+        # nets b->d (4) and c->d (2) cross
+        assert nl.cut_bandwidth(assignment) == 6
+
+    def test_cut_bandwidth_multiterminal_counts_per_partition(self,
+                                                              diamond):
+        nl, (a, b, c, d) = diamond
+        assignment = {a: 0, b: 1, c: 2, d: 0}
+        # a->{b,c} width 8 reaches two remote partitions -> 16
+        assert nl.cut_bandwidth(assignment) \
+            == 16 + 4 + 2
+
+    def test_validate_ok(self, diamond):
+        nl, _ = diamond
+        nl.validate()
+
+    def test_repr_mentions_counts(self, diamond):
+        nl, _ = diamond
+        assert "4 primitives" in repr(nl)
+
+
+class TestNetlistProperties:
+    @given(st.integers(min_value=2, max_value=40),
+           st.integers(min_value=1, max_value=60),
+           st.randoms(use_true_random=False))
+    def test_chain_plus_random_nets_always_validates(self, n, extra, rng):
+        nl = Netlist()
+        prims = [nl.add_primitive(PrimitiveType.LUT) for _ in range(n)]
+        for a, b in zip(prims, prims[1:]):
+            nl.add_net(a, [b])
+        for _ in range(extra):
+            a = rng.choice(prims)
+            b = rng.choice(prims)
+            nl.add_net(a, [b], width_bits=rng.randint(1, 64))
+        nl.validate()
+        assert nl.num_nets == n - 1 + extra
+
+    @given(st.integers(min_value=2, max_value=30))
+    def test_single_partition_has_zero_cut(self, n):
+        nl = Netlist()
+        prims = [nl.add_primitive(PrimitiveType.LUT) for _ in range(n)]
+        for a, b in zip(prims, prims[1:]):
+            nl.add_net(a, [b], width_bits=32)
+        assert nl.cut_bandwidth({p: 7 for p in prims}) == 0

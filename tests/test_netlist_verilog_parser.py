@@ -1,0 +1,138 @@
+"""Tests for structural Verilog import and writer/parser round trips."""
+
+import pytest
+
+from repro.fabric.resources import ResourceVector
+from repro.hls.frontend import HLSFrontend
+from repro.hls.kernels import benchmark
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.primitives import PrimitiveType
+from repro.netlist.verilog import to_verilog
+from repro.netlist.verilog_parser import VerilogParseError, \
+    parse_verilog
+
+
+def counts_by_kind(netlist):
+    out = {}
+    for prim in netlist.primitives.values():
+        out[prim.kind] = out.get(prim.kind, 0) + 1
+    return out
+
+
+class TestParseBasics:
+    def test_minimal_module(self):
+        nl = parse_verilog(
+            "module m (clk, a, y);\n"
+            "  input clk;\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  wire net_0;\n"
+            "  wire net_1;\n"
+            "  assign net_0 = a;\n"
+            "  assign y = net_1;\n"
+            "  LUT6 u0 (.clk(clk), .i0(net_0), .o0(net_1));\n"
+            "endmodule\n")
+        assert nl.name == "m"
+        assert len(nl.input_ports()) == 1
+        assert len(nl.output_ports()) == 1
+        assert counts_by_kind(nl)[PrimitiveType.LUT] == 1
+
+    def test_macro_parameters_parsed(self):
+        nl = parse_verilog(
+            "module m (clk);\n"
+            "  wire net_0;\n"
+            "  vital_macro #(.LUTS(100), .DFFS(200), .DSPS(3), "
+            ".BRAM_KB(512)) u0 (.clk(clk), .o0(net_0));\n"
+            "  LUT6 u1 (.clk(clk), .i0(net_0));\n"
+            "endmodule\n")
+        macro = next(p for p in nl.primitives.values()
+                     if p.kind is PrimitiveType.MACRO)
+        assert macro.resources.lut == 100
+        assert macro.resources.bram_mb == pytest.approx(0.5)
+
+    def test_missing_endmodule(self):
+        with pytest.raises(VerilogParseError, match="endmodule"):
+            parse_verilog("module m (clk);\n")
+
+    def test_unknown_cell(self):
+        with pytest.raises(VerilogParseError, match="unknown cell"):
+            parse_verilog("module m (clk);\n"
+                          "  MYSTERY u0 (.clk(clk));\nendmodule\n")
+
+    def test_double_driven_wire(self):
+        with pytest.raises(VerilogParseError, match="driven twice"):
+            parse_verilog(
+                "module m (clk);\n"
+                "  wire net_0;\n"
+                "  LUT6 u0 (.clk(clk), .o0(net_0));\n"
+                "  LUT6 u1 (.clk(clk), .o0(net_0));\n"
+                "  FDRE u2 (.clk(clk), .i0(net_0));\n"
+                "endmodule\n")
+
+    def test_unsupported_construct(self):
+        with pytest.raises(VerilogParseError, match="unsupported"):
+            parse_verilog("module m (clk);\n"
+                          "  always @(posedge clk) q <= d;\n"
+                          "endmodule\n")
+
+    def test_non_module_start(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("wire x;\n")
+
+
+class TestRoundTrip:
+    def roundtrip(self, netlist):
+        return parse_verilog(to_verilog(netlist))
+
+    def test_small_handbuilt(self):
+        nl = Netlist("rt")
+        a = nl.add_primitive(PrimitiveType.LUT)
+        b = nl.add_primitive(PrimitiveType.FF)
+        c = nl.add_primitive(
+            PrimitiveType.MACRO,
+            resources=ResourceVector(lut=64, dff=128, dsp=1,
+                                     bram_mb=0.036))
+        inp = nl.add_port("din", PortDirection.INPUT, 8)
+        outp = nl.add_port("dout", PortDirection.OUTPUT, 8)
+        nl.add_net(inp.primitive_uid, [a], width_bits=8)
+        nl.add_net(a, [b])
+        nl.add_net(b, [c], width_bits=4)
+        nl.add_net(c, [outp.primitive_uid], width_bits=8)
+        back = self.roundtrip(nl)
+        assert counts_by_kind(back) == counts_by_kind(nl)
+        assert back.num_nets == nl.num_nets
+        assert back.resource_usage().lut \
+            == pytest.approx(nl.resource_usage().lut)
+
+    def test_synthesized_benchmark_roundtrip(self):
+        nl = HLSFrontend(macro_lut=2048).synthesize(
+            benchmark("mlp-mnist", "S"))
+        back = self.roundtrip(nl)
+        assert counts_by_kind(back) == counts_by_kind(nl)
+        # resource usage preserved to parameter-printing precision
+        assert back.resource_usage().lut \
+            == pytest.approx(nl.resource_usage().lut, rel=1e-3)
+        assert back.resource_usage().bram_mb \
+            == pytest.approx(nl.resource_usage().bram_mb, rel=1e-2)
+        assert {p.name for p in back.ports} == {p.name
+                                                for p in nl.ports}
+
+    def test_roundtrip_partitions_identically_enough(self, partition):
+        """A re-imported netlist flows through the compiler."""
+        from repro.compiler.partitioner import NetlistPartitioner
+        nl = HLSFrontend(macro_lut=2048).synthesize(
+            benchmark("cifar10", "S"))
+        back = self.roundtrip(nl)
+        result = NetlistPartitioner(
+            partition.block_capacity).partition(back)
+        result.validate(partition.block_capacity)
+
+    def test_techmap_lowering_roundtrip(self):
+        from repro.compiler.techmap import technology_map
+        from repro.netlist.logic import LogicNetwork
+        mapped = technology_map(
+            LogicNetwork.random(num_gates=60, seed=4,
+                                ff_probability=0.1))
+        nl = mapped.to_netlist()
+        back = self.roundtrip(nl)
+        assert counts_by_kind(back) == counts_by_kind(nl)

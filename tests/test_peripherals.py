@@ -1,0 +1,180 @@
+"""Tests for DRAM virtual memory, the access monitor and virtual NIC."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.peripherals.dram import (
+    PAGE_BYTES,
+    ProtectionError,
+    VirtualMemory,
+)
+from repro.peripherals.ethernet import VirtualNIC
+from repro.peripherals.monitor import AccessMonitor
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+class TestVirtualMemory:
+    @pytest.fixture()
+    def memory(self):
+        return VirtualMemory(capacity_bytes=1 * GB)
+
+    def test_allocation_rounds_to_pages(self, memory):
+        seg = memory.allocate("a", 1)
+        assert seg.length == PAGE_BYTES
+
+    def test_virtual_addresses_start_at_zero(self, memory):
+        seg = memory.allocate("a", 10 * MB)
+        assert seg.virt_base == 0
+        assert memory.translate("a", 0) == seg.phys_base
+
+    def test_second_segment_contiguous_virtually(self, memory):
+        memory.allocate("a", 4 * MB)
+        seg2 = memory.allocate("a", 4 * MB)
+        assert seg2.virt_base == 4 * MB
+
+    def test_translation_offsets(self, memory):
+        seg = memory.allocate("a", 8 * MB)
+        assert memory.translate("a", 12345) == seg.phys_base + 12345
+
+    def test_out_of_range_faults(self, memory):
+        memory.allocate("a", 2 * MB)
+        with pytest.raises(ProtectionError):
+            memory.translate("a", 2 * MB)
+
+    def test_unknown_tenant_faults(self, memory):
+        with pytest.raises(ProtectionError):
+            memory.translate("ghost", 0)
+
+    def test_cross_tenant_segments_disjoint(self, memory):
+        a = memory.allocate("a", 16 * MB)
+        b = memory.allocate("b", 16 * MB)
+        assert a.phys_end <= b.phys_base or b.phys_end <= a.phys_base
+        memory.check_isolation()
+
+    def test_tenant_cannot_reach_other_tenants_range(self, memory):
+        memory.allocate("a", 2 * MB)
+        seg_b = memory.allocate("b", 2 * MB)
+        # every address "a" can translate lands outside b's range
+        for vaddr in (0, 2 * MB - 1):
+            paddr = memory.translate("a", vaddr)
+            assert not (seg_b.phys_base <= paddr < seg_b.phys_end)
+
+    def test_release_frees_space(self, memory):
+        memory.allocate("a", 512 * MB)
+        memory.release("a")
+        assert memory.free_bytes() == 1 * GB
+        memory.allocate("b", 900 * MB)  # fits again
+
+    def test_release_idempotent(self, memory):
+        memory.release("never-allocated")
+
+    def test_exhaustion_raises(self, memory):
+        memory.allocate("a", 900 * MB)
+        with pytest.raises(MemoryError):
+            memory.allocate("b", 200 * MB)
+
+    def test_first_fit_reuses_gap(self, memory):
+        memory.allocate("a", 100 * MB)
+        b = memory.allocate("b", 100 * MB)
+        memory.allocate("c", 100 * MB)
+        memory.release("b")
+        d = memory.allocate("d", 50 * MB)
+        assert d.phys_base == b.phys_base
+
+    def test_owner_of_physical(self, memory):
+        seg = memory.allocate("a", 2 * MB)
+        assert memory.owner_of_physical(seg.phys_base) == "a"
+        assert memory.owner_of_physical(seg.phys_end) is None
+
+    def test_invalid_allocation(self, memory):
+        with pytest.raises(ValueError):
+            memory.allocate("a", 0)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1,
+                    max_size=12))
+    def test_isolation_invariant_under_any_sequence(self, tenants):
+        memory = VirtualMemory(capacity_bytes=4 * GB)
+        for i, tenant in enumerate(tenants):
+            if i % 3 == 2:
+                memory.release(tenant)
+            else:
+                memory.allocate(tenant, 32 * MB)
+            memory.check_isolation()
+
+
+class TestAccessMonitor:
+    def test_faults_recorded_and_reraised(self):
+        monitor = AccessMonitor(VirtualMemory(1 * GB))
+        with pytest.raises(ProtectionError):
+            monitor.access("intruder", 0)
+        assert monitor.fault_count == 1
+        assert monitor.faults_of("intruder")[0].vaddr == 0
+
+    def test_successes_counted(self):
+        memory = VirtualMemory(1 * GB)
+        memory.allocate("a", 2 * MB)
+        monitor = AccessMonitor(memory, record_successes=True)
+        monitor.access("a", 100)
+        assert monitor.access_count == 1 and monitor.fault_count == 0
+        assert not monitor.records[0].faulted
+
+    def test_fault_rate(self):
+        memory = VirtualMemory(1 * GB)
+        memory.allocate("a", 2 * MB)
+        monitor = AccessMonitor(memory)
+        monitor.access("a", 0)
+        with pytest.raises(ProtectionError):
+            monitor.access("a", 500 * MB)
+        assert monitor.fault_rate() == pytest.approx(0.5)
+
+
+class TestVirtualNIC:
+    def test_weighted_shares(self):
+        nic = VirtualNIC(port_bandwidth_gbps=100)
+        nic.attach("a", weight=3)
+        nic.attach("b", weight=1)
+        assert nic.bandwidth_share_gbps("a") == pytest.approx(75)
+        assert nic.bandwidth_share_gbps("b") == pytest.approx(25)
+
+    def test_share_grows_after_detach(self):
+        nic = VirtualNIC()
+        nic.attach("a")
+        nic.attach("b")
+        nic.detach("b")
+        assert nic.bandwidth_share_gbps("a") == pytest.approx(100)
+
+    def test_delivery_and_accounting(self):
+        nic = VirtualNIC()
+        pa, pb = nic.attach("a"), nic.attach("b")
+        nic.send("a", "b", b"hello")
+        assert pa.tx_bytes == 5 and pb.rx_bytes == 5
+        assert pb.drain() == [b"hello"]
+        assert pb.drain() == []
+
+    def test_unknown_destination_dropped_not_misdelivered(self):
+        nic = VirtualNIC()
+        pa = nic.attach("a")
+        nic.send("a", "ghost", b"data")
+        assert pa.tx_bytes == 4
+        assert pa.drain() == []
+
+    def test_unattached_sender_rejected(self):
+        nic = VirtualNIC()
+        with pytest.raises(KeyError):
+            nic.send("nobody", "a", b"x")
+
+    def test_double_attach_rejected(self):
+        nic = VirtualNIC()
+        nic.attach("a")
+        with pytest.raises(ValueError):
+            nic.attach("a")
+
+    def test_transfer_time_scales_inverse_share(self):
+        nic = VirtualNIC(port_bandwidth_gbps=100)
+        nic.attach("a")
+        solo = nic.transfer_time_s("a", 1 << 30)
+        nic.attach("b")
+        shared = nic.transfer_time_s("a", 1 << 30)
+        assert shared == pytest.approx(2 * solo)

@@ -1,0 +1,83 @@
+"""Property-based fuzzing of the full compile-and-deploy pipeline.
+
+Random kernel footprints (within the cluster pool) must always compile to
+valid artifacts, deploy without violating any invariant, and tear down
+cleanly -- across the whole span from single-block LUT-only kernels to
+BRAM-heavy multi-board monsters.
+"""
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings, \
+    strategies as st
+
+from repro.compiler.flow import CompilationFlow
+from repro.compiler.partitioner import blocks_for
+from repro.core.programming import custom_kernel
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+
+kernel_footprints = st.tuples(
+    st.floats(min_value=5e3, max_value=280e3),    # lut
+    st.floats(min_value=5e3, max_value=280e3),    # dff
+    st.floats(min_value=0, max_value=550),        # dsp
+    st.floats(min_value=0.2, max_value=30.0),     # bram
+    st.integers(min_value=0, max_value=10_000),   # name salt
+)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(footprint=kernel_footprints)
+def test_random_kernel_full_pipeline(footprint, cluster):
+    lut, dff, dsp, bram, salt = footprint
+    spec = custom_kernel(f"fuzz-{salt}", lut=lut, dff=dff, dsp=dsp,
+                         bram_mb=bram, service_time_s=10.0)
+    flow = CompilationFlow(fabric=cluster.partition, seed=salt % 7)
+    app = flow.compile(spec)
+    app.validate()
+
+    expected = blocks_for(spec.resources,
+                          cluster.partition.block_capacity)
+    assert expected <= app.num_blocks <= expected + 2
+    assert app.fmax_mhz >= 250.0
+    assert app.interface.verify_deadlock_free()
+
+    controller = SystemController(cluster)
+    deployment = controller.try_deploy(app, 0, 0.0)
+    assert deployment is not None, "empty cluster must admit any kernel"
+    assert deployment.num_blocks == app.num_blocks
+    verify_isolation(controller)
+    # communication overhead is bounded even for spanning placements
+    assert deployment.latency_overhead_fraction < 0.05
+    controller.release(deployment)
+    assert controller.busy_blocks() == 0
+    for memory in controller.memories.values():
+        assert memory.used_bytes() == 0
+
+
+@settings(max_examples=6, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(footprints=st.lists(kernel_footprints, min_size=2, max_size=5))
+# regression: a BRAM-heavy, LUT-light kernel once produced a single
+# macro carrying more BRAM than a whole physical block (hypothesis-found)
+@example(footprints=[(5000.0, 5000.0, 0.0, 10.0, 0),
+                     (5000.0, 5000.0, 0.0, 1.0, 0)])
+def test_random_kernel_mix_coexists(footprints, cluster):
+    """Several random tenants pack together without interference."""
+    flow = CompilationFlow(fabric=cluster.partition)
+    controller = SystemController(cluster)
+    live = []
+    for rid, (lut, dff, dsp, bram, salt) in enumerate(footprints):
+        spec = custom_kernel(f"mix-{salt}-{rid}", lut=lut, dff=dff,
+                             dsp=dsp, bram_mb=bram)
+        app = flow.compile(spec)
+        deployment = controller.try_deploy(app, rid, 0.0)
+        if deployment is not None:
+            live.append(deployment)
+        verify_isolation(controller)
+    assert live  # at least the first kernel fits an empty cluster
+    total_blocks = sum(d.num_blocks for d in live)
+    assert controller.busy_blocks() == total_blocks
+    for deployment in live:
+        controller.release(deployment)
+    assert controller.busy_blocks() == 0

@@ -1,0 +1,137 @@
+"""Property-based tests over the runtime: policies, controller state
+machines and experiment conservation laws."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.network import RingNetwork
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+from repro.runtime.policy import (
+    CommunicationAwarePolicy,
+    FirstFitPolicy,
+    SpreadPolicy,
+)
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import Request
+
+
+# free maps: 4 boards with 0..15 free blocks each
+free_maps = st.lists(st.integers(min_value=0, max_value=15),
+                     min_size=4, max_size=4).map(
+    lambda counts: {b: list(range(c)) for b, c in enumerate(counts)})
+
+policies = st.sampled_from([CommunicationAwarePolicy(),
+                            FirstFitPolicy(), SpreadPolicy()])
+
+
+class TestPolicyProperties:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(free=free_maps, policy=policies)
+    def test_placement_always_valid_or_none(self, free, policy,
+                                            compiled_large):
+        ring = RingNetwork(num_nodes=4)
+        placement = policy.allocate(compiled_large, dict(free), ring)
+        total_free = sum(len(v) for v in free.values())
+        if placement is None:
+            # refusal is only legal when capacity is genuinely short --
+            # every policy here can span boards
+            assert total_free < compiled_large.num_blocks
+            return
+        placement.validate(compiled_large.num_blocks)
+        # uses only genuinely free blocks, each at most once
+        for board, block in placement.addresses:
+            assert block in free[board]
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(free=free_maps)
+    def test_comm_aware_minimizes_boards(self, free, compiled_large):
+        """If any single board fits the app, the multi-round policy
+        never spans."""
+        ring = RingNetwork(num_nodes=4)
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, dict(free), ring)
+        if placement is None:
+            return
+        fits_single = any(len(v) >= compiled_large.num_blocks
+                          for v in free.values())
+        if fits_single:
+            assert not placement.spans_boards
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(free=free_maps)
+    def test_comm_aware_never_beaten_on_span(self, free,
+                                             compiled_large):
+        """The communication-aware policy's board count never exceeds
+        the spread policy's."""
+        ring = RingNetwork(num_nodes=4)
+        aware = CommunicationAwarePolicy().allocate(
+            compiled_large, dict(free), ring)
+        spread = SpreadPolicy().allocate(compiled_large, dict(free),
+                                         ring)
+        if aware is not None and spread is not None:
+            assert aware.num_boards <= spread.num_boards
+
+
+class TestControllerFuzz:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=st.lists(st.tuples(st.sampled_from(["s", "m", "l"]),
+                                  st.booleans()),
+                        min_size=1, max_size=40))
+    def test_random_deploy_release_preserves_invariants(
+            self, ops, cluster, compiled_small, compiled_medium,
+            compiled_large):
+        apps = {"s": compiled_small, "m": compiled_medium,
+                "l": compiled_large}
+        controller = SystemController(cluster)
+        live = []
+        rid = 0
+        for kind, release_one in ops:
+            if release_one and live:
+                controller.release(live.pop(0))
+            else:
+                d = controller.try_deploy(apps[kind], rid, 0.0)
+                rid += 1
+                if d is not None:
+                    live.append(d)
+            verify_isolation(controller)
+            # accounting: busy == sum of live deployments' blocks
+            assert controller.busy_blocks() \
+                == sum(d.num_blocks for d in live)
+        for d in live:
+            controller.release(d)
+        assert controller.busy_blocks() == 0
+        for memory in controller.memories.values():
+            assert memory.used_bytes() == 0
+        for arbiter in controller.dram_arbiters.values():
+            assert arbiter.total_demand() == 0
+
+
+class TestExperimentConservation:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(arrivals=st.lists(
+        st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        min_size=1, max_size=25))
+    def test_every_request_completes_exactly_once(self, arrivals,
+                                                  cluster,
+                                                  compiled_apps,
+                                                  compiled_medium):
+        arrivals = sorted(arrivals)
+        requests = [Request(request_id=i, spec=compiled_medium.spec,
+                            arrival_s=t)
+                    for i, t in enumerate(arrivals)]
+        manager = SystemController(cluster)
+        result = run_experiment(manager, requests, compiled_apps)
+        assert result.summary.num_requests == len(requests)
+        assert all(r.finished for r in result.records)
+        # causality: deploy >= arrival, completion > deploy
+        for r in result.records:
+            assert r.deployed_s >= r.arrival_s - 1e-9
+            assert r.completed_s > r.deployed_s
+        # cluster drained
+        assert manager.busy_blocks() == 0

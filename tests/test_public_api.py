@@ -1,0 +1,70 @@
+"""Public-API surface checks and full-catalog closure tests."""
+
+import pytest
+
+import repro
+from repro import (
+    ViTALStack,
+    custom_kernel,
+    make_cluster,
+)
+from repro.compiler.flow import CompilationFlow
+from repro.hls.kernels import REPRESENTATIVE_APPS, benchmark
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        major, *_ = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_subpackage_alls_resolve(self):
+        import repro.compiler
+        import repro.fabric
+        import repro.interconnect
+        import repro.netlist
+        import repro.peripherals
+        import repro.runtime
+        import repro.sim
+        for module in (repro.compiler, repro.fabric,
+                       repro.interconnect, repro.netlist,
+                       repro.peripherals):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestRepresentativeAppsRunEndToEnd:
+    """The Fig. 1a motivation apps actually run through the stack."""
+
+    def test_every_fig1a_app_deploys(self, cluster):
+        stack = ViTALStack(cluster=cluster)
+        for app_desc in REPRESENTATIVE_APPS:
+            r = app_desc.resources
+            spec = custom_kernel(app_desc.name, lut=r.lut, dff=r.dff,
+                                 dsp=r.dsp, bram_mb=r.bram_mb,
+                                 service_time_s=15.0)
+            deployment = stack.deploy(spec)
+            assert deployment is not None, app_desc.name
+            stack.check_isolation()
+            stack.release(deployment)
+
+
+class TestDetailedPnRSignoff:
+    def test_signoff_flow_compiles(self, cluster):
+        flow = CompilationFlow(fabric=cluster.partition,
+                               verify_with_detailed_pnr=True)
+        app = flow.compile(benchmark("cifar10", "M"))
+        app.validate()
+
+    def test_signoff_matches_fast_flow_structure(self, cluster):
+        fast = CompilationFlow(fabric=cluster.partition)
+        slow = CompilationFlow(fabric=cluster.partition,
+                               verify_with_detailed_pnr=True)
+        spec = benchmark("vgg16", "S")
+        a = fast.compile(spec)
+        b = slow.compile(spec)
+        assert a.num_blocks == b.num_blocks
+        assert a.cut_bandwidth_bits == b.cut_bandwidth_bits

@@ -1,0 +1,104 @@
+"""Tests for the resource and bitstream databases, and runtime types."""
+
+import pytest
+
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.resource_db import BlockState, ResourceDB
+from repro.runtime.types import Placement
+
+
+class TestResourceDB:
+    @pytest.fixture()
+    def db(self, cluster):
+        return ResourceDB(cluster)
+
+    def test_all_free_initially(self, db):
+        assert db.total_blocks == 60
+        assert len(db.free_blocks()) == 60
+        assert db.utilization() == 0.0
+
+    def test_allocate_marks_state_and_owner(self, db):
+        db.allocate(7, [(0, 0), (0, 1)])
+        assert db.state_of((0, 0)) is BlockState.ALLOCATED
+        assert db.owner_of((0, 1)) == 7
+        assert db.allocated_count() == 2
+
+    def test_double_allocation_rejected_atomically(self, db):
+        db.allocate(1, [(0, 0)])
+        with pytest.raises(RuntimeError, match="already allocated"):
+            db.allocate(2, [(0, 1), (0, 0)])
+        # the partial request must not have claimed (0, 1)
+        assert db.state_of((0, 1)) is BlockState.FREE
+
+    def test_release_returns_blocks(self, db):
+        db.allocate(3, [(1, 4), (2, 5)])
+        freed = db.release(3)
+        assert sorted(freed) == [(1, 4), (2, 5)]
+        assert db.allocated_count() == 0
+
+    def test_release_unknown_request(self, db):
+        with pytest.raises(RuntimeError, match="owns no blocks"):
+            db.release(42)
+
+    def test_free_by_board_shape(self, db):
+        db.allocate(1, [(0, i) for i in range(15)])
+        free = db.free_by_board()
+        assert free[0] == []
+        assert len(free[1]) == 15
+
+    def test_blocks_of(self, db):
+        db.allocate(9, [(3, 14)])
+        assert db.blocks_of(9) == [(3, 14)]
+
+    def test_utilization_fraction(self, db):
+        db.allocate(1, [(0, i) for i in range(15)])
+        assert db.utilization() == pytest.approx(0.25)
+
+
+class TestBitstreamDB:
+    def test_register_and_lookup(self, cluster, compiled_small):
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        assert compiled_small.name in db
+        assert db.lookup(compiled_small.name) is compiled_small
+        assert db.names() == [compiled_small.name]
+
+    def test_wrong_footprint_rejected(self, compiled_small):
+        db = BitstreamDB("some-other-footprint")
+        with pytest.raises(ValueError, match="recompile required"):
+            db.register(compiled_small)
+
+    def test_missing_lookup_message(self, cluster):
+        db = BitstreamDB(cluster.footprint)
+        with pytest.raises(KeyError, match="offline compilation"):
+            db.lookup("ghost-app")
+
+    def test_len(self, cluster, compiled_small, compiled_medium):
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        db.register(compiled_medium)
+        assert len(db) == 2
+
+
+class TestPlacement:
+    def test_boards_and_spanning(self):
+        p = Placement(mapping={0: (0, 1), 1: (0, 2), 2: (1, 0)})
+        assert p.boards == [0, 1]
+        assert p.spans_boards
+        assert p.blocks_on(0) == [1, 2]
+        assert p.board_of(2) == 1
+
+    def test_single_board(self):
+        p = Placement(mapping={0: (2, 3)})
+        assert not p.spans_boards
+        assert p.num_boards == 1
+
+    def test_validate_coverage(self):
+        p = Placement(mapping={0: (0, 0), 2: (0, 1)})
+        with pytest.raises(ValueError, match="covers virtual blocks"):
+            p.validate(3)
+
+    def test_validate_no_reuse(self):
+        p = Placement(mapping={0: (0, 0), 1: (0, 0)})
+        with pytest.raises(ValueError, match="reuses"):
+            p.validate(2)

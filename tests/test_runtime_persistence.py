@@ -1,0 +1,90 @@
+"""Tests for bitstream-database persistence."""
+
+import json
+
+import pytest
+
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.persistence import (
+    app_from_dict,
+    app_to_dict,
+    load_bitstream_db,
+    save_bitstream_db,
+)
+
+
+@pytest.fixture()
+def db(cluster, compiled_small, compiled_large):
+    db = BitstreamDB(cluster.footprint)
+    db.register(compiled_small)
+    db.register(compiled_large)
+    return db
+
+
+class TestAppRoundTrip:
+    def test_roundtrip_preserves_identity(self, compiled_large):
+        restored = app_from_dict(app_to_dict(compiled_large))
+        assert restored.name == compiled_large.name
+        assert restored.num_blocks == compiled_large.num_blocks
+        assert restored.footprint == compiled_large.footprint
+        assert restored.fmax_mhz \
+            == pytest.approx(compiled_large.fmax_mhz)
+        assert restored.flows == compiled_large.flows
+        assert restored.spec.resources == compiled_large.spec.resources
+
+    def test_roundtrip_interface(self, compiled_large):
+        restored = app_from_dict(app_to_dict(compiled_large))
+        assert len(restored.interface.channels) \
+            == len(compiled_large.interface.channels)
+        assert restored.interface.verify_deadlock_free()
+
+    def test_roundtrip_service_time(self, compiled_small):
+        restored = app_from_dict(app_to_dict(compiled_small))
+        assert restored.service_time_s() \
+            == pytest.approx(compiled_small.service_time_s())
+
+    def test_restored_app_validates(self, compiled_medium):
+        app_from_dict(app_to_dict(compiled_medium)).validate()
+
+    def test_json_serializable(self, compiled_large):
+        json.dumps(app_to_dict(compiled_large))  # no exception
+
+
+class TestDatabaseRoundTrip:
+    def test_save_load(self, db, cluster, tmp_path):
+        path = tmp_path / "db.json"
+        save_bitstream_db(db, path)
+        restored = load_bitstream_db(path, cluster.footprint)
+        assert restored.names() == db.names()
+
+    def test_restored_apps_deploy(self, db, cluster, tmp_path):
+        from repro.runtime.controller import SystemController
+        path = tmp_path / "db.json"
+        save_bitstream_db(db, path)
+        restored = load_bitstream_db(path, cluster.footprint)
+        controller = SystemController(cluster)
+        app = restored.lookup(db.names()[0])
+        deployment = controller.try_deploy(app, 1, 0.0)
+        assert deployment is not None
+        controller.release(deployment)
+
+    def test_footprint_mismatch_refused(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_bitstream_db(db, path)
+        with pytest.raises(ValueError, match="recompile"):
+            load_bitstream_db(path, "some-other-footprint")
+
+    def test_foreign_document_refused(self, tmp_path, cluster):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a bitstream"):
+            load_bitstream_db(path, cluster.footprint)
+
+    def test_wrong_version_refused(self, db, cluster, tmp_path):
+        path = tmp_path / "db.json"
+        save_bitstream_db(db, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 42
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_bitstream_db(path, cluster.footprint)

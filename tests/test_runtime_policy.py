@@ -1,0 +1,138 @@
+"""Tests for the allocation policies (Section 3.4)."""
+
+import pytest
+
+from repro.cluster.network import RingNetwork
+from repro.runtime.policy import (
+    CommunicationAwarePolicy,
+    FirstFitPolicy,
+    SpreadPolicy,
+    split_virtual_blocks,
+)
+
+
+@pytest.fixture()
+def ring():
+    return RingNetwork(num_nodes=4)
+
+
+def free(*counts):
+    """free_by_board from per-board free-block counts."""
+    return {board: list(range(count))
+            for board, count in enumerate(counts)}
+
+
+class TestCommunicationAwarePolicy:
+    def test_single_board_preferred(self, ring, compiled_large):
+        # board 2 fits exactly; boards 0+1 would also fit combined
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(6, 6, compiled_large.num_blocks, 0),
+            ring)
+        assert placement.boards == [2]
+
+    def test_best_fit_among_single_boards(self, ring, compiled_medium):
+        n = compiled_medium.num_blocks
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_medium, free(15, n, 15, 15), ring)
+        assert placement.boards == [1]  # tightest fit
+
+    def test_splits_when_no_single_board_fits(self, ring,
+                                              compiled_large):
+        n = compiled_large.num_blocks
+        a, b = n - 3, 3
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(a, b, 0, 0), ring)
+        assert placement is not None
+        assert placement.spans_boards
+        assert len(placement.addresses) == n
+
+    def test_prefers_adjacent_boards_when_splitting(self, ring,
+                                                    compiled_large):
+        n = compiled_large.num_blocks
+        half = n // 2 + 1
+        # boards 0 and 1 are adjacent; 0 and 2 are across the ring
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(half, half, half, 0), ring)
+        assert placement.boards in ([0, 1], [1, 2], [0, 3])
+
+    def test_none_when_insufficient(self, ring, compiled_large):
+        assert CommunicationAwarePolicy().allocate(
+            compiled_large, free(1, 1, 1, 1), ring) is None
+
+    def test_no_useless_board_in_subset(self, ring, compiled_large):
+        n = compiled_large.num_blocks
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(n - 1, 1, 0, 0), ring)
+        assert placement.num_boards == 2
+        assert all(len(placement.blocks_on(b)) > 0
+                   for b in placement.boards)
+
+    def test_placement_is_valid(self, ring, compiled_large):
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(5, 5, 5, 5), ring)
+        placement.validate(compiled_large.num_blocks)
+
+    def test_heavy_flows_stay_on_one_board(self, ring, compiled_large):
+        """Virtual blocks joined by the heaviest channels co-locate."""
+        n = compiled_large.num_blocks
+        placement = CommunicationAwarePolicy().allocate(
+            compiled_large, free(n - 2, 2, 0, 0), ring)
+        cross = sum(
+            bits for (s, d), bits in compiled_large.flows.items()
+            if placement.board_of(s) != placement.board_of(d))
+        assert cross <= 0.5 * sum(compiled_large.flows.values())
+
+
+class TestSplitVirtualBlocks:
+    def test_quota_respected(self, compiled_large):
+        n = compiled_large.num_blocks
+        assignment = split_virtual_blocks(
+            compiled_large, [(0, n - 2), (1, 2)])
+        counts = {0: 0, 1: 0}
+        for board in assignment.values():
+            counts[board] += 1
+        assert counts == {0: n - 2, 1: 2}
+
+    def test_insufficient_quota_rejected(self, compiled_large):
+        with pytest.raises(ValueError):
+            split_virtual_blocks(compiled_large, [(0, 1)])
+
+    def test_all_blocks_assigned(self, compiled_large):
+        n = compiled_large.num_blocks
+        assignment = split_virtual_blocks(compiled_large, [(0, n)])
+        assert set(assignment) == set(range(n))
+
+
+class TestAblationPolicies:
+    def test_first_fit_takes_lowest_addresses(self, ring,
+                                              compiled_medium):
+        placement = FirstFitPolicy().allocate(
+            compiled_medium, free(15, 15, 15, 15), ring)
+        assert placement.boards == [0]
+
+    def test_first_fit_spans_when_fragmented(self, ring,
+                                             compiled_medium):
+        n = compiled_medium.num_blocks
+        placement = FirstFitPolicy().allocate(
+            compiled_medium, free(1, 1, 1, n), ring)
+        assert placement.spans_boards
+
+    def test_first_fit_none_when_insufficient(self, ring,
+                                              compiled_large):
+        assert FirstFitPolicy().allocate(
+            compiled_large, free(1, 0, 0, 0), ring) is None
+
+    def test_spread_uses_many_boards(self, ring, compiled_large):
+        placement = SpreadPolicy().allocate(
+            compiled_large, free(15, 15, 15, 15), ring)
+        assert placement.num_boards \
+            == min(4, compiled_large.num_blocks)
+
+    def test_spread_none_when_insufficient(self, ring, compiled_large):
+        assert SpreadPolicy().allocate(
+            compiled_large, free(2, 2, 2, 2), ring) is None
+
+    def test_spread_placement_valid(self, ring, compiled_large):
+        placement = SpreadPolicy().allocate(
+            compiled_large, free(15, 15, 15, 15), ring)
+        placement.validate(compiled_large.num_blocks)

@@ -1,0 +1,81 @@
+"""Tests for controller warm restart (snapshot/restore)."""
+
+import json
+
+import pytest
+
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
+
+
+@pytest.fixture()
+def loaded(cluster, compiled_small, compiled_medium, compiled_large):
+    db = BitstreamDB(cluster.footprint)
+    for app in (compiled_small, compiled_medium, compiled_large):
+        db.register(app)
+    controller = SystemController(cluster)
+    controller.set_quota("acme", 40)
+    d1 = controller.try_deploy(compiled_small, 1, 1.0, tenant="acme")
+    d2 = controller.try_deploy(compiled_large, 2, 2.0)
+    return controller, db, [d1, d2]
+
+
+class TestWarmRestart:
+    def test_restore_reproduces_state(self, cluster, loaded):
+        controller, db, deployments = loaded
+        snapshot = controller.snapshot()
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert set(restored.deployments) == set(controller.deployments)
+        assert restored.busy_blocks() == controller.busy_blocks()
+        assert restored.quotas == controller.quotas
+        verify_isolation(restored)
+
+    def test_restored_controller_operates(self, cluster, loaded,
+                                          compiled_medium):
+        controller, db, deployments = loaded
+        restored = SystemController.restore(cluster,
+                                            controller.snapshot(), db)
+        d = restored.try_deploy(compiled_medium, 99, 10.0)
+        assert d is not None
+        # the new placement avoids every pre-restart block
+        pre = {a for dep in deployments
+               for a in dep.placement.addresses}
+        assert set(d.placement.addresses).isdisjoint(pre)
+        # releases of pre-restart deployments work through the restored
+        # controller
+        restored.release(restored.deployments[1], 11.0)
+        assert 1 not in restored.deployments
+
+    def test_snapshot_json_serializable(self, loaded):
+        controller, _, _ = loaded
+        json.dumps(controller.snapshot())  # no exception
+
+    def test_snapshot_roundtrips_through_json(self, cluster, loaded):
+        controller, db, _ = loaded
+        snapshot = json.loads(json.dumps(controller.snapshot()))
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.busy_blocks() == controller.busy_blocks()
+
+    def test_corrupt_snapshot_fails_loudly(self, cluster, loaded):
+        controller, db, _ = loaded
+        snapshot = controller.snapshot()
+        # duplicate a deployment: double-books the same blocks
+        snapshot["deployments"].append(
+            dict(snapshot["deployments"][0], request_id=777))
+        with pytest.raises(RuntimeError, match="already allocated"):
+            SystemController.restore(cluster, snapshot, db)
+
+    def test_unknown_app_fails_loudly(self, cluster, loaded):
+        controller, _, _ = loaded
+        empty_db = BitstreamDB(cluster.footprint)
+        with pytest.raises(KeyError, match="offline compilation"):
+            SystemController.restore(cluster, controller.snapshot(),
+                                     empty_db)
+
+    def test_empty_snapshot(self, cluster):
+        controller = SystemController(cluster)
+        db = BitstreamDB(cluster.footprint)
+        restored = SystemController.restore(cluster,
+                                            controller.snapshot(), db)
+        assert restored.busy_blocks() == 0

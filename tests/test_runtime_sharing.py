@@ -1,0 +1,121 @@
+"""Tests for same-function physical-block sharing (Section 3.4 option)."""
+
+import pytest
+
+from repro.runtime.sharing import (
+    FunctionSharingController,
+    verify_function_sharing,
+)
+
+
+@pytest.fixture()
+def controller(cluster):
+    return FunctionSharingController(cluster, max_sharers=2)
+
+
+def fill_with(controller, app, start_rid=0):
+    """Deploy copies until the cluster refuses; returns deployments."""
+    live = []
+    rid = start_rid
+    while (d := controller.try_deploy(app, rid, 0.0)) is not None:
+        live.append(d)
+        rid += 1
+        if len(live) > 200:
+            raise AssertionError("sharing never saturates")
+    return live
+
+
+class TestSharingAdmission:
+    def test_exclusive_path_preferred(self, controller, compiled_small):
+        d1 = controller.try_deploy(compiled_small, 0, 0.0)
+        d2 = controller.try_deploy(compiled_small, 1, 0.0)
+        # plenty of free blocks: both run exclusively at full speed
+        assert d1.placement.addresses != d2.placement.addresses
+        assert d2.service_time_s \
+            == pytest.approx(compiled_small.service_time_s())
+
+    def test_sharing_kicks_in_when_full(self, controller,
+                                        compiled_large):
+        live = fill_with(controller, compiled_large)
+        exclusive = [d for d in live
+                     if controller.sharers_of(d.request_id) >= 1]
+        shared = [d for d in live if d.reconfig_time_s == 0.0]
+        # with max_sharers=2 the cluster admits ~2x the exclusive count
+        assert len(shared) >= len(exclusive) // 3
+        verify_function_sharing(controller)
+
+    def test_shared_throughput_halved(self, controller,
+                                      compiled_large):
+        live = fill_with(controller, compiled_large)
+        shared = [d for d in live if d.reconfig_time_s == 0.0]
+        assert shared, "expected at least one shared admission"
+        base = compiled_large.service_time_s()
+        for d in shared:
+            assert d.service_time_s == pytest.approx(2 * base)
+
+    def test_no_sharing_across_functions(self, controller,
+                                         compiled_small,
+                                         compiled_medium):
+        # saturate with smalls, then ask for a medium: it may NOT share
+        # a small's blocks
+        fill_with(controller, compiled_small)
+        d = controller.try_deploy(compiled_medium, 900, 0.0)
+        assert d is None
+        verify_function_sharing(controller)
+
+    def test_max_sharers_cap(self, cluster, compiled_large):
+        controller = FunctionSharingController(cluster, max_sharers=3)
+        live = fill_with(controller, compiled_large)
+        counts = [controller.sharers_of(d.request_id) for d in live]
+        assert max(counts) <= 3
+        verify_function_sharing(controller)
+
+    def test_invalid_max_sharers(self, cluster):
+        with pytest.raises(ValueError):
+            FunctionSharingController(cluster, max_sharers=0)
+
+
+class TestSharingRelease:
+    def test_guest_release_keeps_host_running(self, controller,
+                                              compiled_large):
+        live = fill_with(controller, compiled_large)
+        guest = next(d for d in live if d.reconfig_time_s == 0.0)
+        host_blocks = set(guest.placement.addresses)
+        controller.release(guest)
+        # the blocks are still allocated (host owns them)
+        still = {a for d in controller.running()
+                 for a in d.placement.addresses}
+        assert host_blocks <= still
+        verify_function_sharing(controller)
+
+    def test_host_release_promotes_guest(self, controller,
+                                         compiled_large):
+        live = fill_with(controller, compiled_large)
+        guest = next(d for d in live if d.reconfig_time_s == 0.0)
+        host_rid = controller._shared_with[guest.request_id]
+        host = controller.deployments[host_rid]
+        controller.release(host)
+        # the guest survives and now owns its blocks in the DB
+        assert guest.request_id in controller.deployments
+        owner = controller.resource_db.owner_of(
+            guest.placement.addresses[0])
+        assert owner == guest.request_id
+        verify_function_sharing(controller)
+
+    def test_full_teardown_leaves_cluster_clean(self, controller,
+                                                compiled_large):
+        live = fill_with(controller, compiled_large)
+        for d in list(live):
+            controller.release(d)
+        assert controller.busy_blocks() == 0
+        for memory in controller.memories.values():
+            assert memory.used_bytes() == 0
+
+    def test_release_order_host_then_all_guests(self, cluster,
+                                                compiled_large):
+        controller = FunctionSharingController(cluster, max_sharers=4)
+        live = fill_with(controller, compiled_large)
+        # release in reverse-id order (guests after hosts interleaved)
+        for d in sorted(live, key=lambda d: d.request_id):
+            controller.release(d)
+        assert controller.busy_blocks() == 0

@@ -1,0 +1,93 @@
+"""Tests for the arrival-process library."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.arrivals import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.sim.workload import WorkloadGenerator
+
+PROCESSES = [PoissonArrivals(4.0), BurstyArrivals(4.0),
+             DiurnalArrivals(4.0)]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("process", PROCESSES,
+                             ids=lambda p: type(p).__name__)
+    def test_sorted_and_positive(self, process):
+        times = process.times(200, random.Random(1))
+        assert len(times) == 200
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    @pytest.mark.parametrize("process", PROCESSES,
+                             ids=lambda p: type(p).__name__)
+    def test_mean_rate_preserved(self, process):
+        times = process.times(3000, random.Random(2))
+        mean = times[-1] / len(times)
+        assert mean == pytest.approx(4.0, rel=0.2)
+
+    @pytest.mark.parametrize("process", PROCESSES,
+                             ids=lambda p: type(p).__name__)
+    def test_deterministic_per_seed(self, process):
+        a = process.times(50, random.Random(3))
+        b = process.times(50, random.Random(3))
+        assert a == b
+
+
+class TestShapes:
+    def test_bursty_is_burstier_than_poisson(self):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        poisson = PoissonArrivals(4.0).times(2000, rng_a)
+        bursty = BurstyArrivals(4.0, burst_size=6).times(2000, rng_b)
+
+        def cv2(times):  # squared coefficient of variation
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            mu = statistics.mean(gaps)
+            return statistics.pvariance(gaps) / (mu * mu)
+
+        assert cv2(bursty) > 1.5 * cv2(poisson)
+
+    def test_diurnal_rate_oscillates(self):
+        times = DiurnalArrivals(2.0, period_s=600,
+                                amplitude=0.9).times(
+            4000, random.Random(7))
+        # count arrivals in the peak vs trough half-periods
+        peak = sum(1 for t in times if (t % 600) < 300)
+        trough = len(times) - peak
+        assert peak > 1.5 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0).times(1, random.Random(0))
+        with pytest.raises(ValueError):
+            BurstyArrivals(4.0, burst_size=0).times(1, random.Random(0))
+        with pytest.raises(ValueError):
+            DiurnalArrivals(4.0, amplitude=1.5).times(1,
+                                                      random.Random(0))
+
+
+class TestWorkloadIntegration:
+    def test_generator_accepts_custom_process(self):
+        gen = WorkloadGenerator(seed=9)
+        requests = gen.generate(
+            7, num_requests=40,
+            arrival_process=BurstyArrivals(4.0, burst_size=5))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        # bursts visible: several gaps far below the mean
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert sum(1 for g in gaps if g < 0.5) >= 10
+
+    def test_default_remains_poisson(self):
+        gen = WorkloadGenerator(seed=9)
+        a = gen.generate(7, num_requests=20)
+        b = gen.generate(7, num_requests=20,
+                         arrival_process=PoissonArrivals(4.0))
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]

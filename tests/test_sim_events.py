@@ -1,0 +1,121 @@
+"""Tests for the event queue and time-weighted statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue, TimeWeightedValue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, "b")
+        q.push(1.0, "a")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["a", "c", "b"]
+
+    def test_stable_for_ties(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.push(0.0, "k", payload={"x": 1})
+        assert q.pop().payload == {"x": 1}
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "bad")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, "x")
+        assert q and len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(7.0, "x")
+        q.push(2.0, "y")
+        assert q.peek_time() == 2.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), max_size=60))
+    def test_pop_order_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, "e")
+        popped = [q.pop().time for _ in times]
+        assert popped == sorted(popped)
+
+
+class TestTimeWeightedValue:
+    def test_constant_average(self):
+        v = TimeWeightedValue(initial=3.0)
+        assert v.average(0, 10) == pytest.approx(3.0)
+
+    def test_step_average(self):
+        v = TimeWeightedValue(initial=0.0)
+        v.record(5.0, 10.0)
+        assert v.average(0, 10) == pytest.approx(5.0)
+
+    def test_average_sub_window(self):
+        v = TimeWeightedValue(initial=0.0)
+        v.record(5.0, 10.0)
+        assert v.average(5, 10) == pytest.approx(10.0)
+        assert v.average(0, 5) == pytest.approx(0.0)
+
+    def test_value_at(self):
+        v = TimeWeightedValue(initial=1.0)
+        v.record(2.0, 7.0)
+        assert v.value_at(1.9) == 1.0
+        assert v.value_at(2.0) == 7.0
+
+    def test_time_backwards_rejected(self):
+        v = TimeWeightedValue()
+        v.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            v.record(4.0, 2.0)
+
+    def test_duplicate_value_coalesced(self):
+        v = TimeWeightedValue(initial=2.0)
+        v.record(1.0, 2.0)
+        assert len(v._points) == 1
+
+    def test_average_where_mask(self):
+        value = TimeWeightedValue(initial=10.0)
+        mask = TimeWeightedValue(initial=0.0)
+        mask.record(4.0, 1.0)    # mask on from t=4
+        value.record(4.0, 20.0)  # value jumps with it
+        assert value.average_where(mask, 0, 8) == pytest.approx(20.0)
+
+    def test_average_where_empty_mask(self):
+        value = TimeWeightedValue(initial=5.0)
+        mask = TimeWeightedValue(initial=0.0)
+        assert value.average_where(mask, 0, 10) == 0.0
+
+    def test_degenerate_window(self):
+        v = TimeWeightedValue(initial=4.0)
+        assert v.average(3, 3) == 4.0
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=50, allow_nan=False)),
+        min_size=1, max_size=30))
+    def test_average_bounded_by_extremes(self, steps):
+        v = TimeWeightedValue(initial=0.0)
+        t = 0.0
+        values = [0.0]
+        for dt, value in steps:
+            t += dt
+            v.record(t, value)
+            values.append(value)
+        avg = v.average(0, t + 1)
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9

@@ -1,0 +1,160 @@
+"""Tests for the experiment loop (the Fig. 9/10 driver)."""
+
+import pytest
+
+from repro.baselines.amorphos import AmorphOSManager
+from repro.baselines.per_device import PerDeviceManager
+from repro.runtime.controller import SystemController
+from repro.sim.experiment import compare_managers, run_experiment
+from repro.sim.workload import Request
+from repro.hls.kernels import benchmark
+
+
+def requests_for(apps, arrivals):
+    """One request per (app, arrival time)."""
+    return [Request(request_id=i, spec=app.spec, arrival_s=t)
+            for i, (app, t) in enumerate(zip(apps, arrivals))]
+
+
+class TestRunExperiment:
+    def test_all_requests_complete(self, cluster, compiled_apps,
+                                   compiled_small):
+        reqs = requests_for([compiled_small] * 6,
+                            [1 + i * 0.5 for i in range(6)])
+        result = run_experiment(SystemController(cluster), reqs,
+                                compiled_apps)
+        assert result.summary.num_requests == 6
+        assert all(r.finished for r in result.records)
+
+    def test_fifo_order_for_identical_requests(self, cluster,
+                                               compiled_apps,
+                                               compiled_large):
+        reqs = requests_for([compiled_large] * 10,
+                            [1 + i * 0.1 for i in range(10)])
+        result = run_experiment(SystemController(cluster), reqs,
+                                compiled_apps)
+        deploys = [r.deployed_s for r in
+                   sorted(result.records, key=lambda r: r.request_id)]
+        assert deploys == sorted(deploys)
+
+    def test_response_includes_wait(self, cluster, compiled_apps,
+                                    compiled_large):
+        # 10 large apps cannot all run at once on 60 blocks
+        reqs = requests_for([compiled_large] * 10, [1.0] * 10)
+        result = run_experiment(SystemController(cluster), reqs,
+                                compiled_apps)
+        waits = [r.wait_s for r in result.records]
+        assert max(waits) > 0
+
+    def test_per_device_queues_behind_four_boards(self, cluster,
+                                                  compiled_apps,
+                                                  compiled_small):
+        reqs = requests_for([compiled_small] * 8, [1.0] * 8)
+        result = run_experiment(PerDeviceManager(cluster), reqs,
+                                compiled_apps)
+        # 4 run immediately, 4 wait a full service time
+        waits = sorted(r.wait_s for r in result.records)
+        assert waits[3] == pytest.approx(0.0, abs=1e-9)
+        assert waits[4] > compiled_small.service_time_s() * 0.9
+
+    def test_amorphos_penalties_extend_corunners(self, cluster,
+                                                 compiled_apps,
+                                                 compiled_small):
+        reqs = requests_for([compiled_small] * 3, [1.0, 2.0, 3.0])
+        result = run_experiment(AmorphOSManager(cluster), reqs,
+                                compiled_apps)
+        first = next(r for r in result.records if r.request_id == 0)
+        # request 0 was paused by requests 1 and 2 joining its board
+        expected_min = (compiled_small.service_time_s()
+                        + 3 * result.records[0].reconfig_time_s)
+        assert first.response_s >= expected_min * 0.99
+
+    def test_backfill_lets_small_jump(self, cluster, compiled_apps,
+                                      compiled_small, compiled_large):
+        # saturate, then queue a large (head) and a small behind it
+        apps = [compiled_large] * 7 + [compiled_large, compiled_small]
+        reqs = requests_for(apps, [0.1 * i for i in range(9)])
+        strict = run_experiment(SystemController(cluster), reqs,
+                                compiled_apps, backfill=False)
+        jumpy = run_experiment(SystemController(cluster), reqs,
+                               compiled_apps, backfill=True)
+        small_wait_strict = [r for r in strict.records
+                             if r.request_id == 8][0].wait_s
+        small_wait_backfill = [r for r in jumpy.records
+                               if r.request_id == 8][0].wait_s
+        assert small_wait_backfill <= small_wait_strict
+
+    def test_sjf_prefers_short_jobs(self, cluster, compiled_apps,
+                                    compiled_small, compiled_large):
+        # saturate, then queue long and short jobs together; note
+        # svhn-L's per-job service (60 s x1.1) exceeds mlp-mnist-S (40 s)
+        apps = [compiled_large] * 7 + [compiled_large, compiled_small]
+        reqs = requests_for(apps, [0.1 * i for i in range(9)])
+        fifo = run_experiment(SystemController(cluster), reqs,
+                              compiled_apps, discipline="fifo")
+        sjf = run_experiment(SystemController(cluster), reqs,
+                             compiled_apps, discipline="sjf")
+        wait = lambda res, rid: [r for r in res.records
+                                 if r.request_id == rid][0].wait_s
+        assert wait(sjf, 8) <= wait(fifo, 8)
+
+    def test_unknown_discipline_rejected(self, cluster, compiled_apps,
+                                         compiled_small):
+        reqs = requests_for([compiled_small], [1.0])
+        with pytest.raises(ValueError, match="discipline"):
+            run_experiment(SystemController(cluster), reqs,
+                           compiled_apps, discipline="lifo")
+
+    def test_backfill_flag_maps_to_discipline(self, cluster,
+                                              compiled_apps,
+                                              compiled_small):
+        reqs = requests_for([compiled_small] * 3, [1.0, 2.0, 3.0])
+        a = run_experiment(SystemController(cluster), reqs,
+                           compiled_apps, backfill=True)
+        b = run_experiment(SystemController(cluster), reqs,
+                           compiled_apps, discipline="backfill")
+        assert a.summary.mean_response_s \
+            == pytest.approx(b.summary.mean_response_s)
+
+    def test_extras_report_amorphos_combinations(self, cluster,
+                                                 compiled_apps,
+                                                 compiled_small):
+        reqs = requests_for([compiled_small] * 3, [1.0, 2.0, 3.0])
+        result = run_experiment(AmorphOSManager(cluster), reqs,
+                                compiled_apps)
+        assert result.extras["combinations"] >= 1
+
+
+class TestCompareManagers:
+    def test_vital_beats_per_device(self, cluster, compiled_apps,
+                                    compiled_small, compiled_medium):
+        # hand-built workload set: burst of mixed sizes
+        reqs = requests_for(
+            [compiled_small, compiled_medium] * 8,
+            [0.5 * i for i in range(16)])
+        out = compare_managers(
+            {1: [reqs]}, cluster=cluster, apps=compiled_apps,
+            managers={"per-device": PerDeviceManager,
+                      "vital": SystemController})
+        assert out["vital"][1].mean_response_s \
+            < out["per-device"][1].mean_response_s
+
+    def test_vital_concurrency_higher(self, cluster, compiled_apps,
+                                      compiled_small):
+        reqs = requests_for([compiled_small] * 12,
+                            [0.2 * i for i in range(12)])
+        out = compare_managers(
+            {1: [reqs]}, cluster=cluster, apps=compiled_apps,
+            managers={"per-device": PerDeviceManager,
+                      "vital": SystemController})
+        assert out["vital"][1].peak_concurrency \
+            > out["per-device"][1].peak_concurrency
+
+    def test_replica_averaging(self, cluster, compiled_apps,
+                               compiled_small):
+        r1 = requests_for([compiled_small] * 4, [1, 2, 3, 4])
+        r2 = requests_for([compiled_small] * 4, [1, 1.5, 2, 2.5])
+        out = compare_managers(
+            {1: [r1, r2]}, cluster=cluster, apps=compiled_apps,
+            managers={"vital": SystemController})
+        assert out["vital"][1].num_requests == 4

@@ -1,0 +1,83 @@
+"""Tests for workload trace import/export."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import dump_trace, dumps_trace, load_trace, \
+    loads_trace
+from repro.sim.workload import WorkloadGenerator
+
+
+@pytest.fixture()
+def workload():
+    return WorkloadGenerator(seed=5).generate(7, num_requests=25)
+
+
+class TestRoundTrip:
+    def test_in_memory_roundtrip(self, workload):
+        restored = loads_trace(dumps_trace(workload))
+        assert len(restored) == len(workload)
+        for a, b in zip(workload, restored):
+            assert a.request_id == b.request_id
+            assert a.spec.name == b.spec.name
+            assert a.arrival_s == pytest.approx(b.arrival_s)
+
+    def test_file_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_trace(workload, path, metadata={"set": 7})
+        restored = load_trace(path)
+        assert [r.spec.name for r in restored] \
+            == [r.spec.name for r in workload]
+
+    def test_metadata_persisted(self, workload):
+        text = dumps_trace(workload, metadata={"note": "hello"})
+        assert json.loads(text)["metadata"]["note"] == "hello"
+
+    def test_replayable_through_simulator(self, workload, cluster,
+                                          compiled_apps):
+        from repro.runtime.controller import SystemController
+        from repro.sim.experiment import run_experiment
+        restored = [r for r in loads_trace(dumps_trace(workload))
+                    if r.spec.name in compiled_apps]
+        if not restored:
+            pytest.skip("trace contains no precompiled apps")
+        result = run_experiment(SystemController(cluster), restored,
+                                compiled_apps)
+        assert result.summary.num_requests == len(restored)
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="format marker"):
+            loads_trace('{"hello": 1}')
+
+    def test_rejects_wrong_version(self, workload):
+        payload = json.loads(dumps_trace(workload))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            loads_trace(json.dumps(payload))
+
+    def test_rejects_unsorted_arrivals(self, workload):
+        payload = json.loads(dumps_trace(workload))
+        payload["requests"][0]["arrival_s"] = 1e9
+        with pytest.raises(ValueError, match="sorted"):
+            loads_trace(json.dumps(payload))
+
+    def test_rejects_negative_arrival(self, workload):
+        payload = json.loads(dumps_trace(workload))
+        payload["requests"][0]["arrival_s"] = -1
+        with pytest.raises(ValueError, match="negative"):
+            loads_trace(json.dumps(payload))
+
+    def test_rejects_duplicate_ids(self, workload):
+        payload = json.loads(dumps_trace(workload))
+        payload["requests"][1]["id"] = payload["requests"][0]["id"]
+        with pytest.raises(ValueError, match="duplicate"):
+            loads_trace(json.dumps(payload))
+
+    def test_rejects_unknown_benchmark(self, workload):
+        payload = json.loads(dumps_trace(workload))
+        payload["requests"][0]["family"] = "gpt4"
+        with pytest.raises(KeyError):
+            loads_trace(json.dumps(payload))
