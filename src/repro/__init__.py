@@ -39,6 +39,17 @@ from repro.hls.kernels import (
 )
 from repro.runtime.controller import SystemController
 from repro.runtime.isolation import verify_isolation
+from repro.faults import (
+    FaultSchedule,
+    FaultInjector,
+    BoardDown,
+    BoardUp,
+    LinkDegraded,
+    LinkRestored,
+    ReconfigTransientFault,
+    FailRequeuePolicy,
+    MigrateOnFailurePolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -60,5 +71,14 @@ __all__ = [
     "all_benchmarks",
     "SystemController",
     "verify_isolation",
+    "FaultSchedule",
+    "FaultInjector",
+    "BoardDown",
+    "BoardUp",
+    "LinkDegraded",
+    "LinkRestored",
+    "ReconfigTransientFault",
+    "FailRequeuePolicy",
+    "MigrateOnFailurePolicy",
     "__version__",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["format_table", "format_bar_series"]
+__all__ = ["format_table", "format_bar_series", "format_availability"]
 
 
 def format_table(headers: Sequence[str],
@@ -46,6 +46,40 @@ def format_bar_series(labels: Sequence[str], values: Sequence[float],
         bar = "#" * (int(round(width * value / peak)) if peak else 0)
         lines.append(f"{label.ljust(label_w)}  {bar} {value:.3g}{unit}")
     return "\n".join(lines)
+
+
+#: column order of one availability row: label, then the five
+#: fault metrics every :class:`~repro.sim.metrics.SummaryMetrics` carries
+AVAILABILITY_KEYS = ("interruptions", "recoveries", "permanently_failed",
+                     "mean_time_to_recovery_s", "goodput_fraction")
+
+
+def format_availability(rows: "Sequence[tuple[str, object]]",
+                        title: str = "") -> str:
+    """Render the availability comparison table (Section 6 extension).
+
+    ``rows`` pairs a label (manager + recovery policy) with any object
+    exposing the :data:`AVAILABILITY_KEYS` attributes -- in practice a
+    ``SummaryMetrics``, but a mapping with those keys works too, so this
+    module keeps its no-sim-imports layering.
+    """
+    table = []
+    for label, summary in rows:
+        cells: list[object] = [label]
+        for key in AVAILABILITY_KEYS:
+            value = (summary[key] if isinstance(summary, dict)
+                     else getattr(summary, key))
+            if key == "goodput_fraction":
+                cells.append(f"{value:.1%}")
+            elif key == "mean_time_to_recovery_s":
+                cells.append(f"{value:.2f} s")
+            else:
+                cells.append(f"{value:.1f}")
+        table.append(cells)
+    return format_table(
+        ["manager/policy", "interruptions", "recoveries",
+         "perm. failed", "MTTR", "goodput"],
+        table, title=title)
 
 
 def _fmt(cell: object) -> str:

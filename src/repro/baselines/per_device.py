@@ -27,19 +27,24 @@ class PerDeviceManager:
         self.cluster = cluster
         self._board_owner: dict[int, int | None] = {
             b.board_id: None for b in cluster.boards}
+        self._failed: set[int] = set()
+        #: request id -> live deployment (fault eviction needs the
+        #: deployment object to hand back to the recovery machinery)
+        self._live: dict[int, Deployment] = {}
 
     # ------------------------------------------------------------------
     def try_deploy(self, app: CompiledApp, request_id: int,
                    now: float) -> Deployment | None:
         board_id = next((b for b, owner in self._board_owner.items()
-                         if owner is None), None)
+                         if owner is None and b not in self._failed),
+                        None)
         if board_id is None:
             return None
         self._board_owner[board_id] = request_id
         blocks = self.cluster.board(board_id).num_blocks
         placement = Placement(mapping={
             i: (board_id, i) for i in range(blocks)})
-        return Deployment(
+        deployment = Deployment(
             request_id=request_id,
             app=app,
             tenant=f"tenant-{request_id}",
@@ -48,6 +53,8 @@ class PerDeviceManager:
             reconfig_time_s=self.cluster.reconfigurer.full_device_time_s(),
             service_time_s=app.service_time_s(),
         )
+        self._live[request_id] = deployment
+        return deployment
 
     def release(self, deployment: Deployment, now: float = 0.0) -> None:
         board_id = deployment.placement.boards[0]
@@ -56,6 +63,36 @@ class PerDeviceManager:
                 f"board {board_id} not held by "
                 f"request {deployment.request_id}")
         self._board_owner[board_id] = None
+        self._live.pop(deployment.request_id, None)
+
+    # ------------------------------------------------------------------
+    # failure handling (fault model)
+    # ------------------------------------------------------------------
+    def fail_board(self, board_id: int,
+                   now: float = 0.0) -> list[Deployment]:
+        """Fail-stop one board, evicting its (single) tenant.
+
+        Per-device bitstreams are compiled for one specific board, so an
+        evicted application cannot be relocated -- it restarts from
+        scratch wherever a whole free board appears (the recovery
+        asymmetry the availability benchmark measures).
+        """
+        if board_id not in self._board_owner:
+            raise KeyError(f"no board {board_id} in this cluster")
+        if board_id in self._failed:
+            return []
+        self._failed.add(board_id)
+        owner = self._board_owner.get(board_id)
+        if owner is None:
+            return []
+        self._board_owner[board_id] = None
+        return [self._live.pop(owner)]
+
+    def repair_board(self, board_id: int, now: float = 0.0) -> None:
+        self._failed.discard(board_id)
+
+    def failed_boards(self) -> list[int]:
+        return sorted(self._failed)
 
     # ------------------------------------------------------------------
     def busy_blocks(self) -> float:
@@ -67,5 +104,5 @@ class PerDeviceManager:
         return float(self.cluster.total_blocks)
 
     def free_boards(self) -> int:
-        return sum(1 for owner in self._board_owner.values()
-                   if owner is None)
+        return sum(1 for b, owner in self._board_owner.items()
+                   if owner is None and b not in self._failed)

@@ -10,7 +10,11 @@ Operator-facing entry points over the library:
   every link class (Table 4);
 - ``simulate``  -- replay a Table 3 workload set against one or more
   managers and print the comparison (a one-set Fig. 9);
-- ``status``    -- build the default cluster and print its shape.
+- ``status``    -- build the default cluster and print its shape plus
+  per-board health (reads the optional ``--state`` drill file);
+- ``fail-board``/``repair-board`` -- manual failure drills: deploy a
+  demo workload, fail-stop (or repair) one board, and print who was
+  evicted, what recovery did, and the audit trail.
 
 Every command is a pure function over the library, returns an exit code,
 and prints via the same report helpers the benchmark harness uses, so
@@ -81,8 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--boards", type=int, default=4)
 
-    p = sub.add_parser("status", help="print the default cluster shape")
+    p = sub.add_parser(
+        "status",
+        help="print the cluster shape and per-board health")
     p.add_argument("--boards", type=int, default=4)
+    p.add_argument("--state", default=None,
+                   help="drill state file written by fail-board")
+
+    for name, help_text in [
+            ("fail-board", "drill: fail-stop one board and recover"),
+            ("repair-board", "drill: bring a failed board back")]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("board", type=int)
+        p.add_argument("--boards", type=int, default=4)
+        p.add_argument("--state", default=None,
+                       help="JSON file persisting drill health state")
+        if name == "fail-board":
+            p.add_argument("--recovery", default="migrate-on-failure",
+                           choices=["fail-requeue", "migrate-on-failure"])
 
     p = sub.add_parser(
         "export-db",
@@ -189,10 +209,135 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_state(path: "str | None") -> dict:
+    import json
+    from pathlib import Path
+    if path and Path(path).exists():
+        return json.loads(Path(path).read_text())
+    return {"failed_boards": [], "interrupted": []}
+
+
+def _save_state(path: "str | None", state: dict) -> None:
+    import json
+    from pathlib import Path
+    if path:
+        Path(path).write_text(json.dumps(state, indent=2) + "\n")
+
+
+def _health_rows(num_boards: int, failed: "set[int]") -> list:
+    return [[f"board {b}", "FAILED" if b in failed else "healthy"]
+            for b in range(num_boards)]
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     cluster = make_cluster(num_boards=args.boards)
     print(cluster)
     print(cluster.partition.describe())
+    state = _load_state(args.state)
+    failed = set(state["failed_boards"])
+    print()
+    print(format_table(["board", "health"],
+                       _health_rows(args.boards, failed),
+                       title="board health"))
+    if state["interrupted"]:
+        print()
+        print(format_table(
+            ["request", "tenant", "app", "boards", "recovered"],
+            [[e["request_id"], e["tenant"], e["app"],
+              ",".join(str(b) for b in e["boards"]),
+              "yes" if e.get("recovered") else "no"]
+             for e in state["interrupted"]],
+            title="interrupted deployments"))
+    return 0
+
+
+def _drill_controller(num_boards: int,
+                      pre_failed: "set[int]"):
+    """Deterministic drill fixture: a controller with a demo workload.
+
+    Boards already failed by earlier drill invocations are failed first
+    so consecutive drills compose; then one small app is deployed per
+    remaining healthy board.
+    """
+    cluster = make_cluster(num_boards=num_boards)
+    controller = SystemController(cluster)
+    for board in sorted(pre_failed):
+        controller.fail_board(board)
+    flow = CompilationFlow(fabric=cluster.partition)
+    families = sorted(BENCHMARKS)
+    request_id = 0
+    while controller.try_deploy(
+            flow.compile(benchmark(
+                families[request_id % len(families)], "S")),
+            request_id, now=0.0) is not None:
+        request_id += 1
+        if request_id >= 2 * num_boards:
+            break
+    return controller
+
+
+def _cmd_fail_board(args: argparse.Namespace) -> int:
+    from repro.faults.recovery import resolve_recovery_policy
+    state = _load_state(args.state)
+    failed = set(state["failed_boards"])
+    if args.board in failed:
+        print(f"board {args.board} is already failed")
+        return 2
+    controller = _drill_controller(args.boards, failed)
+    victims = controller.fail_board(args.board, now=0.0)
+    failed.add(args.board)
+    policy = resolve_recovery_policy(args.recovery)
+    print(f"board {args.board} failed: {len(victims)} deployment(s) "
+          f"evicted")
+    interrupted = []
+    for victim in victims:
+        replacement = policy.recover(controller, victim, now=0.0)
+        outcome = (f"recovered on boards "
+                   f"{sorted(replacement.placement.boards)}"
+                   if replacement else "re-queued (progress lost)")
+        print(f"  request {victim.request_id} ({victim.app.name}): "
+              f"{outcome}")
+        interrupted.append({
+            "request_id": victim.request_id,
+            "tenant": victim.tenant,
+            "app": victim.app.name,
+            "boards": sorted(victim.placement.boards),
+            "recovered": replacement is not None,
+        })
+    print()
+    print(format_table(["board", "health"],
+                       _health_rows(args.boards, failed),
+                       title="board health"))
+    print()
+    tail = controller.audit.entries()[-8:]
+    print(format_table(
+        ["event", "request", "detail"],
+        [[e.event.value, e.request_id,
+          " ".join(f"{k}={v}" for k, v in sorted(e.detail.items()))]
+         for e in tail],
+        title="audit tail"))
+    state["failed_boards"] = sorted(failed)
+    state["interrupted"] = state["interrupted"] + interrupted
+    _save_state(args.state, state)
+    return 0
+
+
+def _cmd_repair_board(args: argparse.Namespace) -> int:
+    state = _load_state(args.state)
+    failed = set(state["failed_boards"])
+    if args.board not in failed:
+        print(f"board {args.board} is not failed; nothing to repair")
+    failed.discard(args.board)
+    controller = _drill_controller(args.boards, failed | {args.board})
+    controller.repair_board(args.board, now=0.0)
+    print(f"board {args.board} repaired; "
+          f"healthy boards: {controller.healthy_boards()}")
+    print()
+    print(format_table(["board", "health"],
+                       _health_rows(args.boards, failed),
+                       title="board health"))
+    state["failed_boards"] = sorted(failed)
+    _save_state(args.state, state)
     return 0
 
 
@@ -243,6 +388,8 @@ _COMMANDS = {
     "links": _cmd_links,
     "simulate": _cmd_simulate,
     "status": _cmd_status,
+    "fail-board": _cmd_fail_board,
+    "repair-board": _cmd_repair_board,
     "export-db": _cmd_export_db,
     "trace": _cmd_trace,
 }

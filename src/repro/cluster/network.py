@@ -30,11 +30,14 @@ class RingNetwork:
     segment_bandwidth_gbps: float = 100.0
     hop_latency_us: float = 1.0
     _flows: "dict[object, list[int]]" = None  # type: ignore[assignment]
+    #: segment id -> remaining capacity fraction (absent == 1.0, healthy)
+    _segment_scale: "dict[int, float]" = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("ring needs at least one node")
         self._flows = {}
+        self._segment_scale = {}
 
     # ------------------------------------------------------------------
     def distance(self, a: int, b: int) -> int:
@@ -51,7 +54,9 @@ class RingNetwork:
         """End-to-end bandwidth of the shorter path (segment-limited)."""
         if self.distance(a, b) == 0:
             return float("inf")
-        return self.segment_bandwidth_gbps
+        scale = min((self._segment_scale.get(s, 1.0)
+                     for s in self.segments_on_path(a, b)), default=1.0)
+        return self.segment_bandwidth_gbps * scale
 
     def span_cost(self, boards: "list[int] | set[int]") -> int:
         """Total pairwise hop count of a board set.
@@ -104,9 +109,17 @@ class RingNetwork:
         return sum(1 for segs in self._flows.values()
                    if segment in segs)
 
-    def contention_factor(self, boards: "list[int]") -> int:
-        """Flows (including a prospective one over ``boards``) sharing
-        the busiest segment the new flow would use; >= 1."""
+    def contention_factor(self, boards: "list[int]") -> float:
+        """Effective oversubscription of the busiest segment a
+        prospective flow over ``boards`` would use; >= 1.
+
+        With healthy links this is an integer flow count (including the
+        prospective flow).  A degraded segment serves its flows at a
+        fraction of nominal bandwidth, which is indistinguishable from
+        proportionally more flows sharing a healthy segment -- so the
+        count is divided by the segment's capacity fraction and the
+        result feeds the service model unchanged.
+        """
         members = sorted(set(boards))
         segments: set[int] = set()
         for i, a in enumerate(members):
@@ -114,7 +127,48 @@ class RingNetwork:
                 segments.update(self.segments_on_path(a, b))
         if not segments:
             return 1
-        return 1 + max(self.flows_on_segment(s) for s in segments)
+        if not self._segment_scale:
+            # healthy-ring fast path: identical to the pre-fault model
+            return 1 + max(self.flows_on_segment(s) for s in segments)
+        return max((1 + self.flows_on_segment(s))
+                   / self._segment_scale.get(s, 1.0) for s in segments)
+
+    # ------------------------------------------------------------------
+    # link degradation (fault model)
+    # ------------------------------------------------------------------
+    def degrade_segment(self, segment: int,
+                        capacity_fraction: float) -> None:
+        """Run ``segment`` at ``capacity_fraction`` of nominal bandwidth
+        until :meth:`restore_segment`."""
+        self._check_segment(segment)
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity fraction must be in (0, 1], "
+                f"got {capacity_fraction}")
+        if capacity_fraction == 1.0:
+            self._segment_scale.pop(segment, None)
+        else:
+            self._segment_scale[segment] = capacity_fraction
+
+    def restore_segment(self, segment: int) -> None:
+        self._check_segment(segment)
+        self._segment_scale.pop(segment, None)
+
+    def restore_all_segments(self) -> None:
+        """Heal every degraded segment (end-of-experiment cleanup)."""
+        self._segment_scale.clear()
+
+    def segment_capacity_fraction(self, segment: int) -> float:
+        self._check_segment(segment)
+        return self._segment_scale.get(segment, 1.0)
+
+    def degraded_segments(self) -> dict[int, float]:
+        return dict(self._segment_scale)
+
+    def _check_segment(self, segment: int) -> None:
+        if not 0 <= segment < self.num_nodes:
+            raise IndexError(f"segment {segment} outside ring of "
+                             f"{self.num_nodes}")
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:

@@ -1,0 +1,48 @@
+"""Fault injection and failure recovery for the System Layer.
+
+The paper's evaluation (like most virtualization papers) assumes the
+cluster never breaks; cloud-oriented follow-on work (Funky, SYNERGY)
+makes failure handling a first-class requirement.  This package adds the
+missing production scenario: a deterministic, seeded fault model
+(:mod:`repro.faults.schedule`), an injector that drives any cluster
+manager with the same schedule (:mod:`repro.faults.injector`), and
+recovery policies that exploit ViTAL's homogeneous virtual-block
+abstraction -- any image relocates to any free block without recompiling,
+so recovery-by-relocation is cheap (:mod:`repro.faults.recovery`).
+
+- :mod:`repro.faults.schedule` -- typed fault events and schedules;
+- :mod:`repro.faults.injector` -- applies events to a manager/cluster;
+- :mod:`repro.faults.recovery` -- fail-requeue and migrate-on-failure.
+"""
+
+from repro.faults.schedule import (
+    BoardDown,
+    BoardUp,
+    FaultEvent,
+    FaultSchedule,
+    LinkDegraded,
+    LinkRestored,
+    ReconfigTransientFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import (
+    FailRequeuePolicy,
+    MigrateOnFailurePolicy,
+    RecoveryPolicy,
+    resolve_recovery_policy,
+)
+
+__all__ = [
+    "FaultEvent",
+    "BoardDown",
+    "BoardUp",
+    "LinkDegraded",
+    "LinkRestored",
+    "ReconfigTransientFault",
+    "FaultSchedule",
+    "FaultInjector",
+    "RecoveryPolicy",
+    "FailRequeuePolicy",
+    "MigrateOnFailurePolicy",
+    "resolve_recovery_policy",
+]

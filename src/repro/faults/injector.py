@@ -1,0 +1,109 @@
+"""Applies fault events to a cluster manager and its network.
+
+The injector is manager-agnostic on purpose: the availability benchmark
+subjects ViTAL *and* the baselines to one schedule, so the comparison is
+apples-to-apples.  A manager advertises fault support structurally --
+``fail_board``/``repair_board`` for fail-stop events,
+``inject_reconfig_fault`` for transient ICAP faults, a ``cluster``
+attribute for ring-link events.  Events a manager cannot express are
+counted in :attr:`FaultInjector.unsupported` rather than raised: a
+baseline without an ICAP queue model simply doesn't feel ICAP faults,
+exactly as it doesn't feel them in its own service model.
+
+The injector also tracks what it changed on the *shared* substrate (ring
+segment scaling) so :meth:`reset` can heal the cluster after a run --
+several experiments share one cluster object, and a fault schedule must
+never leak into the next run.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import (
+    BoardDown,
+    BoardUp,
+    FaultEvent,
+    LinkDegraded,
+    LinkRestored,
+    ReconfigTransientFault,
+)
+from repro.runtime.types import Deployment
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives one manager (and its cluster) with fault events."""
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+        self.network = getattr(
+            getattr(manager, "cluster", None), "network", None)
+        #: events the manager could not express, by event type name
+        self.unsupported: dict[str, int] = {}
+        self._degraded_segments: set[int] = set()
+        self._failed_boards: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def apply(self, event: FaultEvent,
+              now: float | None = None) -> list[Deployment]:
+        """Apply one event; returns the deployments it evicted (only
+        :class:`BoardDown` evicts anything)."""
+        if not isinstance(event, FaultEvent):
+            raise TypeError(f"unknown fault event {event!r}")
+        now = event.time_s if now is None else now
+        if isinstance(event, BoardDown):
+            fail = getattr(self.manager, "fail_board", None)
+            if fail is None:
+                return self._skip(event)
+            self._failed_boards.add(event.board)
+            return list(fail(event.board, now))
+        if isinstance(event, BoardUp):
+            repair = getattr(self.manager, "repair_board", None)
+            if repair is None:
+                return self._skip(event)
+            self._failed_boards.discard(event.board)
+            repair(event.board, now)
+            return []
+        if isinstance(event, LinkDegraded):
+            if self.network is None:
+                return self._skip(event)
+            self.network.degrade_segment(event.segment,
+                                         event.capacity_fraction)
+            self._degraded_segments.add(event.segment)
+            return []
+        if isinstance(event, LinkRestored):
+            if self.network is None:
+                return self._skip(event)
+            self.network.restore_segment(event.segment)
+            self._degraded_segments.discard(event.segment)
+            return []
+        if isinstance(event, ReconfigTransientFault):
+            arm = getattr(self.manager, "inject_reconfig_fault", None)
+            if arm is None:
+                return self._skip(event)
+            arm(event.board, event.attempts)
+            return []
+        raise TypeError(f"unknown fault event {event!r}")
+
+    def reset(self, now: float = 0.0) -> None:
+        """Heal everything this injector broke (end-of-run cleanup).
+
+        Restores every segment it degraded on the shared ring and
+        repairs every board it failed, so the cluster object can be
+        reused by the next experiment fault-free.
+        """
+        if self.network is not None:
+            for segment in sorted(self._degraded_segments):
+                self.network.restore_segment(segment)
+        self._degraded_segments.clear()
+        repair = getattr(self.manager, "repair_board", None)
+        if repair is not None:
+            for board in sorted(self._failed_boards):
+                repair(board, now)
+        self._failed_boards.clear()
+
+    # ------------------------------------------------------------------
+    def _skip(self, event: FaultEvent) -> list[Deployment]:
+        name = type(event).__name__
+        self.unsupported[name] = self.unsupported.get(name, 0) + 1
+        return []

@@ -1,0 +1,218 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an explicit, time-ordered list of typed fault
+events -- no wall-clock anywhere, so two runs of the same schedule against
+the same workload are bit-identical.  Schedules are built either from
+explicit event lists (targeted scenarios, regression tests) or from the
+seeded :meth:`FaultSchedule.exponential` generator, which draws
+exponentially distributed inter-fault times (the classic MTBF/MTTR
+fail-stop model) from a private :class:`random.Random` stream.
+
+Event semantics:
+
+- :class:`BoardDown` / :class:`BoardUp` -- fail-stop crash of one board:
+  every physical block and the board's DRAM contents are lost at once;
+  the board rejoins empty after repair.
+- :class:`LinkDegraded` / :class:`LinkRestored` -- one ring segment loses
+  a fraction of its 100 Gb/s (optics degrade, lanes drop); co-resident
+  flows see proportionally more contention.
+- :class:`ReconfigTransientFault` -- the next ICAP programming attempt(s)
+  on a board fail a CRC check and must be retried (with backoff).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "FaultEvent",
+    "BoardDown",
+    "BoardUp",
+    "LinkDegraded",
+    "LinkRestored",
+    "ReconfigTransientFault",
+    "FaultSchedule",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """Base of all fault events; ``time_s`` is simulation time."""
+
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("fault time must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class BoardDown(FaultEvent):
+    """Fail-stop crash of one board (all blocks + DRAM lost)."""
+
+    board: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BoardUp(FaultEvent):
+    """The named board rejoins the cluster, empty."""
+
+    board: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegraded(FaultEvent):
+    """Ring segment ``segment`` drops to ``capacity_fraction`` of its
+    nominal bandwidth (0 < fraction <= 1)."""
+
+    segment: int = 0
+    capacity_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity fraction must be in (0, 1], "
+                f"got {self.capacity_fraction}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkRestored(FaultEvent):
+    """Ring segment ``segment`` returns to full bandwidth."""
+
+    segment: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigTransientFault(FaultEvent):
+    """The next ``attempts`` ICAP programming attempts on ``board``
+    fail and must be retried."""
+
+    board: int = 0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if self.attempts < 1:
+            raise ValueError("a transient fault needs >= 1 attempt")
+
+
+class FaultSchedule:
+    """A time-ordered, immutable sequence of fault events.
+
+    Ordering is stable: events are sorted by time, ties preserved in
+    construction order, so schedules are deterministic inputs to the
+    discrete-event simulator.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        events = list(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a fault event: {event!r}")
+        # stable sort keeps construction order among simultaneous events
+        self._events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.time_s))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls()
+
+    @classmethod
+    def exponential(cls, seed: int, horizon_s: float, num_boards: int,
+                    board_mtbf_s: float | None = None,
+                    board_mttr_s: float = 60.0,
+                    link_mtbf_s: float | None = None,
+                    link_mttr_s: float = 30.0,
+                    link_capacity_fraction: float = 0.5,
+                    reconfig_fault_mtbf_s: float | None = None,
+                    ) -> "FaultSchedule":
+        """Seeded MTBF/MTTR fail-stop generator over ``[0, horizon_s]``.
+
+        Each fault class with a non-``None`` MTBF gets its own renewal
+        process: exponential up-time draws pick the fault instant,
+        exponential repair draws pick the matching recovery instant
+        (clamped inside the horizon so every failure injected is also
+        healed -- experiments end with a healthy cluster unless the
+        schedule is truncated on purpose).  All draws come from one
+        ``random.Random(seed)`` stream in a fixed order, so the schedule
+        is a pure function of its arguments.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        if num_boards < 1:
+            raise ValueError("need at least one board")
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+
+        if board_mtbf_s is not None:
+            for board in range(num_boards):
+                t = rng.expovariate(1.0 / board_mtbf_s)
+                while t < horizon_s:
+                    down_for = rng.expovariate(1.0 / board_mttr_s)
+                    up_at = min(t + down_for, horizon_s)
+                    events.append(BoardDown(time_s=t, board=board))
+                    events.append(BoardUp(time_s=up_at, board=board))
+                    t = up_at + rng.expovariate(1.0 / board_mtbf_s)
+
+        if link_mtbf_s is not None and num_boards > 1:
+            for segment in range(num_boards):
+                t = rng.expovariate(1.0 / link_mtbf_s)
+                while t < horizon_s:
+                    down_for = rng.expovariate(1.0 / link_mttr_s)
+                    up_at = min(t + down_for, horizon_s)
+                    events.append(LinkDegraded(
+                        time_s=t, segment=segment,
+                        capacity_fraction=link_capacity_fraction))
+                    events.append(LinkRestored(time_s=up_at,
+                                               segment=segment))
+                    t = up_at + rng.expovariate(1.0 / link_mtbf_s)
+
+        if reconfig_fault_mtbf_s is not None:
+            t = rng.expovariate(1.0 / reconfig_fault_mtbf_s)
+            while t < horizon_s:
+                events.append(ReconfigTransientFault(
+                    time_s=t, board=rng.randrange(num_boards)))
+                t += rng.expovariate(1.0 / reconfig_fault_mtbf_s)
+
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    def boards_touched(self) -> set[int]:
+        return {e.board for e in self._events
+                if isinstance(e, (BoardDown, BoardUp,
+                                  ReconfigTransientFault))}
+
+    def validate_for(self, num_boards: int) -> None:
+        """Reject events addressing boards/segments outside the cluster."""
+        for event in self._events:
+            if isinstance(event, (BoardDown, BoardUp,
+                                  ReconfigTransientFault)):
+                if not 0 <= event.board < num_boards:
+                    raise ValueError(
+                        f"fault targets board {event.board}, cluster "
+                        f"has {num_boards}")
+            elif isinstance(event, (LinkDegraded, LinkRestored)):
+                if not 0 <= event.segment < num_boards:
+                    raise ValueError(
+                        f"fault targets ring segment {event.segment}, "
+                        f"ring has {num_boards}")
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self._events)} events)"

@@ -24,6 +24,16 @@ class AuditEvent(enum.Enum):
     RELEASE = "release"
     MIGRATE = "migrate"
     ISOLATION_CHECK = "isolation-check"
+    #: a board fail-stopped (request id -1: board-scoped, not a tenant's)
+    FAIL = "fail"
+    #: a deployment was torn down because its board failed
+    EVICT = "evict"
+    #: a failed board returned to service
+    REPAIR = "repair"
+    #: an evicted deployment was re-placed on healthy boards
+    RECOVER = "recover"
+    #: an ICAP programming attempt failed transiently and was retried
+    RETRY = "retry"
 
     def __str__(self) -> str:
         return self.value
@@ -110,13 +120,14 @@ class AuditLog:
 
     # ------------------------------------------------------------------
     def live_requests(self) -> set[int]:
-        """Requests with a DEPLOY and no later RELEASE -- re-derived
-        purely from the log, for cross-checking the controller."""
+        """Requests with a DEPLOY and no later RELEASE or EVICT --
+        re-derived purely from the log, for cross-checking the
+        controller."""
         live: set[int] = set()
         for entry in self._entries:
             if entry.event is AuditEvent.DEPLOY:
                 live.add(entry.request_id)
-            elif entry.event is AuditEvent.RELEASE:
+            elif entry.event in (AuditEvent.RELEASE, AuditEvent.EVICT):
                 live.discard(entry.request_id)
         return live
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.cluster.board import BoardHealth
 from repro.cluster.cluster import FPGACluster
 from repro.compiler.bitstream import CompiledApp
 from repro.compiler.relocation import Relocator
@@ -83,6 +84,15 @@ class SystemController:
         self._config_port_free_at = {
             board.board_id: 0.0 for board in cluster.boards}
         self._instance_id = next(SystemController._instance_counter)
+        #: fail-stop health of every board (this controller's view)
+        self.board_health = {
+            board.board_id: BoardHealth.HEALTHY
+            for board in cluster.boards}
+        #: board id -> ICAP programming attempts armed to fail
+        self._armed_reconfig_faults: dict[int, int] = {}
+        #: transient reconfig faults: bounded retries w/ exp. backoff
+        self.reconfig_max_retries = 5
+        self.reconfig_backoff_base_s = 0.001
         self.audit = AuditLog()
         #: tenant name -> maximum physical blocks it may hold at once
         self.quotas: dict[str, int] = {}
@@ -138,6 +148,15 @@ class SystemController:
         """
         return {
             "quotas": dict(self.quotas),
+            # a controller restarted mid-reconfiguration must not let
+            # new deployments bypass the busy ICAP queue: carry each
+            # board's config-port horizon across the restart
+            "config_port_free_at": {
+                str(board): t
+                for board, t in self._config_port_free_at.items()},
+            "failed_boards": sorted(
+                b for b, h in self.board_health.items()
+                if h is BoardHealth.FAILED),
             "deployments": [
                 {
                     "request_id": d.request_id,
@@ -166,6 +185,9 @@ class SystemController:
         """
         controller = cls(cluster, policy=policy)
         controller.quotas = dict(snapshot.get("quotas", {}))
+        for board, t in snapshot.get("config_port_free_at",
+                                     {}).items():
+            controller._config_port_free_at[int(board)] = t
         for entry in snapshot["deployments"]:
             app = bitstream_db.lookup(entry["app"])
             placement = Placement(mapping={
@@ -191,6 +213,11 @@ class SystemController:
                 reconfig_time_s=entry["reconfig_time_s"],
                 service_time_s=entry["service_time_s"],
             )
+        # failed boards last: a valid snapshot has no deployments on
+        # them, and set_board_failed fails loudly if one does
+        for board_id in snapshot.get("failed_boards", []):
+            controller.board_health[board_id] = BoardHealth.FAILED
+            controller.resource_db.set_board_failed(board_id)
         return controller
 
     def set_quota(self, tenant: str, max_blocks: int) -> None:
@@ -227,8 +254,16 @@ class SystemController:
     def _allocatable_blocks(self, app: CompiledApp,
                             ) -> dict[int, list[int]]:
         """Free blocks the policy may use for ``app``; subclasses narrow
-        this (e.g. to footprint-compatible boards)."""
-        return self.resource_db.free_by_board()
+        this (e.g. to footprint-compatible boards).  Failed boards are
+        dropped from the candidate set entirely (their blocks are
+        already excluded as non-free; dropping the key keeps the
+        policy's round enumeration away from them)."""
+        free = self.resource_db.free_by_board()
+        if any(h is BoardHealth.FAILED
+               for h in self.board_health.values()):
+            free = {b: blocks for b, blocks in free.items()
+                    if self.board_health[b] is BoardHealth.HEALTHY}
+        return free
 
     def _finalize_deploy(self, app: CompiledApp, request_id: int,
                          now: float, tenant: str,
@@ -251,7 +286,9 @@ class SystemController:
             return None
         self._segments_of[request_id] = segments
 
-        reconfig = self._reconfig_time(app, placement, now)
+        reconfig = self._reconfig_time(app, placement, now,
+                                       request_id=request_id,
+                                       tenant=tenant)
         self._attach_dram_demand(tenant, placement)
         # model first (contention_factor counts the prospective flow),
         # then register the flow so later arrivals see it
@@ -280,13 +317,23 @@ class SystemController:
         return deployment
 
     def release(self, deployment: Deployment, now: float = 0.0) -> None:
-        """Tear one deployment down and free its resources."""
+        """Tear one deployment down and free its resources.
+
+        The RELEASE audit entry is recorded only after teardown
+        completes (mirroring ``_finalize_deploy``): an exception
+        mid-teardown must not leave the log claiming the request is gone
+        while its blocks stay allocated.
+        """
         if deployment.request_id not in self.deployments:
             raise RuntimeError(
                 f"request {deployment.request_id} is not deployed")
+        self._teardown(deployment)
         self.audit.record(now, AuditEvent.RELEASE,
                           deployment.request_id, deployment.tenant,
                           app=deployment.app.name)
+
+    def _teardown(self, deployment: Deployment) -> None:
+        """Free everything one deployment holds, exactly once."""
         self.resource_db.release(deployment.request_id)
         self.cluster.network.release_flow(
             self._flow_key(deployment.request_id))
@@ -294,6 +341,101 @@ class SystemController:
         self._detach_dram_demand(deployment.tenant,
                                  deployment.placement)
         del self.deployments[deployment.request_id]
+
+    # ------------------------------------------------------------------
+    # failure handling (fault model)
+    # ------------------------------------------------------------------
+    def fail_board(self, board_id: int,
+                   now: float = 0.0) -> list[Deployment]:
+        """Fail-stop one board: evict its deployments, take its blocks
+        out of service, wipe its DRAM and ICAP queue.
+
+        Every deployment with at least one block on the board is evicted
+        (its blocks on *healthy* boards are freed too -- a spanning
+        application cannot run on half its fabric).  Returns the evicted
+        deployments, oldest first, so a recovery policy can re-place
+        them; a second ``fail_board`` on an already-failed board is a
+        no-op returning ``[]``.
+        """
+        if board_id not in self.board_health:
+            raise KeyError(f"no board {board_id} in this cluster")
+        if self.board_health[board_id] is BoardHealth.FAILED:
+            return []
+        victims = sorted(
+            (d for d in self.deployments.values()
+             if board_id in d.placement.boards),
+            key=lambda d: d.deployed_at)
+        self.audit.record(now, AuditEvent.FAIL, -1, "-",
+                          board=board_id, victims=len(victims))
+        for deployment in victims:
+            self._teardown(deployment)
+            self.audit.record(now, AuditEvent.EVICT,
+                              deployment.request_id, deployment.tenant,
+                              app=deployment.app.name,
+                              reason=f"board-{board_id}-failed")
+        self.board_health[board_id] = BoardHealth.FAILED
+        self.resource_db.set_board_failed(board_id)
+        # the crash loses DRAM contents and any queued ICAP work
+        board = self.cluster.board(board_id)
+        self.memories[board_id] = VirtualMemory(
+            board.dram_capacity_bytes)
+        self.dram_arbiters[board_id] = BandwidthArbiter(
+            sum(d.bandwidth_gbps for d in board.dimms))
+        self._config_port_free_at[board_id] = 0.0
+        self._armed_reconfig_faults.pop(board_id, None)
+        return victims
+
+    def repair_board(self, board_id: int, now: float = 0.0) -> None:
+        """Return a failed board to service (empty: the crash wiped it)."""
+        if board_id not in self.board_health:
+            raise KeyError(f"no board {board_id} in this cluster")
+        if self.board_health[board_id] is BoardHealth.HEALTHY:
+            return
+        self.resource_db.set_board_repaired(board_id)
+        self.board_health[board_id] = BoardHealth.HEALTHY
+        self.audit.record(now, AuditEvent.REPAIR, -1, "-",
+                          board=board_id)
+
+    def healthy_boards(self) -> list[int]:
+        return [b for b, h in self.board_health.items()
+                if h is BoardHealth.HEALTHY]
+
+    def failed_boards(self) -> list[int]:
+        return [b for b, h in self.board_health.items()
+                if h is BoardHealth.FAILED]
+
+    def redeploy_evicted(self, deployment: Deployment,
+                         now: float) -> Deployment | None:
+        """Re-place an evicted deployment on the healthy boards.
+
+        This is the recovery path the homogeneous abstraction makes
+        cheap: the same compiled images relocate onto whatever blocks
+        remain (the runtime-relocation machinery live migration uses),
+        no recompilation.  Returns the replacement deployment, or
+        ``None`` when the surviving capacity cannot hold it -- the
+        caller falls back to re-queueing.
+        """
+        replacement = self.try_deploy(deployment.app,
+                                      deployment.request_id, now,
+                                      tenant=deployment.tenant)
+        if replacement is not None:
+            self.audit.record(now, AuditEvent.RECOVER,
+                              deployment.request_id,
+                              deployment.tenant,
+                              app=deployment.app.name,
+                              boards=replacement.placement.boards)
+        return replacement
+
+    def inject_reconfig_fault(self, board_id: int,
+                              attempts: int = 1) -> None:
+        """Arm the next ``attempts`` ICAP programming attempts on
+        ``board_id`` to fail transiently (and be retried)."""
+        if board_id not in self.board_health:
+            raise KeyError(f"no board {board_id} in this cluster")
+        if attempts < 1:
+            raise ValueError("need >= 1 attempt")
+        self._armed_reconfig_faults[board_id] = \
+            self._armed_reconfig_faults.get(board_id, 0) + attempts
 
     # ------------------------------------------------------------------
     # status APIs
@@ -353,18 +495,40 @@ class SystemController:
                 tenant, blocks_here * DRAM_DEMAND_GBPS_PER_BLOCK)
 
     def _reconfig_time(self, app: CompiledApp, placement: Placement,
-                       now: float = 0.0) -> float:
+                       now: float = 0.0, request_id: int = -1,
+                       tenant: str = "-") -> float:
         """Time until all of the placement's blocks are programmed.
 
         Boards program in parallel, blocks on one board sequentially
         through the board's single configuration port -- behind any
-        reconfiguration that port is already busy with.
+        reconfiguration that port is already busy with.  A board armed
+        with transient ICAP faults fails that many attempts first: each
+        failed attempt occupies the port for the full programming time
+        (the CRC check that catches it runs at the end) plus an
+        exponentially growing backoff, bounded by
+        ``reconfig_max_retries``, and is audited as a RETRY.
         """
         reconfigurer = self.cluster.reconfigurer
         finish = now
         for board in placement.boards:
             duration = reconfigurer.partial_time_for_blocks(
                 app.images[0].size_mb, len(placement.blocks_on(board)))
+            armed = self._armed_reconfig_faults.get(board, 0)
+            if armed:
+                retries = min(armed, self.reconfig_max_retries)
+                if armed - retries:
+                    self._armed_reconfig_faults[board] = armed - retries
+                else:
+                    del self._armed_reconfig_faults[board]
+                per_attempt = duration
+                for attempt in range(retries):
+                    backoff = self.reconfig_backoff_base_s \
+                        * (2 ** attempt)
+                    duration += per_attempt + backoff
+                    self.audit.record(
+                        now, AuditEvent.RETRY, request_id, tenant,
+                        board=board, attempt=attempt + 1,
+                        backoff_s=round(backoff, 6))
             start = max(now, self._config_port_free_at[board])
             self._config_port_free_at[board] = start + duration
             finish = max(finish, start + duration)

@@ -20,6 +20,9 @@ __all__ = ["BlockState", "ResourceDB"]
 class BlockState(enum.Enum):
     FREE = "free"
     ALLOCATED = "allocated"
+    #: the hosting board fail-stopped; the block is out of service and
+    #: excluded from every allocation query until the board is repaired
+    FAILED = "failed"
 
     def __str__(self) -> str:
         return self.value
@@ -69,6 +72,14 @@ class ResourceDB:
         return sum(1 for e in self._entries.values()
                    if e.state is BlockState.ALLOCATED)
 
+    def failed_count(self) -> int:
+        return sum(1 for e in self._entries.values()
+                   if e.state is BlockState.FAILED)
+
+    def failed_boards(self) -> set[int]:
+        return {board for (board, _), e in self._entries.items()
+                if e.state is BlockState.FAILED}
+
     def utilization(self) -> float:
         """Fraction of physical blocks currently allocated."""
         return self.allocated_count() / self.total_blocks
@@ -85,6 +96,9 @@ class ResourceDB:
         """Atomically claim ``addresses`` for ``request_id``."""
         for address in addresses:
             entry = self._entries[address]
+            if entry.state is BlockState.FAILED:
+                raise RuntimeError(
+                    f"block {address} is on a failed board")
             if entry.state is not BlockState.FREE:
                 raise RuntimeError(
                     f"block {address} already allocated to "
@@ -105,3 +119,32 @@ class ResourceDB:
             entry.state = BlockState.FREE
             entry.owner = None
         return owned
+
+    def set_board_failed(self, board_id: int) -> None:
+        """Take every block of ``board_id`` out of service.
+
+        The caller (the controller's ``fail_board``) must have evicted
+        the board's deployments first: failing a board that still owns
+        allocated blocks would silently orphan their owners' bookkeeping,
+        so it raises instead.
+        """
+        on_board = [(addr, e) for addr, e in self._entries.items()
+                    if addr[0] == board_id]
+        if not on_board:
+            raise KeyError(f"no blocks on board {board_id}")
+        for address, entry in on_board:
+            if entry.state is BlockState.ALLOCATED:
+                raise RuntimeError(
+                    f"block {address} still allocated to request "
+                    f"{entry.owner}; evict deployments before failing "
+                    "the board")
+        for _, entry in on_board:
+            entry.state = BlockState.FAILED
+
+    def set_board_repaired(self, board_id: int) -> None:
+        """Return a failed board's blocks to the free pool."""
+        for address, entry in self._entries.items():
+            if address[0] == board_id \
+                    and entry.state is BlockState.FAILED:
+                entry.state = BlockState.FREE
+                entry.owner = None

@@ -11,7 +11,16 @@
   plus (communication-adjusted) service time;
 - managers may impose ``corunner_penalties`` (AmorphOS's full-device
   reconfiguration pauses co-residents), applied via lazy event
-  invalidation.
+  invalidation;
+- a :class:`repro.faults.FaultSchedule` may be injected
+  (``faults=...``): board fail-stops evict running deployments (the
+  progress of re-queued victims is lost and recorded; migrated victims
+  resume), completions on dead boards are invalidated lazily, degraded
+  ring segments feed the service model of later placements, and the
+  summary grows availability accounting (interruptions, recoveries,
+  mean time to recovery, goodput).  With no schedule the fault machinery
+  is entirely dormant -- results are bit-identical to the pre-fault
+  code path.
 
 ``compare_managers`` runs all managers over replicated workload sets and
 averages -- the paper's methodology.
@@ -30,6 +39,10 @@ from repro.baselines.slot_based import SlotBasedManager
 from repro.cluster.cluster import FPGACluster, make_cluster
 from repro.compiler.bitstream import CompiledApp
 from repro.compiler.flow import CompilationFlow
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy, \
+    resolve_recovery_policy
+from repro.faults.schedule import FaultSchedule
 from repro.hls.kernels import all_benchmarks
 from repro.runtime.controller import SystemController
 from repro.sim.events import EventQueue
@@ -72,7 +85,10 @@ class ExperimentResult:
 def run_experiment(manager: ClusterManager, requests: list[Request],
                    apps: dict[str, CompiledApp],
                    backfill: bool = False,
-                   discipline: str | None = None) -> ExperimentResult:
+                   discipline: str | None = None,
+                   faults: FaultSchedule | None = None,
+                   recovery: "RecoveryPolicy | str | None" = None,
+                   ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
     ``discipline`` selects the queueing policy: ``"fifo"`` (default,
@@ -80,6 +96,10 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     blocked head), or ``"sjf"`` (shortest nominal service first --
     starvation-prone, provided for the scheduling ablation).  The legacy
     ``backfill=True`` flag is equivalent to ``discipline="backfill"``.
+
+    ``faults`` injects a deterministic fault schedule; ``recovery``
+    picks what happens to evicted deployments (``"requeue"``, the
+    default, or ``"migrate"`` / a :class:`RecoveryPolicy` instance).
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
@@ -90,10 +110,21 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     for request in requests:
         events.push(request.arrival_s, "arrival", request)
 
+    fault_schedule = faults if faults else None
+    injector: FaultInjector | None = None
+    recovery_policy = None
+    if fault_schedule is not None:
+        injector = FaultInjector(manager)
+        recovery_policy = resolve_recovery_policy(recovery)
+        for fault in fault_schedule:
+            events.push(fault.time_s, "fault", fault)
+
     collector = MetricsCollector(manager.name, manager.capacity_blocks())
     queue: deque[Request] = deque()
     live: dict[int, object] = {}          # request id -> Deployment
     completion_at: dict[int, float] = {}  # authoritative completion time
+    request_of: dict[int, Request] = {}   # for re-queueing evictions
+    evicted_at: dict[int, float] = {}     # open recoveries (for MTTR)
 
     def state_snapshot(now: float) -> None:
         collector.record_state(now, manager.busy_blocks(), len(live),
@@ -132,6 +163,12 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                     deployment.latency_overhead_fraction
                 record.reconfig_time_s = deployment.reconfig_time_s
                 record.service_time_s = deployment.service_time_s
+                if request.request_id in evicted_at:
+                    # an evicted request is back on silicon: recovery
+                    # completes when its blocks finish programming
+                    collector.record_recovery(
+                        now + deployment.reconfig_time_s
+                        - evicted_at.pop(request.request_id))
                 schedule_completion(request.request_id,
                                     deployment.completion_time)
                 for rid, penalty in \
@@ -144,35 +181,108 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             if not progressed:
                 return
 
-    while events:
-        event = events.pop()
-        now = event.time
-        if event.kind == "arrival":
-            request: Request = event.payload
-            collector.add_request(RequestRecord(
-                request_id=request.request_id,
-                app_name=request.spec.name,
-                size=request.spec.size.value,
-                num_blocks=0,
-                arrival_s=request.arrival_s,
-            ))
-            queue.append(request)
-            try_drain(now)
-        elif event.kind == "completion":
-            request_id: int = event.payload
-            if completion_at.get(request_id) != now:
-                continue  # superseded by a penalty reschedule
-            deployment = live.pop(request_id)
-            del completion_at[request_id]
-            manager.release(deployment, now)
-            collector.complete(request_id, now)
-            try_drain(now)
-        state_snapshot(now)
+    def on_fault(fault, now: float) -> None:
+        evicted = injector.apply(fault, now)
+        requeue: list[Request] = []
+        for deployment in evicted:
+            rid = deployment.request_id
+            if rid not in live:
+                continue
+            del live[rid]
+            # lazy invalidation: the stale completion event finds no
+            # matching authoritative time and is skipped
+            completion_at.pop(rid, None)
+            record = collector.records[rid]
+            record.interruptions += 1
+            progress = max(0.0, now - (record.deployed_s
+                                       + record.reconfig_time_s))
+            progress = min(progress, record.service_time_s)
+            replacement = recovery_policy.recover(manager, deployment,
+                                                  now)
+            if replacement is not None:
+                # progress survives the move; the new placement may
+                # run at a different (spanning-adjusted) rate
+                frac_done = (progress / record.service_time_s
+                             if record.service_time_s > 0 else 1.0)
+                remaining = (1.0 - frac_done) \
+                    * replacement.service_time_s
+                live[rid] = replacement
+                record.recoveries += 1
+                record.num_blocks = replacement.num_blocks
+                record.boards = replacement.placement.num_boards
+                record.spans_boards = (record.spans_boards
+                                       or replacement.spans_boards)
+                record.comm_slowdown = max(record.comm_slowdown,
+                                           replacement.comm_slowdown)
+                record.reconfig_time_s += replacement.reconfig_time_s
+                record.service_time_s = replacement.service_time_s
+                collector.record_recovery(replacement.reconfig_time_s)
+                schedule_completion(
+                    rid, now + replacement.reconfig_time_s + remaining)
+            else:
+                # re-queue: every service-second of this attempt is lost
+                record.lost_service_s += progress
+                evicted_at[rid] = now
+                requeue.append(request_of[rid])
+        if requeue:
+            # evictees re-enter in original arrival order (they are
+            # older than anything currently queued)
+            merged = sorted(list(queue) + requeue,
+                            key=lambda r: r.request_id)
+            queue.clear()
+            queue.extend(merged)
+        try_drain(now)
 
-    if queue or live:
+    try:
+        while events:
+            event = events.pop()
+            now = event.time
+            if event.kind == "arrival":
+                request: Request = event.payload
+                collector.add_request(RequestRecord(
+                    request_id=request.request_id,
+                    app_name=request.spec.name,
+                    size=request.spec.size.value,
+                    num_blocks=0,
+                    arrival_s=request.arrival_s,
+                ))
+                if fault_schedule is not None:
+                    request_of[request.request_id] = request
+                queue.append(request)
+                try_drain(now)
+            elif event.kind == "completion":
+                request_id: int = event.payload
+                if completion_at.get(request_id) != now:
+                    continue  # superseded by a penalty reschedule
+                deployment = live.pop(request_id)
+                del completion_at[request_id]
+                manager.release(deployment, now)
+                collector.complete(request_id, now)
+                try_drain(now)
+            elif event.kind == "fault":
+                on_fault(event.payload, now)
+            state_snapshot(now)
+    finally:
+        if injector is not None:
+            # heal the (shared) substrate so the next experiment on
+            # this cluster starts fault-free
+            injector.reset(collector.last_completion)
+
+    if live:
         raise RuntimeError(
             f"{manager.name}: {len(queue)} queued / {len(live)} live "
             "requests never completed (manager starvation bug)")
+    if queue:
+        if fault_schedule is None:
+            raise RuntimeError(
+                f"{manager.name}: {len(queue)} queued requests never "
+                "completed (manager starvation bug)")
+        # capacity died under them and never came back: graceful
+        # degradation, recorded rather than raised
+        for request in queue:
+            collector.records[request.request_id] \
+                .permanently_failed = True
+        queue.clear()
 
     result = ExperimentResult(manager_name=manager.name,
                               summary=collector.summarize(),
@@ -245,4 +355,9 @@ def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
                                  for s in summaries),
         mean_reconfig_s=mean("mean_reconfig_s"),
         peak_queue_len=max(s.peak_queue_len for s in summaries),
+        interruptions=mean("interruptions"),
+        recoveries=mean("recoveries"),
+        permanently_failed=mean("permanently_failed"),
+        mean_time_to_recovery_s=mean("mean_time_to_recovery_s"),
+        goodput_fraction=mean("goodput_fraction"),
     )

@@ -69,6 +69,16 @@ class RequestRecord:
     latency_overhead_fraction: float = 0.0
     reconfig_time_s: float = 0.0
     service_time_s: float = 0.0
+    # availability accounting (zero unless a fault schedule ran)
+    #: times this request's deployment was evicted by a board failure
+    interruptions: int = 0
+    #: evictions recovered in place by migration (progress preserved)
+    recoveries: int = 0
+    #: service-seconds of progress wiped out by evictions (re-queued
+    #: attempts restart from zero; migrations lose nothing)
+    lost_service_s: float = 0.0
+    #: the request could never be (re)placed before the run ended
+    permanently_failed: bool = False
 
     @property
     def wait_s(self) -> float:
@@ -103,6 +113,14 @@ class SummaryMetrics:
     max_latency_overhead: float
     mean_reconfig_s: float
     peak_queue_len: int = 0
+    # availability (defaults describe a fault-free run exactly)
+    interruptions: float = 0.0
+    recoveries: float = 0.0
+    permanently_failed: float = 0.0
+    mean_time_to_recovery_s: float = 0.0
+    #: useful service-seconds / (useful + lost) -- 1.0 means no work
+    #: was ever thrown away
+    goodput_fraction: float = 1.0
 
     def normalized_response(self, baseline: "SummaryMetrics") -> float:
         if baseline.mean_response_s == 0:
@@ -122,6 +140,8 @@ class MetricsCollector:
         self.queue_len = TimeWeightedValue()
         self.first_arrival = math.inf
         self.last_completion = 0.0
+        #: eviction-to-redeployment durations (fault runs only)
+        self.recovery_durations: list[float] = []
 
     # ------------------------------------------------------------------
     def add_request(self, record: RequestRecord) -> None:
@@ -138,12 +158,24 @@ class MetricsCollector:
         self.records[request_id].completed_s = now
         self.last_completion = max(self.last_completion, now)
 
+    def record_recovery(self, duration_s: float) -> None:
+        """One eviction healed: time from eviction until the
+        replacement deployment was in place (programmed)."""
+        self.recovery_durations.append(duration_s)
+
     # ------------------------------------------------------------------
     def summarize(self) -> SummaryMetrics:
         done = [r for r in self.records.values() if r.finished]
         if not done:
             raise RuntimeError("no request completed; nothing to report")
         responses = sorted(r.response_s for r in done)
+        every = list(self.records.values())
+        useful = sum(r.service_time_s for r in done)
+        lost = sum(r.lost_service_s for r in every)
+        goodput = useful / (useful + lost) if useful + lost else 1.0
+        mttr = (sum(self.recovery_durations)
+                / len(self.recovery_durations)
+                if self.recovery_durations else 0.0)
         t0 = self.first_arrival
         t1 = self.last_completion
         peak = max(
@@ -175,4 +207,10 @@ class MetricsCollector:
             peak_queue_len=max(
                 (int(v) for _, v in self.queue_len._points),
                 default=0),
+            interruptions=float(sum(r.interruptions for r in every)),
+            recoveries=float(sum(r.recoveries for r in every)),
+            permanently_failed=float(
+                sum(1 for r in every if r.permanently_failed)),
+            mean_time_to_recovery_s=mttr,
+            goodput_fraction=goodput,
         )

@@ -92,3 +92,61 @@ class TestCommands:
         cluster = make_cluster(num_boards=1)
         db = load_bitstream_db(path, cluster.footprint)
         assert len(db) == 21
+
+
+class TestFaultDrills:
+    def test_status_shows_board_health(self, capsys):
+        assert main(["status", "--boards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "board health" in out
+        assert out.count("healthy") == 2
+
+    def test_fail_board_drill(self, capsys, tmp_path):
+        state = tmp_path / "drill.json"
+        assert main(["fail-board", "0", "--boards", "2",
+                     "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "deployment(s) evicted" in out
+        assert "recovered on boards" in out
+        assert "FAILED" in out
+        assert "audit tail" in out
+
+    def test_fail_board_requeue_policy(self, capsys):
+        assert main(["fail-board", "0", "--boards", "2",
+                     "--recovery", "fail-requeue"]) == 0
+        assert "re-queued" in capsys.readouterr().out
+
+    def test_status_reads_drill_state(self, capsys, tmp_path):
+        state = tmp_path / "drill.json"
+        main(["fail-board", "0", "--boards", "2",
+              "--state", str(state)])
+        capsys.readouterr()
+        assert main(["status", "--boards", "2",
+                     "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "interrupted deployments" in out
+
+    def test_fail_already_failed_board(self, capsys, tmp_path):
+        state = tmp_path / "drill.json"
+        main(["fail-board", "0", "--boards", "2",
+              "--state", str(state)])
+        capsys.readouterr()
+        assert main(["fail-board", "0", "--boards", "2",
+                     "--state", str(state)]) == 2
+        assert "already failed" in capsys.readouterr().out
+
+    def test_repair_board_drill(self, capsys, tmp_path):
+        state = tmp_path / "drill.json"
+        main(["fail-board", "0", "--boards", "2",
+              "--state", str(state)])
+        capsys.readouterr()
+        assert main(["repair-board", "0", "--boards", "2",
+                     "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+        assert "FAILED" not in out
+
+    def test_repair_healthy_board(self, capsys):
+        assert main(["repair-board", "1", "--boards", "2"]) == 0
+        assert "not failed" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Fault schedule: typed events, ordering, seeded generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    BoardDown,
+    BoardUp,
+    FaultSchedule,
+    LinkDegraded,
+    LinkRestored,
+    ReconfigTransientFault,
+)
+
+
+class TestEvents:
+    def test_events_are_immutable(self):
+        event = BoardDown(time_s=1.0, board=2)
+        with pytest.raises(Exception):
+            event.board = 3
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BoardDown(time_s=-0.5, board=0)
+
+    def test_capacity_fraction_bounds(self):
+        LinkDegraded(time_s=0.0, segment=0, capacity_fraction=1.0)
+        LinkDegraded(time_s=0.0, segment=0, capacity_fraction=0.01)
+        with pytest.raises(ValueError):
+            LinkDegraded(time_s=0.0, segment=0, capacity_fraction=0.0)
+        with pytest.raises(ValueError):
+            LinkDegraded(time_s=0.0, segment=0, capacity_fraction=1.5)
+
+    def test_reconfig_fault_attempts_positive(self):
+        with pytest.raises(ValueError):
+            ReconfigTransientFault(time_s=0.0, board=0, attempts=0)
+
+
+class TestSchedule:
+    def test_events_sorted_by_time_stably(self):
+        a = BoardDown(time_s=5.0, board=0)
+        b = BoardUp(time_s=1.0, board=0)
+        c = LinkDegraded(time_s=5.0, segment=1, capacity_fraction=0.5)
+        schedule = FaultSchedule([a, b, c])
+        assert list(schedule) == [b, a, c]  # ties keep insertion order
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule.empty()
+        assert len(FaultSchedule.empty()) == 0
+        assert bool(FaultSchedule([BoardDown(time_s=0.0, board=0)]))
+
+    def test_boards_touched(self):
+        schedule = FaultSchedule([
+            BoardDown(time_s=0.0, board=2),
+            BoardUp(time_s=1.0, board=2),
+            ReconfigTransientFault(time_s=2.0, board=3),
+            LinkDegraded(time_s=3.0, segment=0, capacity_fraction=0.5),
+        ])
+        assert schedule.boards_touched() == {2, 3}
+
+    def test_validate_for_rejects_out_of_range_board(self):
+        schedule = FaultSchedule([BoardDown(time_s=0.0, board=7)])
+        schedule.validate_for(num_boards=8)
+        with pytest.raises(ValueError, match="board 7"):
+            schedule.validate_for(num_boards=4)
+
+
+class TestExponential:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(horizon_s=500.0, num_boards=4,
+                      board_mtbf_s=100.0, board_mttr_s=25.0,
+                      link_mtbf_s=150.0, link_mttr_s=10.0)
+        s1 = FaultSchedule.exponential(seed=11, **kwargs)
+        s2 = FaultSchedule.exponential(seed=11, **kwargs)
+        assert list(s1) == list(s2)
+        assert len(s1) > 0
+
+    def test_different_seed_different_schedule(self):
+        kwargs = dict(horizon_s=500.0, num_boards=4,
+                      board_mtbf_s=50.0, board_mttr_s=25.0)
+        s1 = FaultSchedule.exponential(seed=1, **kwargs)
+        s2 = FaultSchedule.exponential(seed=2, **kwargs)
+        assert list(s1) != list(s2)
+
+    def test_down_up_pairing_inside_horizon(self):
+        schedule = FaultSchedule.exponential(
+            seed=5, horizon_s=300.0, num_boards=3,
+            board_mtbf_s=40.0, board_mttr_s=20.0)
+        down: dict[int, int] = {}
+        for event in schedule:
+            assert 0.0 <= event.time_s <= 300.0
+            if isinstance(event, BoardDown):
+                assert down.get(event.board, 0) == 0
+                down[event.board] = down.get(event.board, 0) + 1
+            elif isinstance(event, BoardUp):
+                assert down[event.board] == 1
+                down[event.board] -= 1
+        # every down has its matching up clamped into the horizon
+        assert all(v == 0 for v in down.values())
+
+    def test_no_rates_no_events(self):
+        schedule = FaultSchedule.exponential(
+            seed=0, horizon_s=100.0, num_boards=4)
+        assert len(schedule) == 0
+
+    def test_link_events_pair_and_restore(self):
+        schedule = FaultSchedule.exponential(
+            seed=9, horizon_s=400.0, num_boards=4,
+            link_mtbf_s=60.0, link_mttr_s=15.0,
+            link_capacity_fraction=0.25)
+        degraded: set[int] = set()
+        saw_link = False
+        for event in schedule:
+            if isinstance(event, LinkDegraded):
+                saw_link = True
+                assert event.capacity_fraction == 0.25
+                assert event.segment not in degraded
+                degraded.add(event.segment)
+            elif isinstance(event, LinkRestored):
+                assert event.segment in degraded
+                degraded.discard(event.segment)
+        assert saw_link
+        assert not degraded
