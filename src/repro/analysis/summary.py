@@ -45,6 +45,9 @@ REPORT_ORDER: tuple[tuple[str, str], ...] = (
     ("sensitivity_arrivals", "Sensitivity — arrival shape"),
     ("sensitivity_fairness", "Sensitivity — fairness"),
     ("hetero_cluster", "§7 — heterogeneous cluster"),
+    ("fault_tolerance", "Availability — board failures & recovery"),
+    ("scalability", "§6 — System-Layer hot path at scale"),
+    ("scalability_smoke", "§6 — scalability smoke (CI budget)"),
 )
 
 

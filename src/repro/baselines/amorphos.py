@@ -73,6 +73,11 @@ class AmorphOSManager:
                     * (1 - HULL_OVERHEAD) * COMBINE_EFFICIENCY)
         self._boards = {b.board_id: _Board(capacity=capacity)
                         for b in cluster.boards}
+        #: board id -> block-equivalents occupied; refreshed on the
+        #: transitions that change ``used`` so per-event occupancy
+        #: queries stop recomputing every board's utilization
+        self._busy_cache: dict[int, float] = {
+            b.board_id: 0.0 for b in cluster.boards}
         #: distinct co-residence sets ever materialized (each one is an
         #: offline compilation in real AmorphOS)
         self.combinations_seen: set[frozenset[str]] = set()
@@ -96,6 +101,7 @@ class AmorphOSManager:
 
         board.residents[request_id] = app
         board.used = board.used + app.resources
+        self._refresh_busy(board_id)
         combo = frozenset(a.name for a in board.residents.values())
         self.combinations_seen.add(combo)
 
@@ -121,19 +127,24 @@ class AmorphOSManager:
                 f"request {deployment.request_id} not resident on "
                 f"board {board_id}")
         board.used = (board.used - app.resources).clamp_nonnegative()
+        self._refresh_busy(board_id)
 
     # ------------------------------------------------------------------
+    def _refresh_busy(self, board_id: int) -> None:
+        board = self._boards[board_id]
+        frac = board.used.utilization_of(board.capacity)
+        self._busy_cache[board_id] = \
+            min(1.0, frac) * self.cluster.blocks_per_board
+
     def busy_blocks(self) -> float:
         """Block-equivalents occupied, for utilization comparison.
 
         AmorphOS has no blocks; its occupancy is resource-based, converted
         to the cluster's block units so Fig. 10 compares like units.
         """
-        blocks_per_board = self.cluster.blocks_per_board
         total = 0.0
-        for board in self._boards.values():
-            frac = board.used.utilization_of(board.capacity)
-            total += min(1.0, frac) * blocks_per_board
+        for busy in self._busy_cache.values():
+            total += busy
         return total
 
     def capacity_blocks(self) -> float:

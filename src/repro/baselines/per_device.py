@@ -27,6 +27,8 @@ class PerDeviceManager:
         self.cluster = cluster
         self._board_owner: dict[int, int | None] = {
             b.board_id: None for b in cluster.boards}
+        #: owned-board count, so per-event occupancy queries are O(1)
+        self._busy_boards = 0
         self._failed: set[int] = set()
         #: request id -> live deployment (fault eviction needs the
         #: deployment object to hand back to the recovery machinery)
@@ -41,6 +43,7 @@ class PerDeviceManager:
         if board_id is None:
             return None
         self._board_owner[board_id] = request_id
+        self._busy_boards += 1
         blocks = self.cluster.board(board_id).num_blocks
         placement = Placement(mapping={
             i: (board_id, i) for i in range(blocks)})
@@ -63,6 +66,7 @@ class PerDeviceManager:
                 f"board {board_id} not held by "
                 f"request {deployment.request_id}")
         self._board_owner[board_id] = None
+        self._busy_boards -= 1
         self._live.pop(deployment.request_id, None)
 
     # ------------------------------------------------------------------
@@ -86,6 +90,7 @@ class PerDeviceManager:
         if owner is None:
             return []
         self._board_owner[board_id] = None
+        self._busy_boards -= 1
         return [self._live.pop(owner)]
 
     def repair_board(self, board_id: int, now: float = 0.0) -> None:
@@ -96,9 +101,7 @@ class PerDeviceManager:
 
     # ------------------------------------------------------------------
     def busy_blocks(self) -> float:
-        per_board = self.cluster.blocks_per_board
-        return sum(per_board for owner in self._board_owner.values()
-                   if owner is not None)
+        return self.cluster.blocks_per_board * self._busy_boards
 
     def capacity_blocks(self) -> float:
         return float(self.cluster.total_blocks)

@@ -37,6 +37,8 @@ class SlotBasedManager:
         self._owner: dict[tuple[int, int], int | None] = {
             (b.board_id, s): None
             for b in cluster.boards for s in range(slots_per_fpga)}
+        #: occupied-slot count, so per-event occupancy queries are O(1)
+        self._busy_slots = 0
 
     # ------------------------------------------------------------------
     def slots_needed(self, app: CompiledApp) -> int:
@@ -60,6 +62,7 @@ class SlotBasedManager:
         taken = best_free[:need]
         for slot in taken:
             self._owner[(best_board, slot)] = request_id
+        self._busy_slots += len(taken)
         placement = Placement(mapping={
             i: (best_board, slot) for i, slot in enumerate(taken)})
         slot_bitstream_mb = 180.0 / self.slots_per_fpga
@@ -85,14 +88,13 @@ class SlotBasedManager:
         if freed == 0:
             raise RuntimeError(
                 f"request {deployment.request_id} holds no slots")
+        self._busy_slots -= freed
 
     # ------------------------------------------------------------------
     def busy_blocks(self) -> float:
         blocks_per_slot = (self.cluster.blocks_per_board
                            / self.slots_per_fpga)
-        busy_slots = sum(1 for owner in self._owner.values()
-                         if owner is not None)
-        return busy_slots * blocks_per_slot
+        return self._busy_slots * blocks_per_slot
 
     def capacity_blocks(self) -> float:
         return float(self.cluster.total_blocks)

@@ -6,11 +6,19 @@ time model need: hop distances, per-segment bandwidth, and end-to-end
 latency.  Traffic between non-adjacent boards traverses intermediate
 segments, so the policy's preference for few, adjacent boards directly
 reduces both latency and segment contention.
+
+Topology is immutable after construction, so every topology query is
+memoized: pairwise distances are precomputed, and path segments / subset
+span costs are cached on first use.  The caches matter because the
+communication-aware policy evaluates ``span_cost`` for many candidate
+board subsets per allocation, and the same subsets recur across the
+thousands of allocations of a System-Layer experiment.  Flow occupancy is
+likewise tracked per segment incrementally instead of rescanned per query.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["RingNetwork"]
 
@@ -32,20 +40,37 @@ class RingNetwork:
     _flows: "dict[object, list[int]]" = None  # type: ignore[assignment]
     #: segment id -> remaining capacity fraction (absent == 1.0, healthy)
     _segment_scale: "dict[int, float]" = None  # type: ignore[assignment]
+    #: segment id -> number of registered flows holding it
+    _segment_flows: "dict[int, int]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
+    _dist: "list[list[int]]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
+    _path_cache: "dict[tuple[int, int], list[int]]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
+    _span_cache: "dict[tuple[int, ...], int]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
+    _members_segments_cache: "dict[tuple[int, ...], set[int]]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("ring needs at least one node")
         self._flows = {}
         self._segment_scale = {}
+        self._segment_flows = {}
+        n = self.num_nodes
+        self._dist = [[min(abs(a - b), n - abs(a - b))
+                       for b in range(n)] for a in range(n)]
+        self._path_cache = {}
+        self._span_cache = {}
+        self._members_segments_cache = {}
 
     # ------------------------------------------------------------------
     def distance(self, a: int, b: int) -> int:
         """Hop count along the shorter ring direction."""
         self._check(a)
         self._check(b)
-        d = abs(a - b)
-        return min(d, self.num_nodes - d)
+        return self._dist[a][b]
 
     def path_latency_us(self, a: int, b: int) -> float:
         return self.distance(a, b) * self.hop_latency_us
@@ -62,13 +87,23 @@ class RingNetwork:
         """Total pairwise hop count of a board set.
 
         The communication-aware policy minimizes this when forced to
-        split an application across boards.
+        split an application across boards.  Memoized per subset: the
+        topology never changes, and the policy re-evaluates the same
+        subsets across allocations.
         """
         members = sorted(set(boards))
+        key = tuple(members)
+        cached = self._span_cache.get(key)
+        if cached is not None:
+            return cached
+        dist = self._dist
         total = 0
         for i, a in enumerate(members):
             for b in members[i + 1:]:
-                total += self.distance(a, b)
+                self._check(a)
+                self._check(b)
+                total += dist[a][b]
+        self._span_cache[key] = total
         return total
 
     # ------------------------------------------------------------------
@@ -79,13 +114,33 @@ class RingNetwork:
         node (i+1) mod n); ties resolve clockwise."""
         self._check(a)
         self._check(b)
+        cached = self._path_cache.get((a, b))
+        if cached is not None:
+            return list(cached)
         if a == b:
-            return []
-        clockwise = (b - a) % self.num_nodes
-        counter = (a - b) % self.num_nodes
-        if clockwise <= counter:
-            return [(a + i) % self.num_nodes for i in range(clockwise)]
-        return [(a - 1 - i) % self.num_nodes for i in range(counter)]
+            path: list[int] = []
+        else:
+            clockwise = (b - a) % self.num_nodes
+            counter = (a - b) % self.num_nodes
+            if clockwise <= counter:
+                path = [(a + i) % self.num_nodes
+                        for i in range(clockwise)]
+            else:
+                path = [(a - 1 - i) % self.num_nodes
+                        for i in range(counter)]
+        self._path_cache[(a, b)] = path
+        return list(path)
+
+    def _segments_of_members(self, members: "tuple[int, ...]") -> set[int]:
+        """Union of path segments over all member pairs (memoized)."""
+        cached = self._members_segments_cache.get(members)
+        if cached is None:
+            cached = set()
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    cached.update(self.segments_on_path(a, b))
+            self._members_segments_cache[members] = cached
+        return cached
 
     def register_flow(self, flow_id: object, boards: "list[int]") -> None:
         """Claim the segments a deployment's traffic traverses.
@@ -95,19 +150,26 @@ class RingNetwork:
         """
         if flow_id in self._flows:
             raise ValueError(f"flow {flow_id} already registered")
-        members = sorted(set(boards))
-        segments: set[int] = set()
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                segments.update(self.segments_on_path(a, b))
-        self._flows[flow_id] = sorted(segments)
+        members = tuple(sorted(set(boards)))
+        segments = sorted(self._segments_of_members(members))
+        self._flows[flow_id] = segments
+        for segment in segments:
+            self._segment_flows[segment] = \
+                self._segment_flows.get(segment, 0) + 1
 
     def release_flow(self, flow_id: object) -> None:
-        self._flows.pop(flow_id, None)
+        segments = self._flows.pop(flow_id, None)
+        if not segments:
+            return
+        for segment in segments:
+            remaining = self._segment_flows.get(segment, 0) - 1
+            if remaining > 0:
+                self._segment_flows[segment] = remaining
+            else:
+                self._segment_flows.pop(segment, None)
 
     def flows_on_segment(self, segment: int) -> int:
-        return sum(1 for segs in self._flows.values()
-                   if segment in segs)
+        return self._segment_flows.get(segment, 0)
 
     def contention_factor(self, boards: "list[int]") -> float:
         """Effective oversubscription of the busiest segment a
@@ -120,11 +182,8 @@ class RingNetwork:
         count is divided by the segment's capacity fraction and the
         result feeds the service model unchanged.
         """
-        members = sorted(set(boards))
-        segments: set[int] = set()
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                segments.update(self.segments_on_path(a, b))
+        members = tuple(sorted(set(boards)))
+        segments = self._segments_of_members(members)
         if not segments:
             return 1
         if not self._segment_scale:

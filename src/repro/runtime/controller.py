@@ -100,6 +100,10 @@ class SystemController:
         #: deployments; releases must free exactly this deployment's)
         self._segments_of: dict[int, list] = {}
         self.deployments: dict[int, Deployment] = {}
+        #: tenant -> physical blocks currently held; kept in lockstep
+        #: with ``deployments`` so quota admission is O(1) instead of a
+        #: scan over every live deployment
+        self._tenant_blocks: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # public API (what the hypervisor calls)
@@ -148,6 +152,11 @@ class SystemController:
         """
         return {
             "quotas": dict(self.quotas),
+            # admission control is part of the controller's contract: a
+            # restarted controller must keep modeling DRAM contention if
+            # the original did, or it will admit deployments without the
+            # slowdown it was configured to charge
+            "model_dram_contention": self.model_dram_contention,
             # a controller restarted mid-reconfiguration must not let
             # new deployments bypass the busy ICAP queue: carry each
             # board's config-port horizon across the restart
@@ -185,6 +194,8 @@ class SystemController:
         """
         controller = cls(cluster, policy=policy)
         controller.quotas = dict(snapshot.get("quotas", {}))
+        controller.model_dram_contention = bool(
+            snapshot.get("model_dram_contention", False))
         for board, t in snapshot.get("config_port_free_at",
                                      {}).items():
             controller._config_port_free_at[int(board)] = t
@@ -204,7 +215,7 @@ class SystemController:
                 cluster.network.register_flow(
                     controller._flow_key(entry["request_id"]),
                     placement.boards)
-            controller.deployments[entry["request_id"]] = Deployment(
+            controller._track_deployment(Deployment(
                 request_id=entry["request_id"],
                 app=app,
                 tenant=entry["tenant"],
@@ -212,7 +223,7 @@ class SystemController:
                 deployed_at=entry["deployed_at"],
                 reconfig_time_s=entry["reconfig_time_s"],
                 service_time_s=entry["service_time_s"],
-            )
+            ))
         # failed boards last: a valid snapshot has no deployments on
         # them, and set_board_failed fails loudly if one does
         for board_id in snapshot.get("failed_boards", []):
@@ -235,8 +246,24 @@ class SystemController:
         self.quotas.pop(tenant, None)
 
     def blocks_held_by(self, tenant: str) -> int:
-        return sum(d.num_blocks for d in self.deployments.values()
-                   if d.tenant == tenant)
+        return self._tenant_blocks.get(tenant, 0)
+
+    def _track_deployment(self, deployment: Deployment) -> None:
+        """Admit one deployment into the live set (+ tenant counter)."""
+        self.deployments[deployment.request_id] = deployment
+        self._tenant_blocks[deployment.tenant] = \
+            self._tenant_blocks.get(deployment.tenant, 0) \
+            + deployment.num_blocks
+
+    def _untrack_deployment(self, deployment: Deployment) -> None:
+        """Remove one deployment from the live set (+ tenant counter)."""
+        del self.deployments[deployment.request_id]
+        held = self._tenant_blocks.get(deployment.tenant, 0) \
+            - deployment.num_blocks
+        if held > 0:
+            self._tenant_blocks[deployment.tenant] = held
+        else:
+            self._tenant_blocks.pop(deployment.tenant, None)
 
     def _within_quota(self, tenant: str, new_blocks: int) -> bool:
         quota = self.quotas.get(tenant)
@@ -307,7 +334,7 @@ class SystemController:
             comm_slowdown=model.comm_slowdown,
             latency_overhead_s=model.latency_overhead_s,
         )
-        self.deployments[request_id] = deployment
+        self._track_deployment(deployment)
         self.audit.record(
             now, AuditEvent.DEPLOY, request_id, tenant,
             app=app.name, boards=placement.boards,
@@ -340,7 +367,7 @@ class SystemController:
         self._release_memory(deployment.request_id)
         self._detach_dram_demand(deployment.tenant,
                                  deployment.placement)
-        del self.deployments[deployment.request_id]
+        self._untrack_deployment(deployment)
 
     # ------------------------------------------------------------------
     # failure handling (fault model)

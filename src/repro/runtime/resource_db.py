@@ -4,6 +4,22 @@
 blocks."  The database is authoritative: allocation and release go through
 it, it rejects double-allocation and foreign frees, and its accessors feed
 both the policies (free blocks per board) and the metrics (utilization).
+
+The store keeps two representations of the same state:
+
+- ``_entries`` -- the per-block truth (state + owner), and
+- incremental indices over it: O(1) allocated/failed counters, a
+  request-id -> owned-blocks index, per-board free-block sets and a
+  board-failure set, all maintained on every transition.
+
+The indices exist because the System-Layer simulator queries
+``allocated_count``/``free_by_board``/``blocks_of`` on *every* event;
+rescanning the whole block table per call is O(total blocks) and dominates
+wall-clock on large clusters.  :meth:`verify` cross-checks the indices
+against a full rescan (the tests run it after every random transition);
+:class:`RescanResourceDB` preserves the original scan-per-query behavior
+as a reference implementation for differential tests and for the
+scalability benchmark's "before" measurement.
 """
 
 from __future__ import annotations
@@ -14,7 +30,7 @@ from dataclasses import dataclass
 from repro.cluster.cluster import FPGACluster
 from repro.runtime.types import BlockAddress
 
-__all__ = ["BlockState", "ResourceDB"]
+__all__ = ["BlockState", "ResourceDB", "RescanResourceDB"]
 
 
 class BlockState(enum.Enum):
@@ -41,6 +57,24 @@ class ResourceDB:
         self.cluster = cluster
         self._entries: dict[BlockAddress, _Entry] = {
             addr: _Entry() for addr in cluster.all_addresses()}
+        self._board_ids: list[int] = [b.board_id for b in cluster.boards]
+        self._board_blocks: dict[int, list[BlockAddress]] = {
+            b.board_id: [(b.board_id, i) for i in range(b.num_blocks)]
+            for b in cluster.boards}
+        # ---- incremental indices (see module docstring) --------------
+        self._free: dict[int, set[int]] = {
+            b.board_id: set(range(b.num_blocks))
+            for b in cluster.boards}
+        #: per-board sorted view of ``_free``; ``None`` == stale.  The
+        #: cached lists are never mutated in place (only rebuilt), so a
+        #: view handed out by ``free_by_board`` stays a true snapshot
+        #: even across later transitions.
+        self._free_view: dict[int, list[int] | None] = {
+            b: None for b in self._board_ids}
+        self._owned: dict[int, set[BlockAddress]] = {}
+        self._allocated = 0
+        self._failed = 0
+        self._failed_boards: set[int] = set()
 
     # ------------------------------------------------------------------
     # queries
@@ -55,12 +89,192 @@ class ResourceDB:
     def owner_of(self, address: BlockAddress) -> int | None:
         return self._entries[address].owner
 
+    def _free_sorted(self, board: int) -> list[int]:
+        view = self._free_view[board]
+        if view is None:
+            view = self._free_view[board] = sorted(self._free[board])
+        return view
+
+    def free_blocks(self) -> list[BlockAddress]:
+        return [(board, block) for board in self._board_ids
+                for block in self._free_sorted(board)]
+
+    def free_by_board(self) -> dict[int, list[int]]:
+        """Board id -> free physical-block indices (policy input)."""
+        return {board: self._free_sorted(board)
+                for board in self._board_ids}
+
+    def allocated_count(self) -> int:
+        return self._allocated
+
+    def failed_count(self) -> int:
+        return self._failed
+
+    def failed_boards(self) -> set[int]:
+        return set(self._failed_boards)
+
+    def utilization(self) -> float:
+        """Fraction of physical blocks currently allocated."""
+        return self.allocated_count() / self.total_blocks
+
+    def blocks_of(self, request_id: int) -> list[BlockAddress]:
+        return sorted(self._owned.get(request_id, ()))
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def allocate(self, request_id: int,
+                 addresses: list[BlockAddress]) -> None:
+        """Atomically claim ``addresses`` for ``request_id``."""
+        for address in addresses:
+            entry = self._entries[address]
+            if entry.state is BlockState.FAILED:
+                raise RuntimeError(
+                    f"block {address} is on a failed board")
+            if entry.state is not BlockState.FREE:
+                raise RuntimeError(
+                    f"block {address} already allocated to "
+                    f"request {entry.owner}")
+        if len(set(addresses)) != len(addresses):
+            raise RuntimeError(
+                f"request {request_id} lists a block twice")
+        owned = self._owned.setdefault(request_id, set())
+        for address in addresses:
+            entry = self._entries[address]
+            entry.state = BlockState.ALLOCATED
+            entry.owner = request_id
+            board, block = address
+            self._free[board].remove(block)
+            self._free_view[board] = None
+            owned.add(address)
+        self._allocated += len(addresses)
+
+    def release(self, request_id: int) -> list[BlockAddress]:
+        """Free every block of ``request_id``; error if it owns none."""
+        owned = self._owned.pop(request_id, None)
+        if not owned:
+            raise RuntimeError(
+                f"request {request_id} owns no blocks to release")
+        freed = sorted(owned)
+        for address in freed:
+            entry = self._entries[address]
+            entry.state = BlockState.FREE
+            entry.owner = None
+            board, block = address
+            self._free[board].add(block)
+            self._free_view[board] = None
+        self._allocated -= len(freed)
+        return freed
+
+    def set_board_failed(self, board_id: int) -> None:
+        """Take every block of ``board_id`` out of service.
+
+        The caller (the controller's ``fail_board``) must have evicted
+        the board's deployments first: failing a board that still owns
+        allocated blocks would silently orphan their owners' bookkeeping,
+        so it raises instead.
+        """
+        on_board = self._board_blocks.get(board_id)
+        if not on_board:
+            raise KeyError(f"no blocks on board {board_id}")
+        for address in on_board:
+            entry = self._entries[address]
+            if entry.state is BlockState.ALLOCATED:
+                raise RuntimeError(
+                    f"block {address} still allocated to request "
+                    f"{entry.owner}; evict deployments before failing "
+                    "the board")
+        for address in on_board:
+            entry = self._entries[address]
+            if entry.state is BlockState.FREE:
+                self._failed += 1
+            entry.state = BlockState.FAILED
+        self._free[board_id].clear()
+        self._free_view[board_id] = None
+        self._failed_boards.add(board_id)
+
+    def set_board_repaired(self, board_id: int) -> None:
+        """Return a failed board's blocks to the free pool."""
+        for address in self._board_blocks.get(board_id, ()):
+            entry = self._entries[address]
+            if entry.state is BlockState.FAILED:
+                entry.state = BlockState.FREE
+                entry.owner = None
+                self._failed -= 1
+                self._free[board_id].add(address[1])
+        self._free_view[board_id] = None
+        self._failed_boards.discard(board_id)
+
+    # ------------------------------------------------------------------
+    # consistency cross-check
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Cross-check every incremental index against a full rescan.
+
+        Raises ``RuntimeError`` naming the first divergence; used by the
+        randomized property tests after every transition, and available
+        to callers that want a paranoia check after unusual sequences.
+        """
+        allocated = sum(1 for e in self._entries.values()
+                        if e.state is BlockState.ALLOCATED)
+        if allocated != self._allocated:
+            raise RuntimeError(
+                f"allocated counter {self._allocated} != rescan "
+                f"{allocated}")
+        failed = sum(1 for e in self._entries.values()
+                     if e.state is BlockState.FAILED)
+        if failed != self._failed:
+            raise RuntimeError(
+                f"failed counter {self._failed} != rescan {failed}")
+        failed_boards = {board for (board, _), e in self._entries.items()
+                         if e.state is BlockState.FAILED}
+        if failed_boards != self._failed_boards:
+            raise RuntimeError(
+                f"failed-board set {sorted(self._failed_boards)} != "
+                f"rescan {sorted(failed_boards)}")
+        free: dict[int, set[int]] = {b: set() for b in self._board_ids}
+        owned: dict[int, set[BlockAddress]] = {}
+        for address, entry in self._entries.items():
+            if entry.state is BlockState.FREE:
+                free[address[0]].add(address[1])
+            if entry.owner is not None:
+                owned.setdefault(entry.owner, set()).add(address)
+            if (entry.owner is not None) \
+                    != (entry.state is BlockState.ALLOCATED):
+                raise RuntimeError(
+                    f"block {address}: state {entry.state} inconsistent "
+                    f"with owner {entry.owner}")
+        if free != self._free:
+            diff = {b for b in free if free[b] != self._free[b]}
+            raise RuntimeError(
+                f"free sets diverge on boards {sorted(diff)}")
+        owners = {rid: blocks for rid, blocks in self._owned.items()
+                  if blocks}
+        if owned != owners:
+            raise RuntimeError(
+                f"owner index diverges: rescan {sorted(owned)} vs "
+                f"index {sorted(owners)}")
+        for board, view in self._free_view.items():
+            if view is not None and view != sorted(self._free[board]):
+                raise RuntimeError(
+                    f"stale free view on board {board}")
+
+
+class RescanResourceDB(ResourceDB):
+    """The pre-incremental reference implementation.
+
+    Every query rescans ``_entries`` exactly as the original database
+    did (transitions still maintain the indices, so the two
+    implementations can be compared in place).  Used as the differential
+    oracle in the property tests and as the "before" code path of
+    ``benchmarks/test_scalability.py``.
+    """
+
     def free_blocks(self) -> list[BlockAddress]:
         return [a for a, e in self._entries.items()
                 if e.state is BlockState.FREE]
 
     def free_by_board(self) -> dict[int, list[int]]:
-        """Board id -> free physical-block indices (policy input)."""
         out: dict[int, list[int]] = {
             b.board_id: [] for b in self.cluster.boards}
         for (board, block), entry in self._entries.items():
@@ -80,71 +294,12 @@ class ResourceDB:
         return {board for (board, _), e in self._entries.items()
                 if e.state is BlockState.FAILED}
 
-    def utilization(self) -> float:
-        """Fraction of physical blocks currently allocated."""
-        return self.allocated_count() / self.total_blocks
-
     def blocks_of(self, request_id: int) -> list[BlockAddress]:
         return [a for a, e in self._entries.items()
                 if e.owner == request_id]
 
-    # ------------------------------------------------------------------
-    # transitions
-    # ------------------------------------------------------------------
-    def allocate(self, request_id: int,
-                 addresses: list[BlockAddress]) -> None:
-        """Atomically claim ``addresses`` for ``request_id``."""
-        for address in addresses:
-            entry = self._entries[address]
-            if entry.state is BlockState.FAILED:
-                raise RuntimeError(
-                    f"block {address} is on a failed board")
-            if entry.state is not BlockState.FREE:
-                raise RuntimeError(
-                    f"block {address} already allocated to "
-                    f"request {entry.owner}")
-        for address in addresses:
-            entry = self._entries[address]
-            entry.state = BlockState.ALLOCATED
-            entry.owner = request_id
-
     def release(self, request_id: int) -> list[BlockAddress]:
-        """Free every block of ``request_id``; error if it owns none."""
-        owned = self.blocks_of(request_id)
-        if not owned:
-            raise RuntimeError(
-                f"request {request_id} owns no blocks to release")
-        for address in owned:
-            entry = self._entries[address]
-            entry.state = BlockState.FREE
-            entry.owner = None
-        return owned
-
-    def set_board_failed(self, board_id: int) -> None:
-        """Take every block of ``board_id`` out of service.
-
-        The caller (the controller's ``fail_board``) must have evicted
-        the board's deployments first: failing a board that still owns
-        allocated blocks would silently orphan their owners' bookkeeping,
-        so it raises instead.
-        """
-        on_board = [(addr, e) for addr, e in self._entries.items()
-                    if addr[0] == board_id]
-        if not on_board:
-            raise KeyError(f"no blocks on board {board_id}")
-        for address, entry in on_board:
-            if entry.state is BlockState.ALLOCATED:
-                raise RuntimeError(
-                    f"block {address} still allocated to request "
-                    f"{entry.owner}; evict deployments before failing "
-                    "the board")
-        for _, entry in on_board:
-            entry.state = BlockState.FAILED
-
-    def set_board_repaired(self, board_id: int) -> None:
-        """Return a failed board's blocks to the free pool."""
-        for address, entry in self._entries.items():
-            if address[0] == board_id \
-                    and entry.state is BlockState.FAILED:
-                entry.state = BlockState.FREE
-                entry.owner = None
+        # pay the original scan cost, then transition through the
+        # index-maintaining path so both representations stay usable
+        self.blocks_of(request_id)
+        return super().release(request_id)

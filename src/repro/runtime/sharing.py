@@ -79,7 +79,7 @@ class FunctionSharingController(SystemController):
                               deployment.tenant,
                               app=deployment.app.name, was_guest=True)
             self._release_memory(request_id)
-            del self.deployments[request_id]
+            self._untrack_deployment(deployment)
             return
         guests = self._guests.pop(request_id, set())
         if guests:
@@ -101,7 +101,7 @@ class FunctionSharingController(SystemController):
                               deployment.tenant,
                               app=deployment.app.name,
                               promoted_heir=heir)
-            del self.deployments[request_id]
+            self._untrack_deployment(deployment)
             return
         super().release(deployment, now)
 
@@ -141,7 +141,7 @@ class FunctionSharingController(SystemController):
             service_time_s=base * sharers,
             comm_slowdown=float(sharers),
         )
-        self.deployments[request_id] = deployment
+        self._track_deployment(deployment)
         return deployment
 
     def _pick_host(self, app: CompiledApp) -> int | None:

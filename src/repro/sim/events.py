@@ -10,6 +10,7 @@ queue pressure.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -107,17 +108,44 @@ class TimeWeightedValue:
         """Average of self over sub-intervals where ``mask`` > 0."""
         if t1 <= t0:
             return self.value_at(t0)
-        # merge breakpoints of both step functions
-        times = sorted({t for t, _ in self._points}
-                       | {t for t, _ in mask._points} | {t0, t1})
+        # One synchronized sweep over the merged breakpoints of both
+        # step functions.  Both point lists are time-sorted by
+        # construction, so the current value of each can be carried
+        # along instead of re-scanning from the head per interval;
+        # the accumulated terms (and their order) are unchanged.
+        mine, theirs = self._points, mask._points
+        bounds = (t0, t1)
+        i = j = k = 0
+        cur_self = mine[0][1]
+        cur_mask = theirs[0][1]
         weighted = 0.0
         duration = 0.0
-        for a, b in zip(times, times[1:]):
-            if b <= t0 or a >= t1:
-                continue
-            lo, hi = max(a, t0), min(b, t1)
-            if hi <= lo or mask.value_at(lo) <= 0:
-                continue
-            weighted += self.value_at(lo) * (hi - lo)
-            duration += hi - lo
+        prev: float | None = None
+        prev_self = prev_mask = 0.0
+        while i < len(mine) or j < len(theirs) or k < len(bounds):
+            t = math.inf
+            if i < len(mine):
+                t = mine[i][0]
+            if j < len(theirs) and theirs[j][0] < t:
+                t = theirs[j][0]
+            if k < len(bounds) and bounds[k] < t:
+                t = bounds[k]
+            # absorb every point at exactly t (later points win, as in
+            # value_at)
+            while i < len(mine) and mine[i][0] == t:
+                cur_self = mine[i][1]
+                i += 1
+            while j < len(theirs) and theirs[j][0] == t:
+                cur_mask = theirs[j][1]
+                j += 1
+            while k < len(bounds) and bounds[k] == t:
+                k += 1
+            if prev is not None:
+                a, b = prev, t
+                if not (b <= t0 or a >= t1):
+                    lo, hi = max(a, t0), min(b, t1)
+                    if hi > lo and prev_mask > 0:
+                        weighted += prev_self * (hi - lo)
+                        duration += hi - lo
+            prev, prev_self, prev_mask = t, cur_self, cur_mask
         return weighted / duration if duration else 0.0

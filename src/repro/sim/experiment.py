@@ -161,7 +161,10 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 record.comm_slowdown = deployment.comm_slowdown
                 record.latency_overhead_fraction = \
                     deployment.latency_overhead_fraction
-                record.reconfig_time_s = deployment.reconfig_time_s
+                # accumulate (like the migration path does): a re-queued
+                # eviction victim redeploys through here, and its earlier
+                # attempts' reconfigurations were real ICAP time
+                record.reconfig_time_s += deployment.reconfig_time_s
                 record.service_time_s = deployment.service_time_s
                 if request.request_id in evicted_at:
                     # an evicted request is back on silicon: recovery
@@ -339,7 +342,10 @@ def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
     mean = lambda attr: sum(getattr(s, attr) for s in summaries) / n
     return SummaryMetrics(
         manager=summaries[0].manager,
-        num_requests=summaries[0].num_requests,
+        # averaged like every other field: under fault schedules the
+        # replicas complete different numbers of requests (permanent
+        # failures), and replica 0's count misstates the set
+        num_requests=mean("num_requests"),
         mean_response_s=mean("mean_response_s"),
         p50_response_s=mean("p50_response_s"),
         p95_response_s=mean("p95_response_s"),

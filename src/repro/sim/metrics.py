@@ -140,6 +140,10 @@ class MetricsCollector:
         self.queue_len = TimeWeightedValue()
         self.first_arrival = math.inf
         self.last_completion = 0.0
+        #: running maxima, maintained per state snapshot so summarize()
+        #: does not rescan the full step-function histories
+        self._peak_running = 0
+        self._peak_queue = 0
         #: eviction-to-redeployment durations (fault runs only)
         self.recovery_durations: list[float] = []
 
@@ -153,6 +157,10 @@ class MetricsCollector:
         self.busy_blocks.record(now, busy_blocks)
         self.running_apps.record(now, running)
         self.queue_len.record(now, queued)
+        if running > self._peak_running:
+            self._peak_running = int(running)
+        if queued > self._peak_queue:
+            self._peak_queue = int(queued)
 
     def complete(self, request_id: int, now: float) -> None:
         self.records[request_id].completed_s = now
@@ -178,8 +186,7 @@ class MetricsCollector:
                 if self.recovery_durations else 0.0)
         t0 = self.first_arrival
         t1 = self.last_completion
-        peak = max(
-            (int(v) for _, v in self.running_apps._points), default=0)
+        peak = self._peak_running
         return SummaryMetrics(
             manager=self.manager_name,
             num_requests=len(done),
@@ -204,9 +211,7 @@ class MetricsCollector:
                 (r.latency_overhead_fraction for r in done), default=0.0),
             mean_reconfig_s=(sum(r.reconfig_time_s for r in done)
                              / len(done)),
-            peak_queue_len=max(
-                (int(v) for _, v in self.queue_len._points),
-                default=0),
+            peak_queue_len=self._peak_queue,
             interruptions=float(sum(r.interruptions for r in every)),
             recoveries=float(sum(r.recoveries for r in every)),
             permanently_failed=float(

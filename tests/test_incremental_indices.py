@@ -1,0 +1,185 @@
+"""Differential tests for the incremental resource-database indices.
+
+The System-Layer hot path replaced full-table rescans with indices
+maintained on every transition (see ``runtime/resource_db.py``).  These
+tests pin the equivalence: a randomized operation mix is applied to both
+:class:`ResourceDB` (incremental) and :class:`RescanResourceDB` (the
+original scan-per-query semantics), every query is compared after every
+transition, and ``verify()`` cross-checks the indices against a rescan
+of the block table.  A second group checks that ``verify()`` actually
+detects corruption, so the cross-check itself cannot rot silently.
+
+The same treatment covers the allocation policy: the pruned subset
+search of :class:`CommunicationAwarePolicy` must pick the placement the
+exhaustive enumeration picks, on random free maps.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.runtime.policy import CommunicationAwarePolicy
+from repro.runtime.resource_db import (BlockState, RescanResourceDB,
+                                       ResourceDB)
+
+
+def _compare_queries(fast: ResourceDB, slow: RescanResourceDB) -> None:
+    assert fast.free_blocks() == slow.free_blocks()
+    assert fast.free_by_board() == slow.free_by_board()
+    assert fast.allocated_count() == slow.allocated_count()
+    assert fast.failed_count() == slow.failed_count()
+    assert fast.failed_boards() == slow.failed_boards()
+    assert fast.utilization() == slow.utilization()
+
+
+class TestIncrementalMatchesRescan:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_operation_mix(self, cluster, seed):
+        rng = random.Random(seed)
+        fast = ResourceDB(cluster)
+        slow = RescanResourceDB(cluster)
+        boards = [b.board_id for b in cluster.boards]
+        live: list[int] = []
+        next_id = 0
+        for _ in range(300):
+            roll = rng.random()
+            if roll < 0.45:
+                free = fast.free_blocks()
+                if free:
+                    blocks = rng.sample(free,
+                                        rng.randint(1, min(8, len(free))))
+                    next_id += 1
+                    fast.allocate(next_id, blocks)
+                    slow.allocate(next_id, blocks)
+                    live.append(next_id)
+            elif roll < 0.75 and live:
+                rid = live.pop(rng.randrange(len(live)))
+                assert fast.release(rid) == slow.release(rid)
+            elif roll < 0.90:
+                board = rng.choice(boards)
+                if board in fast.failed_boards():
+                    continue
+                # the controller evicts a board's deployments before
+                # failing it; mirror that contract here
+                for rid in list(live):
+                    if any(a[0] == board for a in fast.blocks_of(rid)):
+                        live.remove(rid)
+                        assert fast.release(rid) == slow.release(rid)
+                fast.set_board_failed(board)
+                slow.set_board_failed(board)
+            else:
+                failed = sorted(fast.failed_boards())
+                if failed:
+                    board = rng.choice(failed)
+                    fast.set_board_repaired(board)
+                    slow.set_board_repaired(board)
+            _compare_queries(fast, slow)
+            fast.verify()
+            slow.verify()
+        # per-request ownership also agrees at the end
+        for rid in live:
+            assert fast.blocks_of(rid) == sorted(slow.blocks_of(rid))
+
+    def test_error_paths_agree(self, cluster):
+        fast = ResourceDB(cluster)
+        slow = RescanResourceDB(cluster)
+        for db in (fast, slow):
+            db.allocate(1, [(0, 0)])
+            with pytest.raises(RuntimeError, match="already allocated"):
+                db.allocate(2, [(0, 1), (0, 0)])
+            with pytest.raises(RuntimeError, match="owns no blocks"):
+                db.release(99)
+            with pytest.raises(RuntimeError, match="still allocated"):
+                db.set_board_failed(0)
+        _compare_queries(fast, slow)
+        fast.verify()
+
+
+class TestVerifyDetectsTampering:
+    """``verify()`` is only a safety net if it actually trips."""
+
+    @pytest.fixture()
+    def db(self, cluster):
+        db = ResourceDB(cluster)
+        db.allocate(7, [(0, 0), (1, 3)])
+        db.release(7)
+        db.allocate(8, [(0, 1), (2, 2)])
+        db.verify()  # sane before each tamper
+        return db
+
+    def test_clean_database_verifies(self, db):
+        db.verify()
+
+    def test_detects_allocated_counter_drift(self, db):
+        db._allocated += 1
+        with pytest.raises(RuntimeError, match="allocated counter"):
+            db.verify()
+
+    def test_detects_failed_counter_drift(self, db):
+        db._failed += 1
+        with pytest.raises(RuntimeError, match="failed counter"):
+            db.verify()
+
+    def test_detects_phantom_failed_board(self, db):
+        db._failed_boards.add(3)
+        with pytest.raises(RuntimeError, match="failed-board set"):
+            db.verify()
+
+    def test_detects_free_set_divergence(self, db):
+        db._free[0].add(1)  # (0, 1) is allocated to request 8
+        with pytest.raises(RuntimeError, match="free sets diverge"):
+            db.verify()
+
+    def test_detects_owner_index_divergence(self, db):
+        db._owned[8].discard((0, 1))
+        with pytest.raises(RuntimeError, match="owner index diverges"):
+            db.verify()
+
+    def test_detects_stale_free_view(self, db):
+        db.free_by_board()  # materialize the cached views
+        db._free_view[0] = [999]
+        with pytest.raises(RuntimeError, match="stale free view"):
+            db.verify()
+
+    def test_detects_state_owner_inconsistency(self, db):
+        db._entries[(0, 1)].state = BlockState.FREE
+        with pytest.raises(RuntimeError):
+            db.verify()
+
+
+class TestPrunedPolicyMatchesExhaustive:
+    """The branch-and-bound subset search must pick exactly the subset
+    the exhaustive ``C(n, k)`` enumeration picks (same span, same
+    leftover, same lexicographic tie-break), so placements -- and hence
+    every downstream summary -- are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def big_cluster(self, partition):
+        return make_cluster(num_boards=8, partition=partition)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_free_maps(self, big_cluster, compiled_apps, seed):
+        rng = random.Random(seed)
+        pruned = CommunicationAwarePolicy(prune=True)
+        exhaustive = CommunicationAwarePolicy(prune=False)
+        boards = [b.board_id for b in big_cluster.boards]
+        per_board = big_cluster.blocks_per_board
+        for _ in range(25):
+            free = {b: sorted(rng.sample(range(per_board),
+                                         rng.randint(0, per_board)))
+                    for b in boards}
+            for app in compiled_apps.values():
+                got = pruned.allocate(app, {b: list(v)
+                                            for b, v in free.items()},
+                                      big_cluster.network)
+                want = exhaustive.allocate(app, {b: list(v)
+                                                 for b, v in free.items()},
+                                           big_cluster.network)
+                if want is None:
+                    assert got is None
+                else:
+                    assert got is not None
+                    assert got.mapping == want.mapping
