@@ -1,7 +1,10 @@
 """Reporting helpers used by the benchmark harness."""
 
 from repro.analysis.report import format_table, format_bar_series
+from repro.analysis.spans import (decision_summary, format_trace_summary,
+                                  load_trace_events, span_summary)
 from repro.analysis.summary import build_report, write_report
 
 __all__ = ["format_table", "format_bar_series", "build_report",
-           "write_report"]
+           "write_report", "load_trace_events", "span_summary",
+           "decision_summary", "format_trace_summary"]

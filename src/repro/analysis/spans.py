@@ -1,0 +1,199 @@
+"""Span-viewer: summarize a JSON-lines trace for operators.
+
+A trace written by :class:`repro.obs.tracer.Tracer` is one decision per
+line; this module turns it back into the questions an operator asks:
+which spans dominated, how many deployments were rejected and *why*,
+how hard the allocator searched, and the percentiles of the decision
+latencies -- the ``repro report --trace`` / ``repro simulate --trace``
+surfacing of the observability layer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.report import format_table
+
+__all__ = ["load_trace_events", "span_summary", "decision_summary",
+           "format_trace_summary"]
+
+
+def load_trace_events(path: "str | Path") -> list[dict]:
+    """Parse a JSONL trace file; malformed input raises ``ValueError``."""
+    events: list[dict] = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON ({exc.msg})") from exc
+        if not isinstance(entry, dict) or "name" not in entry \
+                or "t" not in entry:
+            raise ValueError(
+                f"{path}:{lineno}: not a trace entry "
+                "(missing 'name'/'t')")
+        events.append(entry)
+    if not events:
+        raise ValueError(f"{path}: empty trace")
+    return events
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def span_summary(events: list[dict]) -> list[dict]:
+    """Per-name aggregates: count, total/mean/p95 duration (spans) or
+    just counts (point events)."""
+    by_name: dict[str, list[float]] = {}
+    kinds: dict[str, str] = {}
+    counts: dict[str, int] = {}
+    for event in events:
+        name = event["name"]
+        kinds[name] = event.get("kind", "event")
+        counts[name] = counts.get(name, 0) + 1
+        by_name.setdefault(name, [])
+        if "duration_s" in event:
+            by_name[name].append(float(event["duration_s"]))
+    out = []
+    for name in sorted(by_name):
+        durations = sorted(by_name[name])
+        row = {"name": name, "kind": kinds[name],
+               "count": counts[name]}
+        if durations:
+            row.update(
+                total_s=sum(durations),
+                mean_s=sum(durations) / len(durations),
+                p95_s=_percentile(durations, 0.95))
+        out.append(row)
+    return out
+
+
+def decision_summary(events: list[dict]) -> dict:
+    """Controller/simulator decision accounting from one trace.
+
+    Returns deploys, rejects-by-reason, evictions-by-reason, migrates,
+    releases, and wait/response percentiles -- everything keyed by the
+    machine-readable ``reason`` fields the instrumentation writes.
+    Allocator effort counts both successful searches (``policy.allocate``
+    events) and failed ones (the ``search`` tuple on ``ctrl.reject``).
+    """
+    rejects: dict[str, int] = {}
+    evictions: dict[str, int] = {}
+    waits: list[float] = []
+    responses: list[float] = []
+    search_visited = search_pruned = search_calls = 0
+    counts = {"deploys": 0, "releases": 0, "migrates": 0,
+              "recoveries": 0, "faults": 0, "permanent_failures": 0}
+    for event in events:
+        name = event["name"]
+        fields = event.get("fields", {})
+        if name == "ctrl.deploy":
+            counts["deploys"] += 1
+        elif name == "ctrl.reject":
+            reason = fields.get("reason", "unknown")
+            rejects[reason] = rejects.get(reason, 0) + 1
+            # a failed allocator search rides along as
+            # [reason, rounds, visited, pruned]
+            search = fields.get("search")
+            if search:
+                search_calls += 1
+                search_visited += int(search[2])
+                search_pruned += int(search[3])
+        elif name == "ctrl.release":
+            counts["releases"] += 1
+        elif name == "ctrl.migrate":
+            counts["migrates"] += 1
+        elif name == "ctrl.recover":
+            counts["recoveries"] += 1
+        elif name in ("sim.fault", "ctrl.board_fail"):
+            counts["faults"] += name == "sim.fault"
+        elif name == "sim.permanent_failure":
+            counts["permanent_failures"] += 1
+        elif name == "sim.evict" or name == "ctrl.evict":
+            if name == "sim.evict":
+                reason = fields.get("reason", "unknown")
+                evictions[reason] = evictions.get(reason, 0) + 1
+        elif name == "sim.deploy":
+            waits.append(float(fields.get("wait_s", 0.0)))
+        elif name == "sim.complete":
+            responses.append(float(fields.get("response_s", 0.0)))
+        elif name == "policy.allocate":
+            search_calls += 1
+            search_visited += int(fields.get("visited", 0))
+            search_pruned += int(fields.get("pruned", 0))
+    waits.sort()
+    responses.sort()
+    return {
+        **counts,
+        "rejects": dict(sorted(rejects.items())),
+        "evictions": dict(sorted(evictions.items())),
+        "wait_p50_s": _percentile(waits, 0.50),
+        "wait_p95_s": _percentile(waits, 0.95),
+        "response_p50_s": _percentile(responses, 0.50),
+        "response_p95_s": _percentile(responses, 0.95),
+        "allocator_calls": search_calls,
+        "allocator_visited": search_visited,
+        "allocator_pruned": search_pruned,
+    }
+
+
+def format_trace_summary(events: list[dict]) -> str:
+    """Human-readable span + decision tables (the span viewer)."""
+    spans = span_summary(events)
+    span_rows = []
+    for row in spans:
+        if "total_s" in row:
+            span_rows.append(
+                [row["name"], row["count"], f"{row['total_s']:.3f}",
+                 f"{row['mean_s']:.4f}", f"{row['p95_s']:.4f}"])
+        else:
+            span_rows.append([row["name"], row["count"], "-", "-", "-"])
+    decisions = decision_summary(events)
+    t0 = min(e["t"] for e in events)
+    t1 = max(e["t"] for e in events)
+    reject_text = " ".join(
+        f"{reason}={n}" for reason, n in decisions["rejects"].items()) \
+        or "-"
+    evict_text = " ".join(
+        f"{reason}={n}"
+        for reason, n in decisions["evictions"].items()) or "-"
+    decision_rows = [
+        ["deploys", decisions["deploys"]],
+        ["rejects", reject_text],
+        ["releases", decisions["releases"]],
+        ["migrates", decisions["migrates"]],
+        ["recoveries", decisions["recoveries"]],
+        ["evictions", evict_text],
+        ["faults", decisions["faults"]],
+        ["permanent failures", decisions["permanent_failures"]],
+        ["wait p50 / p95 (s)",
+         f"{decisions['wait_p50_s']:.2f} / "
+         f"{decisions['wait_p95_s']:.2f}"],
+        ["response p50 / p95 (s)",
+         f"{decisions['response_p50_s']:.2f} / "
+         f"{decisions['response_p95_s']:.2f}"],
+        ["allocator calls", decisions["allocator_calls"]],
+        ["subsets visited / pruned",
+         f"{decisions['allocator_visited']} / "
+         f"{decisions['allocator_pruned']}"],
+    ]
+    parts = [
+        f"{len(events)} trace entries over "
+        f"[{t0:.2f} s, {t1:.2f} s] sim time",
+        "",
+        format_table(["name", "count", "total_s", "mean_s", "p95_s"],
+                     span_rows, title="spans & events"),
+        "",
+        format_table(["decision", "value"], decision_rows,
+                     title="decisions"),
+    ]
+    return "\n".join(parts)

@@ -48,6 +48,8 @@ REPORT_ORDER: tuple[tuple[str, str], ...] = (
     ("fault_tolerance", "Availability — board failures & recovery"),
     ("scalability", "§6 — System-Layer hot path at scale"),
     ("scalability_smoke", "§6 — scalability smoke (CI budget)"),
+    ("observability_determinism", "Observability — trace determinism"),
+    ("observability", "Observability — tracer overhead"),
 )
 
 

@@ -84,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interarrival", type=float, default=4.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--boards", type=int, default=4)
+    p.add_argument("--from-trace", dest="from_trace", default=None,
+                   help="replay a workload trace file (see `trace`) "
+                        "instead of generating requests")
+    p.add_argument("--trace", dest="trace_out", default=None,
+                   help="write a structured event trace (JSON lines) "
+                        "of every scheduling decision")
+    p.add_argument("--metrics", dest="metrics_out", default=None,
+                   help="export run metrics (.prom suffix selects "
+                        "Prometheus text format, otherwise JSON)")
 
     p = sub.add_parser(
         "status",
@@ -114,6 +123,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="stitch benchmarks/results/*.txt into REPORT.md")
     p.add_argument("--results", default="benchmarks/results")
     p.add_argument("--output", default=None)
+    p.add_argument("--trace", dest="trace_in", default=None,
+                   help="summarize an event trace (decisions and "
+                        "latency percentiles) instead of stitching "
+                        "benchmark results")
 
     p = sub.add_parser(
         "trace",
@@ -189,13 +202,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     cluster = make_cluster(num_boards=args.boards)
     apps = compile_benchmarks(cluster)
-    requests = WorkloadGenerator(seed=args.seed).generate(
-        args.set_index, num_requests=args.requests,
-        mean_interarrival_s=args.interarrival)
+    if args.from_trace:
+        from repro.sim.trace import load_trace
+        try:
+            requests = load_trace(args.from_trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot replay {args.from_trace}: {exc}")
+            return 2
+        source = f"trace {args.from_trace}"
+    else:
+        requests = WorkloadGenerator(seed=args.seed).generate(
+            args.set_index, num_requests=args.requests,
+            mean_interarrival_s=args.interarrival)
+        source = f"workload set #{args.set_index}"
+    tracer = metrics = None
+    if args.trace_out:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+        metrics = MetricsRegistry()
     rows = []
     for name in names:
+        if tracer:
+            tracer.event("sim.begin", manager=name,
+                         boards=args.boards, requests=len(requests))
         summary = run_experiment(_MANAGERS[name](cluster), requests,
-                                 apps).summary
+                                 apps, tracer=tracer,
+                                 metrics=metrics).summary
         rows.append([name, f"{summary.mean_response_s:.1f}",
                      f"{summary.mean_wait_s:.1f}",
                      f"{summary.mean_concurrency:.1f}",
@@ -204,8 +238,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(format_table(
         ["manager", "response (s)", "wait (s)", "concurrency",
          "block util", "multi-FPGA"], rows,
-        title=f"workload set #{args.set_index}: {args.requests} "
+        title=f"{source}: {len(requests)} "
               f"requests, {args.interarrival:.1f} s mean interarrival"))
+    if tracer:
+        count = tracer.dump(args.trace_out)
+        print(f"wrote {count} trace entries to {args.trace_out}")
+    if metrics:
+        from pathlib import Path
+        out = Path(args.metrics_out)
+        if out.suffix == ".prom":
+            out.write_text(metrics.to_prometheus())
+        else:
+            out.write_text(metrics.as_json() + "\n")
+        print(f"wrote metrics to {out}")
     return 0
 
 
@@ -371,6 +416,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.summary import write_report
+    if args.trace_in:
+        from repro.analysis.spans import (format_trace_summary,
+                                          load_trace_events)
+        try:
+            events = load_trace_events(args.trace_in)
+        except (OSError, ValueError) as exc:
+            print(f"cannot summarize {args.trace_in}: {exc}")
+            return 2
+        print(format_trace_summary(events))
+        return 0
     results = Path(args.results)
     if not results.is_dir():
         print(f"no results directory at {results}; run "

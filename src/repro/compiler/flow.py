@@ -23,8 +23,20 @@ from repro.compiler.timing import CompileTimeModel
 from repro.fabric.partition import FabricPartition
 from repro.hls.frontend import HLSFrontend
 from repro.hls.kernels import KernelSpec
+from repro.obs.tracer import Tracer
 
 __all__ = ["CompilationFlow"]
+
+#: the six steps of Fig. 5, in flow order, with the matching attribute
+#: of :class:`repro.compiler.timing.CompileTimeBreakdown`
+_STAGES = (
+    ("synthesis", "synthesis_s"),
+    ("partition", "partition_s"),
+    ("interface_gen", "interface_gen_s"),
+    ("local_pnr", "local_pnr_s"),
+    ("relocation_check", "relocation_s"),
+    ("global_pnr", "global_pnr_s"),
+)
 
 
 @dataclass(slots=True)
@@ -48,6 +60,10 @@ class CompilationFlow:
     #: block and require it to confirm the analytic timing verdict --
     #: slower, used as a signoff step
     verify_with_detailed_pnr: bool = False
+    #: optional structured tracer: each of the six steps becomes a span
+    #: (modeled vendor-scale duration; measured wall time attached only
+    #: when the tracer records wall clocks, to keep traces byte-stable)
+    tracer: Tracer | None = None
 
     def compile(self, spec: KernelSpec,
                 netlist=None) -> CompiledApp:
@@ -61,6 +77,10 @@ class CompilationFlow:
         spec, so a mismatch would corrupt capacity accounting.
         """
         wall_start = time.perf_counter()
+        stage_wall: list[float] = []
+
+        def mark() -> None:
+            stage_wall.append(time.perf_counter())
 
         # step 1: synthesis (reused front-end), unless supplied
         if netlist is None:
@@ -71,20 +91,23 @@ class CompilationFlow:
                 raise ValueError(
                     f"{spec.name}: netlist usage {usage} exceeds the "
                     f"declared footprint {spec.resources}")
+        mark()
 
         # step 2: partition (custom tool)
-        custom_start = time.perf_counter()
         partitioner = NetlistPartitioner(
             block_capacity=self.fabric.block_capacity, seed=self.seed)
         partition = partitioner.partition(netlist)
+        mark()
 
         # step 3: latency-insensitive interface generation (custom tool)
         interface = InterfaceGenerator().generate(partition)
+        mark()
 
         # step 4: local place-and-route (reused vendor back-end)
         local = LocalPnR(block_capacity=self.fabric.block_capacity,
                          footprint=self.fabric.blocks[0].footprint)
         placed = local.run(partition)
+        mark()
 
         # step 5: relocation self-check (custom tool): every image must be
         # movable to every physical block of the partition
@@ -93,10 +116,15 @@ class CompilationFlow:
         image0 = VirtualBlockImage.from_placed(spec.name, probe)
         for target in self.fabric.blocks:
             relocator.relocate(image0, target)
-        measured_custom = time.perf_counter() - custom_start
+        mark()
+        # wall time of the custom tools: steps 2, 3 and 5 (the reused
+        # vendor back-ends of steps 4 and 6 are modeled, not ours)
+        measured_custom = (stage_wall[2] - stage_wall[0]) \
+            + (stage_wall[4] - stage_wall[3])
 
         # step 6: global place-and-route (reused vendor back-end)
         result = GlobalPnR(self.shell_clock_mhz).run(placed, interface)
+        mark()
         if not result.meets_shell_clock:
             raise RuntimeError(
                 f"{spec.name}: fmax {result.fmax_mhz:.0f} MHz misses the "
@@ -122,7 +150,11 @@ class CompilationFlow:
 
         breakdown = self.time_model.breakdown(
             luts=spec.resources.lut, measured_custom_s=measured_custom)
-        _ = time.perf_counter() - wall_start  # wall time folded into logs
+        breakdown.measured_wall_s = time.perf_counter() - wall_start
+
+        if self.tracer:
+            self._trace_stages(spec.name, breakdown, wall_start,
+                               stage_wall)
 
         app = CompiledApp(
             spec=spec,
@@ -137,3 +169,29 @@ class CompilationFlow:
         )
         app.validate()
         return app
+
+    def _trace_stages(self, app_name: str, breakdown,
+                      wall_start: float,
+                      stage_wall: list[float]) -> None:
+        """One span per Fig. 5 step.
+
+        Span durations are the *modeled* vendor-scale stage times, which
+        are pure functions of the design -- so traces stay byte-stable
+        across runs.  The measured wall clock of each stage (and of the
+        whole flow) is attached only for wall-recording tracers.
+        """
+        tracer = self.tracer
+        t = tracer.now
+        for i, (stage, attr) in enumerate(_STAGES):
+            modeled = getattr(breakdown, attr)
+            span = tracer.span(f"compile.{stage}", t=t, app=app_name)
+            extra = {}
+            if tracer.record_wall:
+                prev = wall_start if i == 0 else stage_wall[i - 1]
+                extra["wall_s"] = stage_wall[i] - prev
+            span.end(t=t + modeled, **extra)
+            t += modeled
+        fields = {"app": app_name, "modeled_total_s": breakdown.total_s}
+        if tracer.record_wall:
+            fields["wall_s"] = breakdown.measured_wall_s
+        tracer.event("compile.done", t=tracer.now, **fields)

@@ -1,0 +1,31 @@
+"""Observability layer: structured tracing and metrics export.
+
+``repro.obs`` is the measurement substrate under the System Layer's
+performance claims: a :class:`Tracer` that records every scheduler,
+allocator, compiler and fault decision with deterministic sim-time
+timestamps (JSON-lines export, byte-identical across seeded runs), and
+a :class:`MetricsRegistry` of counters/gauges/histograms exportable as
+JSON or Prometheus text.  Both are purely observational -- with tracing
+disabled the instrumented code paths cost one falsy check and simulation
+results are bit-identical to an uninstrumented build.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+]

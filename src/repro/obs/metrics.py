@@ -1,0 +1,238 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The tracer (:mod:`repro.obs.tracer`) answers "why did decision X
+happen"; the registry answers "how many / how much" -- the shape
+production schedulers export to monitoring systems.  Instruments are
+created through :class:`MetricsRegistry` and identified by ``(name,
+labels)``, so the same experiment loop can account several managers
+side by side (``deploys_total{manager="vital"}`` vs
+``{manager="per-device"}``).
+
+Two export formats:
+
+- :meth:`MetricsRegistry.as_dict` / ``as_json`` -- nested JSON for the
+  analysis layer and archival next to a trace;
+- :meth:`MetricsRegistry.to_prometheus` -- the Prometheus text
+  exposition format (``# TYPE`` comments, cumulative ``_bucket{le=}``
+  histogram series), so a real scrape endpoint could serve it verbatim.
+
+Like the tracer, the registry is purely observational: instruments are
+plain Python accumulators and nothing here reads clocks or randomness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_TIME_BUCKETS"]
+
+#: Default histogram buckets for durations in seconds: wide enough for
+#: both reconfiguration (~10 ms) and saturated response times (~1000 s).
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+    600.0, 1800.0, 3600.0)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers render without a decimal."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value (set, or moved up and down)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on export, like Prometheus).
+
+    ``buckets`` are upper bounds in increasing order; an implicit
+    ``+Inf`` bucket catches the tail.  Only counts, the sum and the
+    bucket tallies are kept -- O(1) memory however long the run.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+                 ) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        if list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be increasing")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        cumulative = []
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            running += self.counts[i]
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": math.inf,
+                           "count": running + self.counts[-1]})
+        return {"sum": self.sum, "count": self.count,
+                "buckets": cumulative}
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the q-bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            running += self.counts[i]
+            if running >= target:
+                return bound
+        return math.inf
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, object] = {}
+        self._help: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, factory, name: str, help: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._help.setdefault(name, help)
+        elif instrument.kind != factory().kind:
+            raise ValueError(
+                f"{name}: already registered as {instrument.kind}")
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(lambda: Histogram(buckets), name, help, labels)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Nested snapshot: ``{name: [{labels, kind, value}, ...]}``."""
+        out: dict[str, list] = {}
+        for (name, labels), instrument in sorted(
+                self._instruments.items()):
+            out.setdefault(name, []).append({
+                "labels": dict(labels),
+                "kind": instrument.kind,
+                "value": instrument.snapshot(),
+            })
+        return out
+
+    def as_json(self) -> str:
+        def _clean(obj):
+            if isinstance(obj, dict):
+                return {k: _clean(v) for k, v in obj.items()}
+            if isinstance(obj, list):
+                return [_clean(v) for v in obj]
+            if obj == math.inf:
+                return "+Inf"
+            return obj
+        return json.dumps(_clean(self.as_dict()), sort_keys=True,
+                          indent=2)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for (name, labels), instrument in sorted(
+                self._instruments.items()):
+            if name not in seen_header:
+                seen_header.add(name)
+                if self._help.get(name):
+                    lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# TYPE {name} {instrument.kind}")
+            suffix = _format_labels(labels)
+            if instrument.kind == "histogram":
+                snap = instrument.snapshot()
+                for bucket in snap["buckets"]:
+                    le = _format_value(bucket["le"])
+                    bucket_labels = labels + (("le", le),)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(bucket_labels)} "
+                        f"{bucket['count']}")
+                lines.append(f"{name}_sum{suffix} "
+                             f"{_format_value(snap['sum'])}")
+                lines.append(f"{name}_count{suffix} {snap['count']}")
+            else:
+                lines.append(
+                    f"{name}{suffix} "
+                    f"{_format_value(instrument.snapshot())}")
+        return "\n".join(lines) + ("\n" if lines else "")

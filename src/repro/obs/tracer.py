@@ -1,0 +1,181 @@
+"""Structured event tracing with deterministic sim-time timestamps.
+
+The simulator's claims (utilization, co-running apps, interface
+overhead, allocation latency) are aggregates; the tracer explains the
+individual decisions behind them.  It records two shapes:
+
+- **events** -- one timestamped occurrence (a deploy decision, a
+  rejection with its machine-readable reason, a fault);
+- **spans** -- an interval with a duration (a compilation stage, a
+  recovery window).
+
+Timestamps are *simulation* times supplied by the instrumented code (or
+taken from :attr:`Tracer.now`, which the event loop advances), never
+wall-clock reads -- so a seeded run produces byte-identical trace output
+across invocations.  Wall-clock durations (e.g. the compiler's measured
+stage times) are attached only when the tracer is created with
+``record_wall=True``, which deliberately trades reproducible bytes for
+profiling data.
+
+Cost model: a *disabled* tracer is falsy and every instrumentation site
+guards with ``if tracer:`` before building any payload, so the disabled
+path is a single attribute check -- simulation results are bit-identical
+with tracing on, off, or absent, because the tracer only observes.
+Recording appends one tuple per event; JSON formatting happens only at
+export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer", "NULL_TRACER"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values to deterministic JSON-friendly forms."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+class Span:
+    """One open interval; :meth:`end` records it as a single entry.
+
+    Spans are cheap handles, not context managers bound to wall time:
+    the caller supplies simulation times (or leans on ``tracer.now``),
+    and may attach more fields at the end -- e.g. a compile stage's
+    modeled cost, known only after the stage ran.
+    """
+
+    __slots__ = ("_tracer", "name", "t_start", "fields", "_open")
+
+    def __init__(self, tracer: "Tracer", name: str, t_start: float,
+                 fields: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.t_start = t_start
+        self.fields = fields
+        self._open = True
+
+    def end(self, t: float | None = None, **fields) -> None:
+        """Close the span, recording ``duration_s = t - t_start``."""
+        if not self._open:
+            raise RuntimeError(f"span {self.name!r} already ended")
+        self._open = False
+        t_end = self._tracer.now if t is None else t
+        merged = {**self.fields, **fields}
+        self._tracer._record("span", self.name, self.t_start,
+                             max(0.0, t_end - self.t_start), merged)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._open:
+            self.end(err=repr(exc) if exc is not None else None)
+
+
+class _NullSpan:
+    """Span of a disabled tracer: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def end(self, t: float | None = None, **fields) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Append-only structured trace with JSON-lines export.
+
+    Attributes:
+        enabled: a disabled tracer is falsy and records nothing.
+        record_wall: include wall-clock durations in exported entries
+            (breaks byte-for-byte reproducibility; off by default).
+        now: the current simulation time; instrumented loops advance it
+            so deeper layers (policy, controller) need no clock of
+            their own.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 record_wall: bool = False) -> None:
+        self.enabled = enabled
+        self.record_wall = record_wall
+        self.now = 0.0
+        #: (kind, name, t, duration_s | None, fields)
+        self._entries: list[tuple] = []
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, name: str, t: float,
+                duration_s: float | None, fields: dict) -> None:
+        if not self.enabled:
+            return
+        self._entries.append((kind, name, t, duration_s, fields))
+
+    def event(self, name: str, t: float | None = None,
+              **fields) -> None:
+        """Record one point-in-time occurrence."""
+        if not self.enabled:
+            return
+        self._entries.append(
+            ("event", name, self.now if t is None else t, None,
+             fields))
+
+    def span(self, name: str, t: float | None = None,
+             **fields) -> "Span | _NullSpan":
+        """Open a span; the caller ends it (``with`` also works)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, self.now if t is None else t, fields)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[dict]:
+        """Yield entries as dicts (the JSONL schema, pre-serialization)."""
+        for seq, (kind, name, t, duration_s, fields) in \
+                enumerate(self._entries):
+            entry: dict[str, Any] = {
+                "seq": seq, "t": t, "kind": kind, "name": name}
+            if duration_s is not None:
+                entry["duration_s"] = duration_s
+            if fields:
+                entry["fields"] = {
+                    k: _jsonable(v) for k, v in sorted(fields.items())}
+            yield entry
+
+    def to_jsonl(self) -> str:
+        """One compact, key-sorted JSON object per line (byte-stable)."""
+        return "\n".join(
+            json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            for entry in self.entries())
+
+    def dump(self, path: "str | Path") -> int:
+        """Write the JSONL trace; returns the number of entries."""
+        text = self.to_jsonl()
+        Path(path).write_text(text + "\n" if text else "")
+        return len(self._entries)
+
+
+#: Shared disabled tracer for call sites that want a non-None default.
+NULL_TRACER = Tracer(enabled=False)

@@ -9,6 +9,7 @@ can verify that no tenant ever reached another tenant's memory.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.peripherals.dram import ProtectionError, VirtualMemory
@@ -31,12 +32,30 @@ class AccessMonitor:
     """Audit layer between user logic and the DRAM translation unit."""
 
     def __init__(self, memory: VirtualMemory,
-                 record_successes: bool = False) -> None:
+                 record_successes: bool = False,
+                 max_records: int | None = None) -> None:
+        """``max_records`` bounds the audit ring: with
+        ``record_successes=True`` a long simulation would otherwise grow
+        ``records`` without limit.  When the bound is hit the *oldest*
+        records are dropped (``dropped_records`` counts them) while
+        ``access_count``/``fault_count`` stay exact.  ``None`` (the
+        default) keeps the original unbounded behavior.
+        """
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1 (or None)")
         self.memory = memory
         self.record_successes = record_successes
-        self.records: list[AccessRecord] = []
+        self.max_records = max_records
+        self.records: deque[AccessRecord] = deque(maxlen=max_records)
+        self.dropped_records = 0
         self.access_count = 0
         self.fault_count = 0
+
+    def _append(self, record: AccessRecord) -> None:
+        if self.max_records is not None \
+                and len(self.records) == self.max_records:
+            self.dropped_records += 1  # deque evicts the oldest
+        self.records.append(record)
 
     def access(self, tenant: str, vaddr: int,
                is_write: bool = False) -> int:
@@ -46,12 +65,12 @@ class AccessMonitor:
             paddr = self.memory.translate(tenant, vaddr)
         except ProtectionError:
             self.fault_count += 1
-            self.records.append(AccessRecord(
+            self._append(AccessRecord(
                 tenant=tenant, vaddr=vaddr, paddr=None,
                 is_write=is_write, faulted=True))
             raise
         if self.record_successes:
-            self.records.append(AccessRecord(
+            self._append(AccessRecord(
                 tenant=tenant, vaddr=vaddr, paddr=paddr,
                 is_write=is_write, faulted=False))
         return paddr

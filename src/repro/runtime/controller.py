@@ -25,6 +25,7 @@ from repro.cluster.cluster import FPGACluster
 from repro.compiler.bitstream import CompiledApp
 from repro.compiler.relocation import Relocator
 from repro.interconnect.links import LINKS, LinkClass
+from repro.obs.tracer import Tracer
 from repro.peripherals.bandwidth import BandwidthArbiter
 from repro.peripherals.dram import VirtualMemory
 from repro.runtime.audit import AuditEvent, AuditLog
@@ -62,9 +63,15 @@ class SystemController:
 
     def __init__(self, cluster: FPGACluster,
                  policy: AllocationPolicy | None = None,
-                 model_dram_contention: bool = False) -> None:
+                 model_dram_contention: bool = False,
+                 tracer: Tracer | None = None) -> None:
         self.cluster = cluster
         self.policy = policy or CommunicationAwarePolicy()
+        #: structured decision tracing; ``None`` (the default) keeps the
+        #: hot path at a single falsy check per instrumentation site
+        self.tracer: Tracer | None = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
         self.resource_db = ResourceDB(cluster)
         # heterogeneous subclasses replace this with per-footprint
         # databases; any one group's footprint seeds the default DB
@@ -112,27 +119,58 @@ class SystemController:
         """Add a compiled application to the bitstream database."""
         self.bitstream_db.register(app)
 
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Wire ``tracer`` into this controller and its policy."""
+        self.tracer = tracer
+        if hasattr(self.policy, "tracer"):
+            self.policy.tracer = tracer
+
     def try_deploy(self, app: CompiledApp, request_id: int, now: float,
                    tenant: str | None = None) -> Deployment | None:
         """Deploy if resources allow; ``None`` means "wait and retry"."""
         self._register_if_needed(app)
+        app_name = app.name
         tenant = tenant or f"tenant-{request_id}"
 
+        tracer = self.tracer
         if not self._within_quota(tenant, app.num_blocks):
             self.audit.record(now, AuditEvent.REJECT, request_id,
-                              tenant, app=app.name,
+                              tenant, app=app_name,
                               reason="quota-exceeded")
+            if tracer:
+                tracer.event(
+                    "ctrl.reject", t=now, request=request_id,
+                    tenant=tenant, app=app_name,
+                    reason="quota-exceeded",
+                    held=self.blocks_held_by(tenant),
+                    quota=self.quotas.get(tenant),
+                    needed=app.num_blocks)
             return None
 
+        candidates = self._allocatable_blocks(app)
         placement = self.policy.allocate(
-            app, self._allocatable_blocks(app), self.cluster.network)
+            app, candidates, self.cluster.network)
         if placement is None:
             self.audit.record(now, AuditEvent.REJECT, request_id,
-                              tenant, app=app.name,
+                              tenant, app=app_name,
                               reason="no-free-blocks")
+            if tracer:
+                # scalar candidate summary, and the policy's failed
+                # search folded in as one tuple: rejects dominate a
+                # saturated loop (the queue head retries on every
+                # event), so this stays one cheap entry per decision
+                tracer.event(
+                    "ctrl.reject", t=now, request=request_id,
+                    tenant=tenant, app=app_name,
+                    reason="no-free-blocks", needed=app.num_blocks,
+                    candidate_boards=len(candidates),
+                    free_blocks=(self.resource_db.total_blocks
+                                 - self.resource_db.allocated_count()
+                                 - self.resource_db.failed_count()),
+                    search=getattr(self.policy, "last_search", None))
             return None
         return self._finalize_deploy(app, request_id, now, tenant,
-                                     placement)
+                                     placement, candidates=candidates)
 
     def _register_if_needed(self, app: CompiledApp) -> None:
         if app.name not in self.bitstream_db:
@@ -294,7 +332,9 @@ class SystemController:
 
     def _finalize_deploy(self, app: CompiledApp, request_id: int,
                          now: float, tenant: str,
-                         placement: Placement) -> Deployment | None:
+                         placement: Placement,
+                         candidates: dict[int, list[int]] | None = None,
+                         ) -> Deployment | None:
         # runtime relocation: bind every image to its physical block
         for vb, address in placement.mapping.items():
             block = self.cluster.block_at(address)
@@ -310,6 +350,12 @@ class SystemController:
             self.audit.record(now, AuditEvent.REJECT, request_id,
                               tenant, app=app.name,
                               reason="dram-exhausted")
+            if self.tracer:
+                self.tracer.event(
+                    "ctrl.reject", t=now, request=request_id,
+                    tenant=tenant, app=app.name,
+                    reason="dram-exhausted",
+                    boards=placement.boards)
             return None
         self._segments_of[request_id] = segments
 
@@ -335,12 +381,25 @@ class SystemController:
             latency_overhead_s=model.latency_overhead_s,
         )
         self._track_deployment(deployment)
+        boards = placement.boards
+        blocks = len(placement.mapping)
+        spans = len(boards) > 1
+        app_name = app.name
         self.audit.record(
             now, AuditEvent.DEPLOY, request_id, tenant,
-            app=app.name, boards=placement.boards,
-            blocks=len(placement.mapping),
-            spans=placement.spans_boards,
+            app=app_name, boards=boards, blocks=blocks, spans=spans,
             reconfig_s=round(reconfig, 6))
+        if self.tracer:
+            self.tracer.event(
+                "ctrl.deploy", t=now, request=request_id,
+                tenant=tenant, app=app_name, reason="placed",
+                boards=boards, blocks=blocks, spans=spans,
+                reconfig_s=reconfig,
+                comm_slowdown=model.comm_slowdown,
+                # the candidate set is the boards considered; per-board
+                # free counts would cost O(boards) per deployment
+                candidates=list(candidates)
+                if candidates is not None else None)
         return deployment
 
     def release(self, deployment: Deployment, now: float = 0.0) -> None:
@@ -355,9 +414,16 @@ class SystemController:
             raise RuntimeError(
                 f"request {deployment.request_id} is not deployed")
         self._teardown(deployment)
+        app_name = deployment.app.name
         self.audit.record(now, AuditEvent.RELEASE,
                           deployment.request_id, deployment.tenant,
-                          app=deployment.app.name)
+                          app=app_name)
+        if self.tracer:
+            self.tracer.event(
+                "ctrl.release", t=now,
+                request=deployment.request_id,
+                tenant=deployment.tenant, app=app_name,
+                reason="completed")
 
     def _teardown(self, deployment: Deployment) -> None:
         """Free everything one deployment holds, exactly once."""
@@ -394,12 +460,22 @@ class SystemController:
             key=lambda d: d.deployed_at)
         self.audit.record(now, AuditEvent.FAIL, -1, "-",
                           board=board_id, victims=len(victims))
+        if self.tracer:
+            self.tracer.event("ctrl.board_fail", t=now, board=board_id,
+                              victims=[d.request_id for d in victims])
         for deployment in victims:
             self._teardown(deployment)
             self.audit.record(now, AuditEvent.EVICT,
                               deployment.request_id, deployment.tenant,
                               app=deployment.app.name,
                               reason=f"board-{board_id}-failed")
+            if self.tracer:
+                self.tracer.event(
+                    "ctrl.evict", t=now,
+                    request=deployment.request_id,
+                    tenant=deployment.tenant,
+                    app=deployment.app.name,
+                    reason=f"board-{board_id}-failed")
         self.board_health[board_id] = BoardHealth.FAILED
         self.resource_db.set_board_failed(board_id)
         # the crash loses DRAM contents and any queued ICAP work
@@ -422,6 +498,9 @@ class SystemController:
         self.board_health[board_id] = BoardHealth.HEALTHY
         self.audit.record(now, AuditEvent.REPAIR, -1, "-",
                           board=board_id)
+        if self.tracer:
+            self.tracer.event("ctrl.board_repair", t=now,
+                              board=board_id)
 
     def healthy_boards(self) -> list[int]:
         return [b for b, h in self.board_health.items()
@@ -451,6 +530,13 @@ class SystemController:
                               deployment.tenant,
                               app=deployment.app.name,
                               boards=replacement.placement.boards)
+            if self.tracer:
+                self.tracer.event(
+                    "ctrl.recover", t=now,
+                    request=deployment.request_id,
+                    tenant=deployment.tenant,
+                    app=deployment.app.name, reason="migrated",
+                    boards=replacement.placement.boards)
         return replacement
 
     def inject_reconfig_fault(self, board_id: int,
@@ -556,6 +642,12 @@ class SystemController:
                         now, AuditEvent.RETRY, request_id, tenant,
                         board=board, attempt=attempt + 1,
                         backoff_s=round(backoff, 6))
+                    if self.tracer:
+                        self.tracer.event(
+                            "ctrl.reconfig_retry", t=now,
+                            request=request_id, board=board,
+                            reason="transient-icap-fault",
+                            attempt=attempt + 1, backoff_s=backoff)
             start = max(now, self._config_port_free_at[board])
             self._config_port_free_at[board] = start + duration
             finish = max(finish, start + duration)

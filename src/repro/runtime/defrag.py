@@ -172,4 +172,14 @@ class DefragmentingController(SystemController):
                               app=deployment.app.name,
                               to_boards=new_placement.boards,
                               pause_s=round(pause, 6))
+            if self.tracer:
+                self.tracer.event(
+                    "ctrl.migrate", t=now,
+                    request=deployment.request_id,
+                    tenant=deployment.tenant,
+                    app=deployment.app.name,
+                    reason="defrag-consolidation",
+                    from_board=plan.target_board,
+                    to_boards=new_placement.boards,
+                    pause_s=pause)
         return penalties

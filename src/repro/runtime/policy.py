@@ -157,6 +157,19 @@ class CommunicationAwarePolicy:
         #: ``False`` restores the exhaustive per-round subset
         #: enumeration (the differential oracle / "before" path)
         self.prune = prune
+        #: optional :class:`repro.obs.tracer.Tracer`; when set (and
+        #: enabled) each successful ``allocate`` records rounds
+        #: attempted and subsets visited vs. pruned -- the
+        #: search-effort telemetry the scalability claims lean on.
+        #: ``None`` costs one falsy check per call.
+        self.tracer = None
+        #: failed-search telemetry ``(reason, rounds, visited,
+        #: pruned)``, refreshed on every tracing failure.  A saturated
+        #: loop rejects the queue head on every event, so failures
+        #: deposit a tuple here instead of a trace entry of their own;
+        #: the controller folds it into its single ``ctrl.reject``
+        #: event.
+        self.last_search: tuple | None = None
 
     def allocate(self, app: CompiledApp,
                  free_by_board: dict[int, list[int]],
@@ -170,26 +183,42 @@ class CommunicationAwarePolicy:
 
         present = [b for b in boards if free[b] > 0]
         if sum(free[b] for b in present) < needed:
+            if self.tracer:
+                self.last_search = ("insufficient-capacity", 0, 0, 0)
             return None
+        # [visited, pruned] node counters, collected only when tracing
+        stats = [0, 0] if self.tracer else None
         for round_k in range(1, len(present) + 1):
             best = self._best_subset(present, free, needed, round_k,
-                                     network)
+                                     network, stats=stats)
             if best is None:
                 continue
             _, _, subset = best
+            if self.tracer:
+                self.tracer.event(
+                    "policy.allocate", app=app.name, needed=needed,
+                    found=True, rounds=round_k, boards=subset,
+                    span=best[0], leftover=best[1],
+                    visited=stats[0], pruned=stats[1])
             quotas = self._quotas(subset, free, needed)
             return _build_placement(app, quotas, free_by_board)
+        if self.tracer:
+            self.last_search = ("no-feasible-subset", len(present),
+                                stats[0], stats[1])
         return None
 
     @staticmethod
     def _best_subset(present: list[int], free: dict[int, int],
                      needed: int, k: int, network: RingNetwork,
+                     stats: list[int] | None = None,
                      ) -> tuple[int, int, tuple[int, ...]] | None:
         """Minimum-key feasible ``k``-subset of ``present`` boards.
 
         Depth-first enumeration in lexicographic order (so equal-key
         subsets resolve exactly like the exhaustive ``min``), with two
-        sound prunes -- see the module docstring.
+        sound prunes -- see the module docstring.  ``stats`` (tracing
+        only) accumulates ``[nodes visited, nodes pruned]``; ``None``
+        keeps the search loop free of counting work.
         """
         n = len(present)
         if k > n:
@@ -214,10 +243,14 @@ class CommunicationAwarePolicy:
                 return
             for i in range(start, n - remaining + 1):
                 board = present[i]
+                if stats is not None:
+                    stats[0] += 1
                 # capacity bound: even the best boards after ``i``
                 # cannot close the gap
                 if capacity + free[board] \
                         + (remaining - 1) * suffix_max[i + 1] < needed:
+                    if stats is not None:
+                        stats[1] += 1
                     continue
                 added = span
                 for member in chosen:
@@ -232,6 +265,8 @@ class CommunicationAwarePolicy:
                     floor = added + (remaining - 1) * chosen_after \
                         + (remaining - 1) * (remaining - 2) // 2
                     if floor > best[0]:
+                        if stats is not None:
+                            stats[1] += 1
                         continue
                 chosen.append(board)
                 extend(i + 1, capacity + free[board], added)
@@ -240,17 +275,18 @@ class CommunicationAwarePolicy:
         extend(0, 0, 0)
         return best
 
-    @staticmethod
-    def _allocate_exhaustive(app: CompiledApp,
+    def _allocate_exhaustive(self, app: CompiledApp,
                              free_by_board: dict[int, list[int]],
                              free: dict[int, int], boards: list[int],
                              needed: int, network: RingNetwork,
                              ) -> Placement | None:
         """The original brute-force enumeration (every subset, every
         round); kept as the reference the pruned search must match."""
+        visited = 0
         for round_k in range(1, len(boards) + 1):
             best: tuple[float, float, tuple[int, ...]] | None = None
             for subset in itertools.combinations(boards, round_k):
+                visited += 1
                 capacity = sum(free[b] for b in subset)
                 if capacity < needed:
                     continue
@@ -266,9 +302,18 @@ class CommunicationAwarePolicy:
             if best is None:
                 continue
             _, _, subset = best
+            if self.tracer:
+                self.tracer.event(
+                    "policy.allocate", app=app.name, needed=needed,
+                    found=True, rounds=round_k, boards=subset,
+                    span=best[0], leftover=best[1],
+                    visited=visited, pruned=0)
             quotas = CommunicationAwarePolicy._quotas(subset, free,
                                                       needed)
             return _build_placement(app, quotas, free_by_board)
+        if self.tracer:
+            self.last_search = ("no-feasible-subset", len(boards),
+                                visited, 0)
         return None
 
     @staticmethod

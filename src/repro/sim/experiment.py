@@ -44,6 +44,8 @@ from repro.faults.recovery import RecoveryPolicy, \
     resolve_recovery_policy
 from repro.faults.schedule import FaultSchedule
 from repro.hls.kernels import all_benchmarks
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.runtime.controller import SystemController
 from repro.sim.events import EventQueue
 from repro.sim.metrics import MetricsCollector, RequestRecord, \
@@ -82,12 +84,53 @@ class ExperimentResult:
     extras: dict[str, float] = field(default_factory=dict)
 
 
+class _ExperimentMetrics:
+    """Event-loop instruments of one run, labels bound once up front."""
+
+    __slots__ = ("registry", "manager", "arrivals", "deploys",
+                 "completions", "faults", "evictions", "recoveries",
+                 "wait_s", "response_s")
+
+    def __init__(self, registry: MetricsRegistry, manager: str) -> None:
+        self.registry = registry
+        self.manager = manager
+        label = {"manager": manager}
+        self.arrivals = registry.counter(
+            "requests_total", "requests that entered the queue",
+            **label)
+        self.deploys = registry.counter(
+            "deploys_total", "successful deployments (incl. redeploys)",
+            **label)
+        self.completions = registry.counter(
+            "completions_total", "requests that finished", **label)
+        self.faults = registry.counter(
+            "fault_events_total", "fault-schedule events applied",
+            **label)
+        self.evictions = registry.counter(
+            "evictions_total", "deployments evicted by board failures",
+            **label)
+        self.recoveries = registry.counter(
+            "recoveries_total", "evictions healed by migration",
+            **label)
+        self.wait_s = registry.histogram(
+            "wait_seconds", "arrival-to-deployment wait", **label)
+        self.response_s = registry.histogram(
+            "response_seconds", "arrival-to-completion response",
+            **label)
+
+    def finish(self, collector: MetricsCollector) -> None:
+        """Fold the collector's end-of-run aggregates into the registry."""
+        collector.export_metrics(self.registry)
+
+
 def run_experiment(manager: ClusterManager, requests: list[Request],
                    apps: dict[str, CompiledApp],
                    backfill: bool = False,
                    discipline: str | None = None,
                    faults: FaultSchedule | None = None,
                    recovery: "RecoveryPolicy | str | None" = None,
+                   tracer: Tracer | None = None,
+                   metrics: MetricsRegistry | None = None,
                    ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
@@ -100,12 +143,30 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     ``faults`` injects a deterministic fault schedule; ``recovery``
     picks what happens to evicted deployments (``"requeue"``, the
     default, or ``"migrate"`` / a :class:`RecoveryPolicy` instance).
+
+    ``tracer`` records the event loop's decisions (arrivals, deploys,
+    completions, faults, evictions) with sim-time timestamps; if the
+    manager can carry a tracer (``attach_tracer`` or a ``tracer``
+    attribute, as :class:`SystemController` and its policy do), it is
+    attached for the run so controller-level decisions land in the same
+    stream.  ``metrics`` accumulates counters/histograms labeled by
+    manager name.  Both default to ``None`` -- the simulation's results
+    are identical with or without them; they only observe.
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
     if discipline not in ("fifo", "backfill", "sjf"):
         raise ValueError(f"unknown discipline {discipline!r}")
     backfill = discipline == "backfill"
+
+    if tracer is not None:
+        if hasattr(manager, "attach_tracer"):
+            manager.attach_tracer(tracer)
+        elif hasattr(manager, "tracer"):
+            manager.tracer = tracer
+    mx = _ExperimentMetrics(metrics, manager.name) if metrics is not None \
+        else None
+
     events = EventQueue()
     for request in requests:
         events.push(request.arrival_s, "arrival", request)
@@ -161,6 +222,20 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 record.comm_slowdown = deployment.comm_slowdown
                 record.latency_overhead_fraction = \
                     deployment.latency_overhead_fraction
+                if tracer:
+                    # payload reuses the record's freshly computed
+                    # fields -- no second pass over the placement
+                    tracer.event(
+                        "sim.deploy", t=now,
+                        request=request.request_id,
+                        app=record.app_name,
+                        wait_s=now - request.arrival_s,
+                        blocks=record.num_blocks,
+                        boards=record.boards,
+                        spans=record.spans_boards)
+                if mx is not None:
+                    mx.deploys.inc()
+                    mx.wait_s.observe(now - request.arrival_s)
                 # accumulate (like the migration path does): a re-queued
                 # eviction victim redeploys through here, and its earlier
                 # attempts' reconfigurations were real ICAP time
@@ -185,6 +260,13 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 return
 
     def on_fault(fault, now: float) -> None:
+        if tracer:
+            tracer.event("sim.fault", t=now,
+                         fault=type(fault).__name__,
+                         board=getattr(fault, "board", None),
+                         segment=getattr(fault, "segment", None))
+        if mx is not None:
+            mx.faults.inc()
         evicted = injector.apply(fault, now)
         requeue: list[Request] = []
         for deployment in evicted:
@@ -200,6 +282,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             progress = max(0.0, now - (record.deployed_s
                                        + record.reconfig_time_s))
             progress = min(progress, record.service_time_s)
+            if mx is not None:
+                mx.evictions.inc()
             replacement = recovery_policy.recover(manager, deployment,
                                                   now)
             if replacement is not None:
@@ -220,6 +304,12 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 record.reconfig_time_s += replacement.reconfig_time_s
                 record.service_time_s = replacement.service_time_s
                 collector.record_recovery(replacement.reconfig_time_s)
+                if tracer:
+                    tracer.event("sim.evict", t=now, request=rid,
+                                 reason="migrated",
+                                 progress_kept_s=progress)
+                if mx is not None:
+                    mx.recoveries.inc()
                 schedule_completion(
                     rid, now + replacement.reconfig_time_s + remaining)
             else:
@@ -227,6 +317,10 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 record.lost_service_s += progress
                 evicted_at[rid] = now
                 requeue.append(request_of[rid])
+                if tracer:
+                    tracer.event("sim.evict", t=now, request=rid,
+                                 reason="requeued",
+                                 progress_lost_s=progress)
         if requeue:
             # evictees re-enter in original arrival order (they are
             # older than anything currently queued)
@@ -240,18 +334,28 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         while events:
             event = events.pop()
             now = event.time
+            if tracer:
+                tracer.now = now
             if event.kind == "arrival":
                 request: Request = event.payload
+                app_name = request.spec.name
+                size = request.spec.size.value
                 collector.add_request(RequestRecord(
                     request_id=request.request_id,
-                    app_name=request.spec.name,
-                    size=request.spec.size.value,
+                    app_name=app_name,
+                    size=size,
                     num_blocks=0,
                     arrival_s=request.arrival_s,
                 ))
                 if fault_schedule is not None:
                     request_of[request.request_id] = request
                 queue.append(request)
+                if tracer:
+                    tracer.event("sim.arrival", t=now,
+                                 request=request.request_id,
+                                 app=app_name, size=size)
+                if mx is not None:
+                    mx.arrivals.inc()
                 try_drain(now)
             elif event.kind == "completion":
                 request_id: int = event.payload
@@ -261,6 +365,15 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 del completion_at[request_id]
                 manager.release(deployment, now)
                 collector.complete(request_id, now)
+                if tracer:
+                    record = collector.records[request_id]
+                    tracer.event("sim.complete", t=now,
+                                 request=request_id,
+                                 response_s=record.response_s)
+                if mx is not None:
+                    mx.completions.inc()
+                    mx.response_s.observe(
+                        collector.records[request_id].response_s)
                 try_drain(now)
             elif event.kind == "fault":
                 on_fault(event.payload, now)
@@ -285,8 +398,15 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         for request in queue:
             collector.records[request.request_id] \
                 .permanently_failed = True
+            if tracer:
+                tracer.event("sim.permanent_failure",
+                             t=collector.last_completion,
+                             request=request.request_id,
+                             reason="capacity-never-recovered")
         queue.clear()
 
+    if mx is not None:
+        mx.finish(collector)
     result = ExperimentResult(manager_name=manager.name,
                               summary=collector.summarize(),
                               records=list(collector.records.values()))

@@ -171,6 +171,49 @@ class MetricsCollector:
         replacement deployment was in place (programmed)."""
         self.recovery_durations.append(duration_s)
 
+    def export_metrics(self, registry) -> None:
+        """Feed end-of-run aggregates into a
+        :class:`repro.obs.metrics.MetricsRegistry`.
+
+        Gauges carry the summary's headline figures; the reconfiguration
+        and service-time distributions are folded into histograms so the
+        Prometheus export carries percentiles, not just means.  Labeled
+        by manager, so several runs share one registry.
+        """
+        summary = self.summarize()
+        label = {"manager": self.manager_name}
+        gauges = {
+            "block_utilization": (
+                "time-averaged busy fraction over the run",
+                summary.block_utilization),
+            "block_utilization_pressured": (
+                "busy fraction while requests were waiting",
+                summary.block_utilization_pressured),
+            "mean_concurrency": ("time-averaged co-running apps",
+                                 summary.mean_concurrency),
+            "peak_concurrency": ("max co-running apps",
+                                 float(summary.peak_concurrency)),
+            "peak_queue_len": ("max queued requests",
+                               float(summary.peak_queue_len)),
+            "makespan_seconds": ("first arrival to last completion",
+                                 summary.makespan_s),
+            "goodput_fraction": ("useful / (useful + lost) service",
+                                 summary.goodput_fraction),
+            "multi_fpga_fraction": ("deployments spanning boards",
+                                    summary.multi_fpga_fraction),
+        }
+        for name, (help_text, value) in gauges.items():
+            registry.gauge(name, help_text, **label).set(value)
+        reconfig = registry.histogram(
+            "reconfig_seconds", "per-request reconfiguration time",
+            **label)
+        service = registry.histogram(
+            "service_seconds", "per-request service time", **label)
+        for record in self.records.values():
+            if record.finished:
+                reconfig.observe(record.reconfig_time_s)
+                service.observe(record.service_time_s)
+
     # ------------------------------------------------------------------
     def summarize(self) -> SummaryMetrics:
         done = [r for r in self.records.values() if r.finished]

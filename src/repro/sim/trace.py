@@ -23,7 +23,16 @@ _FORMAT_VERSION = 1
 
 def dumps_trace(requests: list[Request],
                 metadata: dict | None = None) -> str:
-    """Serialize a workload set to a JSON string."""
+    """Serialize a workload set to a JSON string.
+
+    ``loads_trace`` rejects unsorted arrivals, so export sorts stably by
+    (arrival time, request id) first -- a legal in-memory workload
+    (simulators accept any order; the event queue sorts) must round-trip
+    through its own serialization.  Already-sorted input serializes
+    byte-identically to the unsorted-naive form.
+    """
+    requests = sorted(requests,
+                      key=lambda r: (r.arrival_s, r.request_id))
     payload = {
         "format": "vital-workload-trace",
         "version": _FORMAT_VERSION,

@@ -94,6 +94,90 @@ class TestCommands:
         assert len(db) == 21
 
 
+class TestObservability:
+    def test_simulate_trace_is_byte_identical(self, capsys, tmp_path):
+        """Golden determinism: two seeded 4-board runs, same bytes."""
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["simulate", "--set", "1", "--requests", "12",
+                         "--boards", "4", "--seed", "3",
+                         "--managers", "vital",
+                         "--trace", str(path)]) == 0
+        capsys.readouterr()
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+        assert first  # non-empty trace
+
+    def test_simulate_trace_has_decisions(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "t.jsonl"
+        assert main(["simulate", "--set", "1", "--requests", "10",
+                     "--boards", "2", "--managers", "vital",
+                     "--trace", str(path)]) == 0
+        assert "trace entries" in capsys.readouterr().out
+        names = {json.loads(line)["name"]
+                 for line in path.read_text().splitlines()}
+        assert {"sim.begin", "sim.arrival", "sim.deploy",
+                "sim.complete", "ctrl.deploy"} <= names
+
+    def test_simulate_metrics_json(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "metrics.json"
+        assert main(["simulate", "--set", "1", "--requests", "10",
+                     "--boards", "2", "--managers", "vital",
+                     "--metrics", str(path)]) == 0
+        metrics = json.loads(path.read_text())
+        assert "deploys_total" in metrics
+        assert metrics["completions_total"][0]["value"] == 10
+
+    def test_simulate_metrics_prometheus(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["simulate", "--set", "1", "--requests", "10",
+                     "--boards", "2", "--managers", "vital",
+                     "--metrics", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE deploys_total counter" in text
+        assert 'deploys_total{manager="vital"} 10' in text
+
+    def test_simulate_replays_workload_trace(self, capsys, tmp_path):
+        trace = tmp_path / "workload.json"
+        main(["trace", str(trace), "--set", "1", "--requests", "8"])
+        capsys.readouterr()
+        assert main(["simulate", "--from-trace", str(trace),
+                     "--boards", "2", "--managers", "vital"]) == 0
+        out = capsys.readouterr().out
+        assert "8 requests" in out
+
+    def test_simulate_malformed_workload_trace(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["simulate", "--from-trace", str(bad),
+                     "--managers", "vital"]) == 2
+        assert "cannot replay" in capsys.readouterr().out
+
+    def test_report_trace_summary(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        main(["simulate", "--set", "1", "--requests", "10",
+              "--boards", "2", "--managers", "vital",
+              "--trace", str(path)])
+        capsys.readouterr()
+        assert main(["report", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "decisions" in out
+        assert "wait p50 / p95" in out
+
+    def test_report_malformed_trace(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["report", "--trace", str(bad)]) == 2
+        assert "cannot summarize" in capsys.readouterr().out
+
+    def test_report_missing_trace_file(self, capsys, tmp_path):
+        assert main(["report", "--trace",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot summarize" in capsys.readouterr().out
+
+
 class TestFaultDrills:
     def test_status_shows_board_health(self, capsys):
         assert main(["status", "--boards", "2"]) == 0

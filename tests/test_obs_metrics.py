@@ -1,0 +1,140 @@
+"""Unit tests for the metrics registry and its export formats."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (DEFAULT_TIME_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.snapshot() == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.snapshot() == 4.0
+
+    def test_histogram_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.2)
+        # cumulative: <=1 has 2, <=10 has 3, +Inf has all 4
+        assert [b["count"] for b in snap["buckets"]] == [2, 3, 4]
+        assert snap["buckets"][-1]["le"] == math.inf
+
+    def test_histogram_requires_increasing_buckets(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram(buckets=(10.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(buckets=())
+
+    def test_histogram_quantile(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0  # empty target hits first bucket
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_histogram_quantile_overflow_is_inf(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(1.0) == math.inf
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("deploys_total", manager="vital")
+        b = reg.counter("deploys_total", manager="vital")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("deploys_total", manager="vital").inc()
+        reg.counter("deploys_total", manager="per-device").inc(3)
+        assert len(reg) == 2
+        values = {row["labels"]["manager"]: row["value"]
+                  for row in reg.as_dict()["deploys_total"]}
+        assert values == {"vital": 1.0, "per-device": 3.0}
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_custom_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        assert h.buckets == (1.0, 2.0)
+        assert reg.histogram("default").buckets == DEFAULT_TIME_BUCKETS
+
+
+class TestExport:
+    def test_as_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("util", "busy fraction", manager="vital").set(0.93)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        parsed = json.loads(reg.as_json())
+        assert parsed["util"][0]["value"] == 0.93
+        # inf bucket bound serialized as a string marker
+        assert parsed["lat"][0]["value"]["buckets"][-1]["le"] == "+Inf"
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("deploys_total", "successful deployments",
+                    manager="vital").inc(4)
+        reg.gauge("util").set(0.5)
+        text = reg.to_prometheus()
+        assert "# HELP deploys_total successful deployments" in text
+        assert "# TYPE deploys_total counter" in text
+        assert 'deploys_total{manager="vital"} 4' in text
+        assert "# TYPE util gauge" in text
+        assert "util 0.5" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait_seconds", "wait", buckets=(1.0, 5.0),
+                          manager="vital")
+        for v in (0.5, 3.0, 9.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert '# TYPE wait_seconds histogram' in text
+        assert 'wait_seconds_bucket{manager="vital",le="1"} 1' in text
+        assert 'wait_seconds_bucket{manager="vital",le="5"} 2' in text
+        assert 'wait_seconds_bucket{manager="vital",le="+Inf"} 3' \
+            in text
+        assert 'wait_seconds_sum{manager="vital"} 12.5' in text
+        assert 'wait_seconds_count{manager="vital"} 3' in text
+
+    def test_prometheus_header_emitted_once_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help text", manager="a").inc()
+        reg.counter("c", "help text", manager="b").inc()
+        text = reg.to_prometheus()
+        assert text.count("# TYPE c counter") == 1
+
+    def test_empty_registry_exports_empty(self):
+        reg = MetricsRegistry()
+        assert reg.as_dict() == {}
+        assert reg.to_prometheus() == ""

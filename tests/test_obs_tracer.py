@@ -1,0 +1,139 @@
+"""Unit tests for the structured event tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestEvents:
+    def test_event_records_fields(self):
+        tracer = Tracer()
+        tracer.event("ctrl.deploy", t=3.0, request=7, reason="placed")
+        [entry] = list(tracer.entries())
+        assert entry["kind"] == "event"
+        assert entry["name"] == "ctrl.deploy"
+        assert entry["t"] == 3.0
+        assert entry["fields"] == {"reason": "placed", "request": 7}
+        assert "duration_s" not in entry
+
+    def test_event_defaults_to_now(self):
+        tracer = Tracer()
+        tracer.now = 12.5
+        tracer.event("tick")
+        [entry] = list(tracer.entries())
+        assert entry["t"] == 12.5
+
+    def test_sequence_numbers_are_ordered(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.event("e", t=float(i))
+        assert [e["seq"] for e in tracer.entries()] == [0, 1, 2, 3, 4]
+
+    def test_sets_and_tuples_export_deterministically(self):
+        tracer = Tracer()
+        tracer.event("e", t=0.0, boards={3, 1, 2}, pair=(9, 8))
+        [entry] = list(tracer.entries())
+        assert entry["fields"]["boards"] == [1, 2, 3]
+        assert entry["fields"]["pair"] == [9, 8]
+
+
+class TestSpans:
+    def test_span_duration(self):
+        tracer = Tracer()
+        span = tracer.span("compile.synthesis", t=10.0, app="x")
+        span.end(t=25.0, cost=1.5)
+        [entry] = list(tracer.entries())
+        assert entry["kind"] == "span"
+        assert entry["duration_s"] == 15.0
+        assert entry["fields"] == {"app": "x", "cost": 1.5}
+
+    def test_span_end_uses_now(self):
+        tracer = Tracer()
+        span = tracer.span("s", t=1.0)
+        tracer.now = 4.0
+        span.end()
+        [entry] = list(tracer.entries())
+        assert entry["duration_s"] == 3.0
+
+    def test_span_duration_never_negative(self):
+        tracer = Tracer()
+        tracer.span("s", t=5.0).end(t=2.0)
+        [entry] = list(tracer.entries())
+        assert entry["duration_s"] == 0.0
+
+    def test_double_end_raises(self):
+        tracer = Tracer()
+        span = tracer.span("s", t=0.0)
+        span.end(t=1.0)
+        with pytest.raises(RuntimeError, match="already ended"):
+            span.end(t=2.0)
+
+    def test_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("s", t=0.0):
+            tracer.now = 2.0
+        [entry] = list(tracer.entries())
+        assert entry["duration_s"] == 2.0
+
+
+class TestDisabled:
+    def test_disabled_tracer_is_falsy(self):
+        assert not Tracer(enabled=False)
+        assert not NULL_TRACER
+        assert Tracer()
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("e", t=0.0)
+        tracer.span("s", t=0.0).end(t=1.0)
+        assert len(tracer) == 0
+        assert tracer.to_jsonl() == ""
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("a")
+        with span:
+            span.end()  # double end is fine on the null span
+        assert list(tracer.entries()) == []
+
+
+class TestExport:
+    def test_jsonl_is_byte_stable(self):
+        def build():
+            tracer = Tracer()
+            tracer.event("a", t=1.0, z=1, a=2)
+            tracer.span("b", t=2.0, k="v").end(t=3.0)
+            return tracer.to_jsonl()
+        assert build() == build()
+
+    def test_jsonl_lines_parse(self):
+        tracer = Tracer()
+        tracer.event("a", t=1.0, x=1)
+        tracer.event("b", t=2.0)
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            parsed = json.loads(line)
+            assert {"seq", "t", "kind", "name"} <= parsed.keys()
+
+    def test_dump_returns_count_and_writes(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("a", t=0.0)
+        tracer.event("b", t=1.0)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump(path) == 2
+        assert path.read_text().endswith("\n")
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_dump_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert Tracer().dump(path) == 0
+        assert path.read_text() == ""
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.event("a", t=0.0)
+        tracer.clear()
+        assert len(tracer) == 0

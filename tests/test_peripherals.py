@@ -129,6 +129,45 @@ class TestAccessMonitor:
             monitor.access("a", 500 * MB)
         assert monitor.fault_rate() == pytest.approx(0.5)
 
+    def test_bounded_records_keep_counters_exact(self):
+        """Regression: with record_successes a long run used to grow
+        ``records`` without bound; ``max_records`` caps the ring while
+        the counters keep counting every access."""
+        memory = VirtualMemory(1 * GB)
+        memory.allocate("a", 2 * MB)
+        monitor = AccessMonitor(memory, record_successes=True,
+                                max_records=3)
+        for vaddr in range(10):
+            monitor.access("a", vaddr)
+        assert monitor.access_count == 10
+        assert len(monitor.records) == 3
+        assert monitor.dropped_records == 7
+        # the ring keeps the newest accesses (oldest evicted first)
+        assert [r.vaddr for r in monitor.records] == [7, 8, 9]
+
+    def test_bounded_records_keep_fault_count_exact(self):
+        monitor = AccessMonitor(VirtualMemory(1 * GB), max_records=1)
+        for _ in range(4):
+            with pytest.raises(ProtectionError):
+                monitor.access("intruder", 0)
+        assert monitor.fault_count == 4
+        assert len(monitor.records) == 1
+        assert monitor.dropped_records == 3
+        assert monitor.fault_rate() == 1.0
+
+    def test_unbounded_is_default(self):
+        memory = VirtualMemory(1 * GB)
+        memory.allocate("a", 2 * MB)
+        monitor = AccessMonitor(memory, record_successes=True)
+        for vaddr in range(100):
+            monitor.access("a", vaddr)
+        assert len(monitor.records) == 100
+        assert monitor.dropped_records == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_records"):
+            AccessMonitor(VirtualMemory(1 * GB), max_records=0)
+
 
 class TestVirtualNIC:
     def test_weighted_shares(self):

@@ -34,6 +34,31 @@ class TestRoundTrip:
         text = dumps_trace(workload, metadata={"note": "hello"})
         assert json.loads(text)["metadata"]["note"] == "hello"
 
+    def test_unsorted_workload_roundtrips(self, workload):
+        """Regression: dumps_trace used to serialize requests in list
+        order while loads_trace rejects unsorted arrivals -- a legal
+        in-memory workload could not round-trip through its own
+        serialization.  Export now sorts stably by (arrival, id)."""
+        shuffled = list(reversed(workload))
+        restored = loads_trace(dumps_trace(shuffled))
+        assert [r.request_id for r in restored] \
+            == [r.request_id for r in workload]
+        arrivals = [r.arrival_s for r in restored]
+        assert arrivals == sorted(arrivals)
+
+    def test_sorted_input_serializes_identically(self, workload):
+        assert dumps_trace(list(reversed(workload))) \
+            == dumps_trace(workload)
+
+    def test_equal_arrivals_tie_break_on_id(self):
+        from repro.hls.kernels import benchmark
+        from repro.sim.workload import Request
+        spec = benchmark("mlp-mnist", "S")
+        ties = [Request(request_id=i, spec=spec, arrival_s=5.0)
+                for i in (2, 0, 1)]
+        restored = loads_trace(dumps_trace(ties))
+        assert [r.request_id for r in restored] == [0, 1, 2]
+
     def test_replayable_through_simulator(self, workload, cluster,
                                           compiled_apps):
         from repro.runtime.controller import SystemController
