@@ -1,5 +1,8 @@
 """Reporting helpers used by the benchmark harness."""
 
+from repro.analysis.diff import (diff_metrics, diff_profiles,
+                                 diff_traces, find_regressions,
+                                 format_diff, trace_profile)
 from repro.analysis.report import format_table, format_bar_series
 from repro.analysis.spans import (decision_summary, format_trace_summary,
                                   load_trace_events, span_summary)
@@ -7,4 +10,6 @@ from repro.analysis.summary import build_report, write_report
 
 __all__ = ["format_table", "format_bar_series", "build_report",
            "write_report", "load_trace_events", "span_summary",
-           "decision_summary", "format_trace_summary"]
+           "decision_summary", "format_trace_summary", "trace_profile",
+           "diff_profiles", "diff_traces", "diff_metrics",
+           "find_regressions", "format_diff"]

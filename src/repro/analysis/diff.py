@@ -1,0 +1,280 @@
+"""Trace/metrics comparator: semantic regression gating for CI.
+
+Two seeded runs of the simulator produce byte-identical traces, so any
+divergence between a baseline and a candidate trace is a *behaviour*
+change -- but a byte diff cannot say whether the change matters.  This
+module compares at the semantic level instead:
+
+- **profiles**: a trace is folded into a :func:`trace_profile` (span
+  durations, decision counts, reject/eviction reasons, SLO violations);
+  :func:`diff_profiles` reports the deltas and
+  :func:`find_regressions` classifies which of them regress (new
+  reject reasons, missing span/event types, p95 shifts beyond a
+  tolerance, more SLO violations or permanent failures);
+- **metrics**: two :meth:`MetricsRegistry.as_dict` snapshots are
+  flattened per ``(name, labels)`` series and compared value-by-value.
+
+The CLI front end is ``python -m repro diff baseline candidate``
+(``--fail-on-regression`` turns regressions into exit code 1 -- the CI
+gate against the committed golden trace), and ``report --format json``
+emits exactly the profile document this module consumes, so a candidate
+can be diffed without shipping its full trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.analysis.spans import decision_summary, load_trace_events, \
+    span_summary
+
+__all__ = ["trace_profile", "diff_profiles", "diff_traces",
+           "diff_metrics", "find_regressions", "format_diff",
+           "load_diff_input"]
+
+#: Scalar decision keys compared one-to-one between profiles.
+_DECISION_SCALARS: tuple[str, ...] = (
+    "deploys", "releases", "migrates", "recoveries", "faults",
+    "permanent_failures", "wait_p50_s", "wait_p95_s",
+    "response_p50_s", "response_p95_s", "allocator_calls",
+    "allocator_visited", "allocator_pruned")
+
+
+def trace_profile(events: list[dict]) -> dict:
+    """Fold a trace into the semantic shape the differ compares.
+
+    The same document ``report --trace --format json`` emits.
+    """
+    spans = {row["name"]: {k: v for k, v in row.items() if k != "name"}
+             for row in span_summary(events)}
+    violations: dict[str, int] = {}
+    recovered: dict[str, int] = {}
+    for event in events:
+        if event["name"] == "slo.violation":
+            rule = event.get("fields", {}).get("rule", "?")
+            violations[rule] = violations.get(rule, 0) + 1
+        elif event["name"] == "slo.recovered":
+            rule = event.get("fields", {}).get("rule", "?")
+            recovered[rule] = recovered.get(rule, 0) + 1
+    return {
+        "entries": len(events),
+        "spans": spans,
+        "decisions": decision_summary(events),
+        "slo": {"violations": dict(sorted(violations.items())),
+                "recovered": dict(sorted(recovered.items()))},
+    }
+
+
+def _count_deltas(base: dict, cand: dict) -> dict:
+    """``{key: {baseline, candidate, delta}}`` for keys that moved."""
+    out = {}
+    for key in sorted(set(base) | set(cand)):
+        b, c = base.get(key, 0), cand.get(key, 0)
+        if b != c:
+            out[key] = {"baseline": b, "candidate": c, "delta": c - b}
+    return out
+
+
+def diff_profiles(baseline: dict, candidate: dict) -> dict:
+    """Semantic deltas between two :func:`trace_profile` documents."""
+    base_spans, cand_spans = baseline["spans"], candidate["spans"]
+    new_names = sorted(set(cand_spans) - set(base_spans))
+    missing_names = sorted(set(base_spans) - set(cand_spans))
+    count_deltas = _count_deltas(
+        {n: r["count"] for n, r in base_spans.items()},
+        {n: r["count"] for n, r in cand_spans.items()})
+    span_shifts = {}
+    for name in sorted(set(base_spans) & set(cand_spans)):
+        b, c = base_spans[name], cand_spans[name]
+        if "p95_s" not in b or "p95_s" not in c:
+            continue
+        if b["p95_s"] != c["p95_s"]:
+            ratio = (c["p95_s"] / b["p95_s"]
+                     if b["p95_s"] > 0 else float("inf"))
+            span_shifts[name] = {"baseline_p95_s": b["p95_s"],
+                                 "candidate_p95_s": c["p95_s"],
+                                 "ratio": ratio}
+    base_dec, cand_dec = baseline["decisions"], candidate["decisions"]
+    decision_deltas = {}
+    for key in _DECISION_SCALARS:
+        b, c = base_dec.get(key, 0), cand_dec.get(key, 0)
+        if b != c:
+            decision_deltas[key] = {"baseline": b, "candidate": c,
+                                    "delta": c - b}
+    base_slo = baseline.get("slo", {"violations": {}, "recovered": {}})
+    cand_slo = candidate.get("slo", {"violations": {}, "recovered": {}})
+    diff = {
+        "new_names": new_names,
+        "missing_names": missing_names,
+        "count_deltas": count_deltas,
+        "span_shifts": span_shifts,
+        "reject_deltas": _count_deltas(base_dec.get("rejects", {}),
+                                       cand_dec.get("rejects", {})),
+        "eviction_deltas": _count_deltas(base_dec.get("evictions", {}),
+                                         cand_dec.get("evictions", {})),
+        "decision_deltas": decision_deltas,
+        "slo_deltas": _count_deltas(base_slo.get("violations", {}),
+                                    cand_slo.get("violations", {})),
+    }
+    diff["identical"] = not any(diff[k] for k in (
+        "new_names", "missing_names", "count_deltas", "span_shifts",
+        "reject_deltas", "eviction_deltas", "decision_deltas",
+        "slo_deltas"))
+    return diff
+
+
+def diff_traces(baseline: list[dict], candidate: list[dict]) -> dict:
+    return diff_profiles(trace_profile(baseline),
+                         trace_profile(candidate))
+
+
+def _flatten_metrics(doc: dict) -> dict:
+    """``(name, labels...) -> scalar`` series from an ``as_dict`` dump.
+
+    Histograms contribute ``name/sum`` and ``name/count`` series (the
+    bucket layout is an export detail, not behaviour).
+    """
+    flat: dict[str, float] = {}
+    for name, series in doc.items():
+        for entry in series:
+            labels = ",".join(f"{k}={v}" for k, v in
+                              sorted(entry.get("labels", {}).items()))
+            key = f"{name}{{{labels}}}" if labels else name
+            value = entry.get("value")
+            if isinstance(value, dict):  # histogram snapshot
+                flat[key + "/sum"] = float(value.get("sum", 0.0))
+                flat[key + "/count"] = float(value.get("count", 0))
+            else:
+                flat[key] = float(value)
+    return flat
+
+
+def diff_metrics(baseline: dict, candidate: dict) -> dict:
+    """Series-level deltas between two metrics snapshots."""
+    base, cand = _flatten_metrics(baseline), _flatten_metrics(candidate)
+    changed = {}
+    for key in sorted(set(base) & set(cand)):
+        if base[key] != cand[key]:
+            changed[key] = {"baseline": base[key],
+                            "candidate": cand[key],
+                            "delta": cand[key] - base[key]}
+    return {
+        "added": sorted(set(cand) - set(base)),
+        "removed": sorted(set(base) - set(cand)),
+        "changed": changed,
+        "identical": not changed and set(base) == set(cand),
+    }
+
+
+def find_regressions(diff: dict, p95_tolerance: float = 0.10,
+                     ) -> list[str]:
+    """Classify which deltas of a profile diff are regressions.
+
+    A delta is a regression when it makes the candidate *worse*: a
+    reject reason the baseline never hit, a span/event type that
+    disappeared, a span or response p95 more than ``p95_tolerance``
+    slower, or more SLO violations / permanent failures.  Improvements
+    (faster spans, fewer rejects) are deltas but not regressions.
+    """
+    regressions: list[str] = []
+    for name in diff["missing_names"]:
+        regressions.append(f"span/event type disappeared: {name}")
+    for reason, d in diff["reject_deltas"].items():
+        if d["baseline"] == 0 and d["candidate"] > 0:
+            regressions.append(
+                f"new reject reason: {reason} "
+                f"(x{d['candidate']})")
+    for name, shift in diff["span_shifts"].items():
+        if shift["ratio"] > 1.0 + p95_tolerance:
+            regressions.append(
+                f"span p95 regression: {name} "
+                f"{shift['baseline_p95_s']:.4f}s -> "
+                f"{shift['candidate_p95_s']:.4f}s "
+                f"({shift['ratio']:.2f}x)")
+    for key in ("response_p95_s", "wait_p95_s"):
+        d = diff["decision_deltas"].get(key)
+        if d and d["baseline"] > 0 \
+                and d["candidate"] > d["baseline"] * (1 + p95_tolerance):
+            regressions.append(
+                f"{key} regression: {d['baseline']:.2f}s -> "
+                f"{d['candidate']:.2f}s")
+    d = diff["decision_deltas"].get("permanent_failures")
+    if d and d["delta"] > 0:
+        regressions.append(
+            f"permanent failures increased: {d['baseline']} -> "
+            f"{d['candidate']}")
+    for rule, d in diff["slo_deltas"].items():
+        if d["delta"] > 0:
+            regressions.append(
+                f"more SLO violations of '{rule}': "
+                f"{d['baseline']} -> {d['candidate']}")
+    return regressions
+
+
+def load_diff_input(path: "str | Path") -> tuple[str, object]:
+    """Detect and load one diff operand.
+
+    Returns ``("profile", doc)`` for a ``report --format json``
+    document, ``("metrics", doc)`` for a ``MetricsRegistry`` JSON dump,
+    or ``("trace", events)`` for a raw JSONL trace.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.strip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict):
+            if "spans" in doc and "decisions" in doc:
+                return "profile", doc
+            if doc and all(
+                    isinstance(v, list) and v
+                    and isinstance(v[0], dict) and "kind" in v[0]
+                    for v in doc.values()):
+                return "metrics", doc
+            # fall through: a single-line JSONL trace is also a dict
+    return "trace", load_trace_events(path)
+
+
+def format_diff(diff: dict, regressions: list[str]) -> str:
+    """Human-readable rendering of a profile diff."""
+    if diff["identical"]:
+        return "traces are semantically identical (zero deltas)"
+    rows = []
+    for name in diff["new_names"]:
+        rows.append(["new type", name, "-", "-"])
+    for name in diff["missing_names"]:
+        rows.append(["missing type", name, "-", "-"])
+    for bucket, label in [("count_deltas", "count"),
+                          ("reject_deltas", "reject"),
+                          ("eviction_deltas", "evict"),
+                          ("decision_deltas", "decision"),
+                          ("slo_deltas", "slo")]:
+        for key, d in diff[bucket].items():
+            rows.append([label, key,
+                         _fmt(d["baseline"]), _fmt(d["candidate"])])
+    for name, shift in diff["span_shifts"].items():
+        rows.append(["p95 shift", name,
+                     f"{shift['baseline_p95_s']:.4f}s",
+                     f"{shift['candidate_p95_s']:.4f}s"])
+    parts = [format_table(
+        ["kind", "what", "baseline", "candidate"], rows,
+        title="semantic deltas")]
+    if regressions:
+        parts.append("")
+        parts.append(f"{len(regressions)} regression(s):")
+        parts.extend(f"  - {r}" for r in regressions)
+    else:
+        parts.append("")
+        parts.append("deltas present, none classified as regression")
+    return "\n".join(parts)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return str(value)

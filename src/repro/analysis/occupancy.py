@@ -9,9 +9,23 @@ block.
 
 from __future__ import annotations
 
+from repro.obs.stats import fragmentation_index
 from repro.runtime.audit import AuditEvent, AuditLog
 
-__all__ = ["render_occupancy", "occupancy_timeline"]
+__all__ = ["render_occupancy", "occupancy_timeline",
+           "fragmentation_index", "cluster_fragmentation"]
+
+
+def cluster_fragmentation(controller) -> float:
+    """Fragmentation index of a live controller's free space.
+
+    Thin wrapper over :func:`repro.obs.stats.fragmentation_index` (the
+    shared math also feeding the health timeline and the controller's
+    live ``fragmentation_index`` gauge) for post-hoc analysis code that
+    holds a controller rather than raw free counts.
+    """
+    return fragmentation_index(
+        controller.resource_db.free_counts_by_board())
 
 _GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
 

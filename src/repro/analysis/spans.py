@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 
 from repro.analysis.report import format_table
+from repro.obs.stats import percentile as _percentile
 
 __all__ = ["load_trace_events", "span_summary", "decision_summary",
            "format_trace_summary"]
@@ -40,14 +41,6 @@ def load_trace_events(path: "str | Path") -> list[dict]:
     if not events:
         raise ValueError(f"{path}: empty trace")
     return events
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1,
-                int(q * len(sorted_values)))
-    return sorted_values[index]
 
 
 def span_summary(events: list[dict]) -> list[dict]:

@@ -50,6 +50,8 @@ REPORT_ORDER: tuple[tuple[str, str], ...] = (
     ("scalability_smoke", "§6 — scalability smoke (CI budget)"),
     ("observability_determinism", "Observability — trace determinism"),
     ("observability", "Observability — tracer overhead"),
+    ("health_slo", "Health — SLO rules under the demo outage"),
+    ("health_overhead", "Health — timeline/SLO engine overhead"),
 )
 
 

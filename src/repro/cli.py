@@ -14,7 +14,14 @@ Operator-facing entry points over the library:
   per-board health (reads the optional ``--state`` drill file);
 - ``fail-board``/``repair-board`` -- manual failure drills: deploy a
   demo workload, fail-stop (or repair) one board, and print who was
-  evicted, what recovery did, and the audit trail.
+  evicted, what recovery did, and the audit trail;
+- ``diff``      -- semantically compare two traces / report profiles /
+  metrics snapshots (``--fail-on-regression`` is the CI gate).
+
+``simulate --health`` streams the run through the cluster health engine
+(timeline + SLO rules; ``--faults demo`` injects the canonical outage),
+and ``report --timeline`` / ``report --format json`` render the
+artifacts it writes.
 
 Every command is a pure function over the library, returns an exit code,
 and prints via the same report helpers the benchmark harness uses, so
@@ -93,6 +100,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", dest="metrics_out", default=None,
                    help="export run metrics (.prom suffix selects "
                         "Prometheus text format, otherwise JSON)")
+    p.add_argument("--health", action="store_true",
+                   help="stream the run through the health engine "
+                        "(timeline + SLO rules) and print the verdict")
+    p.add_argument("--timeline", dest="timeline_out", default=None,
+                   help="write the health timeline (.csv suffix "
+                        "selects CSV, otherwise JSON); implies "
+                        "--health")
+    p.add_argument("--slo", dest="slo_rules", action="append",
+                   default=None, metavar="RULE",
+                   help="SLO rule like 'p95_response_s < 60' or "
+                        "'fragmentation < 0.8 @ 120' (repeatable; "
+                        "implies --health)")
+    p.add_argument("--interval", dest="bucket_s", type=float,
+                   default=10.0,
+                   help="timeline bucket width in simulated seconds")
+    p.add_argument("--faults", default="none",
+                   choices=["none", "demo"],
+                   help="inject a fault schedule ('demo': one board "
+                        "outage + repair)")
+    p.add_argument("--recovery", default="requeue",
+                   choices=["requeue", "migrate-on-failure"],
+                   help="recovery policy for evicted deployments")
 
     p = sub.add_parser(
         "status",
@@ -127,6 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summarize an event trace (decisions and "
                         "latency percentiles) instead of stitching "
                         "benchmark results")
+    p.add_argument("--timeline", dest="timeline_in", default=None,
+                   help="render a health timeline written by "
+                        "`simulate --timeline`")
+    p.add_argument("--format", dest="format", default="text",
+                   choices=["text", "json"],
+                   help="output format ('json' emits the machine-"
+                        "readable profile the diff tool consumes)")
+
+    p = sub.add_parser(
+        "diff",
+        help="semantically compare two traces, report profiles or "
+             "metrics snapshots")
+    p.add_argument("baseline")
+    p.add_argument("candidate")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 if any delta is classified as a "
+                        "regression (the CI gate)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative p95 shift tolerated before a span "
+                        "counts as regressed")
+    p.add_argument("--format", dest="format", default="text",
+                   choices=["text", "json"])
 
     p = sub.add_parser(
         "trace",
@@ -215,32 +266,87 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             args.set_index, num_requests=args.requests,
             mean_interarrival_s=args.interarrival)
         source = f"workload set #{args.set_index}"
-    tracer = metrics = None
+    health = (args.health or args.timeline_out is not None
+              or args.slo_rules is not None)
+    tracer = metrics = faults = None
     if args.trace_out:
         from repro.obs import Tracer
         tracer = Tracer()
     if args.metrics_out:
         from repro.obs import MetricsRegistry
         metrics = MetricsRegistry()
+    if args.faults == "demo":
+        from repro.faults.schedule import FaultSchedule
+        if args.boards < 2:
+            print("--faults demo needs at least 2 boards")
+            return 2
+        faults = FaultSchedule.demo(args.boards)
+    if health:
+        from repro.obs.slo import parse_slo
+        try:
+            for rule in args.slo_rules or ():
+                parse_slo(rule)
+        except ValueError as exc:
+            print(f"bad SLO rule: {exc}")
+            return 2
     rows = []
+    slo_rows = []
+    verdicts = []
     for name in names:
         if tracer:
             tracer.event("sim.begin", manager=name,
                          boards=args.boards, requests=len(requests))
+        timeline = slo = None
+        if health:
+            from repro.obs import SLOEngine, TimelineAggregator
+            timeline = TimelineAggregator(interval_s=args.bucket_s)
+            slo = SLOEngine(args.slo_rules)
         summary = run_experiment(_MANAGERS[name](cluster), requests,
-                                 apps, tracer=tracer,
-                                 metrics=metrics).summary
+                                 apps, faults=faults,
+                                 recovery=args.recovery,
+                                 tracer=tracer, metrics=metrics,
+                                 timeline=timeline, slo=slo).summary
         rows.append([name, f"{summary.mean_response_s:.1f}",
                      f"{summary.mean_wait_s:.1f}",
                      f"{summary.mean_concurrency:.1f}",
                      f"{summary.block_utilization:.0%}",
                      f"{summary.multi_fpga_fraction:.0%}"])
+        if health:
+            for entry in slo.report():
+                slo_rows.append([
+                    name, entry["rule"], entry["violations"],
+                    entry["recovered"], f"{entry['violated_s']:.0f}",
+                    "-" if entry["last_value"] is None
+                    else f"{entry['last_value']:.3g}"])
+            if not slo.total_violations():
+                state = "no SLO violations"
+            elif slo.all_recovered():
+                state = "all SLO violations recovered within the run"
+            else:
+                state = "SLO still violated at end of run"
+            verdicts.append(f"{name}: {state}")
+            if args.timeline_out:
+                from pathlib import Path
+                out = Path(args.timeline_out)
+                if len(names) > 1:
+                    out = out.with_name(
+                        f"{out.stem}.{name}{out.suffix}")
+                buckets = timeline.dump(out)
+                print(f"wrote {buckets} timeline buckets to {out}")
     print(format_table(
         ["manager", "response (s)", "wait (s)", "concurrency",
          "block util", "multi-FPGA"], rows,
         title=f"{source}: {len(requests)} "
               f"requests, {args.interarrival:.1f} s mean interarrival"))
-    if tracer:
+    if health:
+        print()
+        print(format_table(
+            ["manager", "rule", "violations", "recovered",
+             "violated (s)", "last value"], slo_rows,
+            title="SLO verdicts"))
+        for verdict in verdicts:
+            print(verdict)
+    if tracer and args.trace_out:
         count = tracer.dump(args.trace_out)
         print(f"wrote {count} trace entries to {args.trace_out}")
     if metrics:
@@ -413,10 +519,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
     from repro.analysis.summary import write_report
     if args.trace_in:
+        from repro.analysis.diff import trace_profile
         from repro.analysis.spans import (format_trace_summary,
                                           load_trace_events)
         try:
@@ -424,7 +532,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"cannot summarize {args.trace_in}: {exc}")
             return 2
-        print(format_trace_summary(events))
+        if args.format == "json":
+            print(json.dumps(trace_profile(events), sort_keys=True,
+                             indent=2))
+        else:
+            print(format_trace_summary(events))
+        return 0
+    if args.timeline_in:
+        try:
+            doc = json.loads(Path(args.timeline_in).read_text())
+            buckets = doc["buckets"]
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot render {args.timeline_in}: {exc}")
+            return 2
+        if args.format == "json":
+            print(json.dumps(doc, sort_keys=True, indent=2))
+            return 0
+        rows = [[f"{b['t']:.0f}", f"{b['utilization']:.0%}",
+                 b["queue_depth"], f"{b['fragmentation']:.2f}",
+                 b["failed_boards"], b["active_tenants"],
+                 b["arrivals"], b["deploys"], b["completions"]]
+                for b in buckets]
+        print(format_table(
+            ["t (s)", "util", "queue", "frag", "down", "tenants",
+             "arrivals", "deploys", "completions"], rows,
+            title=f"health timeline ({doc.get('interval_s', '?')} s "
+                  f"buckets, {doc.get('capacity_blocks', '?')} blocks)"))
         return 0
     results = Path(args.results)
     if not results.is_dir():
@@ -432,7 +565,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
               "`pytest benchmarks/ --benchmark-only` first")
         return 2
     path = write_report(results, args.output)
-    print(f"wrote {path}")
+    if args.format == "json":
+        print(json.dumps({"report": str(path)}))
+    else:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.diff import (diff_metrics, diff_profiles,
+                                     find_regressions, format_diff,
+                                     load_diff_input, trace_profile)
+    try:
+        base_kind, base = load_diff_input(args.baseline)
+        cand_kind, cand = load_diff_input(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"cannot diff: {exc}")
+        return 2
+    metric_side = {"metrics"} & {base_kind, cand_kind}
+    if metric_side and base_kind != cand_kind:
+        print(f"cannot diff a {base_kind} against a {cand_kind}")
+        return 2
+    if base_kind == "metrics":
+        diff = diff_metrics(base, cand)
+        regressions = [f"metric changed: {k}"
+                       for k in diff["changed"]]
+        if args.format == "json":
+            print(json.dumps(diff, sort_keys=True, indent=2))
+        elif diff["identical"]:
+            print("metrics are identical (zero deltas)")
+        else:
+            for key in diff["added"]:
+                print(f"added:   {key}")
+            for key in diff["removed"]:
+                print(f"removed: {key}")
+            for key, d in diff["changed"].items():
+                print(f"changed: {key} {d['baseline']:g} -> "
+                      f"{d['candidate']:g}")
+    else:
+        profiles = [trace_profile(side) if kind == "trace" else side
+                    for kind, side in ((base_kind, base),
+                                       (cand_kind, cand))]
+        diff = diff_profiles(*profiles)
+        regressions = find_regressions(diff,
+                                       p95_tolerance=args.tolerance)
+        if args.format == "json":
+            print(json.dumps({**diff, "regressions": regressions},
+                             sort_keys=True, indent=2))
+        else:
+            print(format_diff(diff, regressions))
+    if args.fail_on_regression and regressions:
+        return 1
     return 0
 
 
@@ -447,6 +632,7 @@ _COMMANDS = {
     "repair-board": _cmd_repair_board,
     "export-db": _cmd_export_db,
     "trace": _cmd_trace,
+    "diff": _cmd_diff,
 }
 
 

@@ -180,6 +180,26 @@ class FaultSchedule:
 
         return cls(events)
 
+    @classmethod
+    def demo(cls, num_boards: int,
+             down_at_s: float = 40.0,
+             up_at_s: float = 100.0) -> "FaultSchedule":
+        """The canonical single-outage scenario the docs and the
+        health-regression gate use: board 1 fail-stops at ``down_at_s``
+        and rejoins (empty) at ``up_at_s``.
+
+        One outage and one repair, fully deterministic -- long enough
+        for the health timeline to show the degraded window and for the
+        default ``failed_boards < 1`` SLO to trip and then recover.
+        Needs >= 2 boards (the cluster must survive the outage).
+        """
+        if num_boards < 2:
+            raise ValueError("the demo outage needs >= 2 boards")
+        if not 0 <= down_at_s < up_at_s:
+            raise ValueError("need 0 <= down_at_s < up_at_s")
+        return cls([BoardDown(time_s=down_at_s, board=1),
+                    BoardUp(time_s=up_at_s, board=1)])
+
     # ------------------------------------------------------------------
     @property
     def events(self) -> tuple[FaultEvent, ...]:

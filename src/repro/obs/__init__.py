@@ -17,6 +17,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import SLOEngine, SLORule, parse_slo
+from repro.obs.stats import (fragmentation_index, percentile,
+                             quantile_from_cumulative)
+from repro.obs.timeline import TimelineAggregator
 from repro.obs.tracer import NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -28,4 +32,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_TIME_BUCKETS",
+    "TimelineAggregator",
+    "SLOEngine",
+    "SLORule",
+    "parse_slo",
+    "percentile",
+    "quantile_from_cumulative",
+    "fragmentation_index",
 ]

@@ -25,6 +25,8 @@ from __future__ import annotations
 import json
 import math
 
+from repro.obs.stats import quantile_from_cumulative
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_TIME_BUCKETS"]
 
@@ -135,17 +137,12 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Bucket-resolution quantile (upper bound of the q-bucket)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
         running = 0
+        cumulative = []
         for i, bound in enumerate(self.buckets):
             running += self.counts[i]
-            if running >= target:
-                return bound
-        return math.inf
+            cumulative.append((bound, running))
+        return quantile_from_cumulative(cumulative, self.count, q)
 
 
 class MetricsRegistry:

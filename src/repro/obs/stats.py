@@ -1,0 +1,88 @@
+"""Shared observability math: percentiles and the fragmentation index.
+
+Three consumers used to carry private copies of this arithmetic -- the
+span viewer (``analysis/spans.py``), the simulator's summary
+(``sim/metrics.py``) and the metrics histogram (``obs/metrics.py``) --
+and the cluster health engine adds two more (the timeline aggregator and
+the SLO rule engine).  One definition here keeps every layer reporting
+the *same* p95 for the same samples, which matters once the trace-diff
+gate starts comparing percentiles across runs.
+
+Everything in this module is a pure function of its arguments: no
+clocks, no randomness, no global state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence, Sized
+
+__all__ = ["percentile", "quantile_from_cumulative",
+           "fragmentation_index"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list.
+
+    The rank is ``int(q * n)`` clamped to the last element -- the exact
+    convention the span viewer and the experiment summary have always
+    used, so unifying the implementations changes no reported number.
+    Edge cases: an empty sample returns ``0.0``; a single sample is
+    every percentile of itself; ``q=0`` is the minimum and ``q=1`` the
+    maximum.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    return sorted_values[min(n - 1, int(q * n))]
+
+
+def quantile_from_cumulative(
+        pairs: Iterable[tuple[float, int]], total: int,
+        q: float) -> float:
+    """Bucket-resolution quantile over cumulative ``(bound, count)`` pairs.
+
+    Returns the first upper bound whose cumulative count reaches
+    ``q * total`` (the convention of Prometheus-style fixed-bucket
+    histograms), or ``+inf`` when the target falls in the overflow
+    bucket.  ``total == 0`` returns ``0.0``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q}")
+    if total == 0:
+        return 0.0
+    target = q * total
+    for bound, cumulative in pairs:
+        if cumulative >= target:
+            return bound
+    return math.inf
+
+
+def fragmentation_index(
+        free_by_board: "Mapping[object, object] | Iterable[object]",
+) -> float:
+    """How split the cluster's free capacity is across boards, in [0, 1).
+
+    ``1 - (largest single-board free pool / total free blocks)``: 0.0
+    when every free block sits on one board (any application that fits
+    the cluster fits without spanning), approaching ``1 - 1/n`` when the
+    free space is shredded evenly across ``n`` boards and a large
+    application must pay ring crossings -- the condition Fig. 10's
+    relocation story is about.  A cluster with no free blocks reports
+    0.0 (saturation is not fragmentation).
+
+    Accepts a mapping ``board -> free count`` (or ``board -> free block
+    list``, the shape of ``ResourceDB.free_by_board``) or a bare
+    iterable of per-board counts.
+    """
+    values = (free_by_board.values()
+              if isinstance(free_by_board, Mapping) else free_by_board)
+    counts = [v if isinstance(v, (int, float)) else len(v)
+              for v in values
+              if isinstance(v, (int, float)) or isinstance(v, Sized)]
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    return 1.0 - max(counts) / total

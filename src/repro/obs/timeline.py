@@ -1,0 +1,417 @@
+"""Streaming cluster-health timelines over the trace event stream.
+
+The flat end-of-run summary says *how* a run went; the timeline says
+*when*.  :class:`TimelineAggregator` consumes the same controller and
+experiment hooks the :class:`~repro.obs.tracer.Tracer` records (it is
+attached as a tracer sink, or replays an exported JSONL trace) and
+maintains fixed-interval series of the System Layer's fleet signals:
+
+- cluster utilization and per-board block occupancy,
+- the fragmentation index (the :func:`repro.obs.stats.fragmentation_index`
+  math, shared with ``analysis/occupancy``),
+- ring-segment congestion (peak registered-flow count, recomputed with
+  the same :class:`~repro.cluster.network.RingNetwork` flow accounting
+  the service model uses),
+- pending-queue depth and per-bucket arrival/deploy/completion rates,
+- tenant sharing (active tenants and the largest per-tenant block
+  share; the full per-tenant map is available via
+  :meth:`TimelineAggregator.tenant_blocks` -- per-tenant *series* are
+  deliberately not materialized because the experiment loop assigns one
+  tenant per request, which would make the series set unbounded).
+
+Determinism rules (these are what the regression gate relies on):
+
+- bucket boundaries are pure functions of simulation time
+  (``bucket = floor(t / interval_s)``) -- no wall clocks anywhere;
+- a bucket's sample is the tracked state at the bucket's *end*, so the
+  series is the step function sampled at deterministic instants, and
+  feeding events one at a time is byte-identical to batch replay;
+- export is key-sorted compact JSON (or fixed-column CSV), so two
+  seeded runs produce byte-identical timeline files.
+
+Cost: O(1) amortized per event (deploy/release updates touch only the
+boards of that placement), O(num_boards) per closed bucket, and the
+bucket count is bounded by ``horizon / interval_s`` regardless of event
+rate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cluster.network import RingNetwork
+from repro.obs.stats import fragmentation_index
+
+__all__ = ["TimelineAggregator", "BUCKET_FIELDS"]
+
+#: Column order of one bucket sample -- fixed so CSV/JSON exports are
+#: stable and the diff tool can compare timelines field by field.
+BUCKET_FIELDS: tuple[str, ...] = (
+    "t", "utilization", "allocated_blocks", "queue_depth",
+    "fragmentation", "ring_max_flows", "failed_boards",
+    "active_tenants", "max_tenant_share", "arrivals", "deploys",
+    "completions")
+
+
+class TimelineAggregator:
+    """Fixed-interval health series computed online from trace events.
+
+    Attach to a live run with ``tracer.add_sink(timeline.on_record)``
+    (``run_experiment(timeline=...)`` does this), or replay an exported
+    trace with :meth:`from_events`.  Both paths see the identical event
+    stream, so incremental and batch results are byte-identical -- the
+    property tests assert this.
+    """
+
+    def __init__(self, interval_s: float = 10.0,
+                 capacity_blocks: int | None = None,
+                 num_boards: int | None = None,
+                 board_capacity: int | None = None) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_s = float(interval_s)
+        self.capacity_blocks = capacity_blocks
+        self.num_boards = num_boards
+        self.board_capacity = board_capacity
+        self.buckets: list[dict] = []
+        self.finished = False
+        self._bucket = 0          # index of the bucket being filled
+        self._listeners: list = []
+        self._closing = False     # re-entrancy guard (sinks of sinks)
+        # ---- tracked state (current values) --------------------------
+        self._allocated = 0
+        self._queue = 0
+        self._board_occ: dict[int, int] = {}
+        self._tenant_blocks: dict[str, int] = {}
+        self._failed_boards: set[int] = set()
+        #: request id -> (blocks, ((board, count), ...), tenant, spans)
+        self._holdings: dict[int, tuple] = {}
+        self._arrivals = 0        # per-bucket rate counters
+        self._deploys = 0
+        self._completions = 0
+        self._ring: RingNetwork | None = None
+        if num_boards:
+            self._ring = RingNetwork(num_boards)
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    @property
+    def configured(self) -> bool:
+        return self.capacity_blocks is not None
+
+    def configure(self, capacity_blocks: int,
+                  num_boards: int | None = None,
+                  board_capacity: int | None = None) -> None:
+        """Bind the cluster shape (capacity normalizes the series).
+
+        Must happen before the first event; ``run_experiment`` calls
+        this from the manager's own accounting when the aggregator was
+        constructed bare.
+        """
+        if self.buckets or self._holdings or self._queue:
+            raise RuntimeError("cannot reconfigure a running timeline")
+        self.capacity_blocks = int(capacity_blocks)
+        if num_boards is not None:
+            self.num_boards = int(num_boards)
+            self._ring = RingNetwork(self.num_boards)
+        if board_capacity is not None:
+            self.board_capacity = int(board_capacity)
+        elif self.num_boards:
+            self.board_capacity = self.capacity_blocks // self.num_boards
+
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(t_end, sample_dict)`` to bucket closes
+        (the SLO engine evaluates its rules from this hook)."""
+        if not callable(listener):
+            raise TypeError(f"listener must be callable: {listener!r}")
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+    def on_record(self, kind: str, name: str, t: float,
+                  duration_s: float | None, fields: dict) -> None:
+        """Tracer-sink entry point (live streaming)."""
+        if kind != "event" or self.finished:
+            return  # spans carry their *start* time; state is event-fed
+        if name.startswith("slo."):
+            return  # emitted during bucket close; never re-enter
+        if self._closing:
+            return
+        self._advance(t)
+        self._apply(name, fields)
+
+    def observe(self, entry: dict) -> None:
+        """Replay one exported JSONL trace entry (batch recomputation)."""
+        self.on_record(entry.get("kind", "event"), entry["name"],
+                       entry["t"], entry.get("duration_s"),
+                       entry.get("fields", {}))
+
+    @classmethod
+    def from_events(cls, events: "list[dict]", interval_s: float,
+                    capacity_blocks: int,
+                    num_boards: int | None = None,
+                    board_capacity: int | None = None,
+                    end_t: float | None = None) -> "TimelineAggregator":
+        """Batch-build a timeline from a loaded trace."""
+        timeline = cls(interval_s=interval_s,
+                       capacity_blocks=capacity_blocks,
+                       num_boards=num_boards,
+                       board_capacity=board_capacity)
+        if timeline.board_capacity is None and num_boards:
+            timeline.board_capacity = capacity_blocks // num_boards
+        last_t = 0.0
+        for entry in events:
+            timeline.observe(entry)
+            last_t = max(last_t, entry["t"])
+        timeline.finish(last_t if end_t is None else end_t)
+        return timeline
+
+    def finish(self, t_end: float) -> None:
+        """Close every bucket through the one containing ``t_end``."""
+        if self.finished:
+            return
+        target = int(t_end // self.interval_s) + 1
+        while self._bucket < target:
+            self._close_bucket()
+        self.finished = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _advance(self, t: float) -> None:
+        target = int(t // self.interval_s)
+        while self._bucket < target:
+            self._close_bucket()
+
+    def _close_bucket(self) -> None:
+        self._closing = True
+        try:
+            sample = self._sample(
+                (self._bucket + 1) * self.interval_s)
+            self.buckets.append(sample)
+            self._bucket += 1
+            self._arrivals = self._deploys = self._completions = 0
+            for listener in self._listeners:
+                listener(sample["t"], sample)
+        finally:
+            self._closing = False
+
+    def _sample(self, t_end: float) -> dict:
+        capacity = self.capacity_blocks or 0
+        utilization = (self._allocated / capacity) if capacity else 0.0
+        max_share = (max(self._tenant_blocks.values(), default=0)
+                     / capacity if capacity else 0.0)
+        sample = {
+            "t": t_end,
+            "utilization": utilization,
+            "allocated_blocks": self._allocated,
+            "queue_depth": self._queue,
+            "fragmentation": self._fragmentation(),
+            "ring_max_flows": self._ring_max_flows(),
+            "failed_boards": len(self._failed_boards),
+            "active_tenants": len(self._tenant_blocks),
+            "max_tenant_share": max_share,
+            "arrivals": self._arrivals,
+            "deploys": self._deploys,
+            "completions": self._completions,
+        }
+        if self.num_boards:
+            sample["board_occupancy"] = [
+                self._board_occ.get(b, 0)
+                for b in range(self.num_boards)]
+        return sample
+
+    def _fragmentation(self) -> float:
+        if not self.num_boards or not self.board_capacity:
+            return 0.0
+        free = [self.board_capacity - self._board_occ.get(b, 0)
+                for b in range(self.num_boards)
+                if b not in self._failed_boards]
+        return fragmentation_index(free)
+
+    def _ring_max_flows(self) -> int:
+        if self._ring is None:
+            return 0
+        return max((self._ring.flows_on_segment(s)
+                    for s in range(self._ring.num_nodes)), default=0)
+
+    # ---- per-event state transitions ---------------------------------
+    def _apply(self, name: str, fields: dict) -> None:
+        if name == "sim.arrival":
+            self._queue += 1
+            self._arrivals += 1
+        elif name == "sim.deploy":
+            self._queue -= 1
+            self._deploys += 1
+        elif name == "sim.complete":
+            self._completions += 1
+        elif name == "sim.evict":
+            if fields.get("reason") == "requeued":
+                self._queue += 1
+        elif name == "sim.permanent_failure":
+            self._queue -= 1
+        elif name == "ctrl.deploy":
+            self._deploy(fields)
+        elif name in ("ctrl.release", "ctrl.evict"):
+            self._release(fields)
+        elif name == "ctrl.board_fail":
+            board = fields.get("board")
+            if board is not None:
+                self._failed_boards.add(int(board))
+        elif name == "ctrl.board_repair":
+            board = fields.get("board")
+            if board is not None:
+                self._failed_boards.discard(int(board))
+
+    def _deploy(self, fields: dict) -> None:
+        request = fields.get("request")
+        blocks = int(fields.get("blocks", 0))
+        tenant = fields.get("tenant", "")
+        per_board = tuple((int(b), int(n)) for b, n in
+                          fields.get("blocks_by_board") or ())
+        spans = bool(fields.get("spans")) and len(per_board) > 1
+        if request in self._holdings:
+            # a redeploy without a matching release would double-count
+            self._release({"request": request})
+        self._allocated += blocks
+        for board, count in per_board:
+            self._board_occ[board] = \
+                self._board_occ.get(board, 0) + count
+        self._tenant_blocks[tenant] = \
+            self._tenant_blocks.get(tenant, 0) + blocks
+        if spans and self._ring is not None:
+            self._ring.register_flow(request,
+                                     [b for b, _ in per_board])
+        self._holdings[request] = (blocks, per_board, tenant, spans)
+
+    def _release(self, fields: dict) -> None:
+        held = self._holdings.pop(fields.get("request"), None)
+        if held is None:
+            return  # e.g. a trace that starts mid-run
+        blocks, per_board, tenant, spans = held
+        self._allocated -= blocks
+        for board, count in per_board:
+            remaining = self._board_occ.get(board, 0) - count
+            if remaining > 0:
+                self._board_occ[board] = remaining
+            else:
+                self._board_occ.pop(board, None)
+        remaining = self._tenant_blocks.get(tenant, 0) - blocks
+        if remaining > 0:
+            self._tenant_blocks[tenant] = remaining
+        else:
+            self._tenant_blocks.pop(tenant, None)
+        if spans and self._ring is not None:
+            self._ring.release_flow(fields.get("request"))
+
+    # ------------------------------------------------------------------
+    # accessors & export
+    # ------------------------------------------------------------------
+    def tenant_blocks(self) -> dict[str, int]:
+        """Current per-tenant block holdings (live view, not a series)."""
+        return dict(self._tenant_blocks)
+
+    def series(self, field: str) -> list:
+        """One column across all closed buckets."""
+        return [bucket[field] for bucket in self.buckets]
+
+    def as_dict(self) -> dict:
+        return {
+            "interval_s": self.interval_s,
+            "capacity_blocks": self.capacity_blocks,
+            "num_boards": self.num_boards,
+            "buckets": [dict(bucket) for bucket in self.buckets],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable export: compact, key-sorted JSON."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def to_csv(self) -> str:
+        """Fixed-column CSV (board occupancy appended per board)."""
+        boards = self.num_boards or 0
+        header = list(BUCKET_FIELDS) + [f"board{b}"
+                                        for b in range(boards)]
+        lines = [",".join(header)]
+        for bucket in self.buckets:
+            row = [_csv_cell(bucket[f]) for f in BUCKET_FIELDS]
+            occ = bucket.get("board_occupancy", [])
+            row.extend(str(occ[b]) if b < len(occ) else "0"
+                       for b in range(boards))
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: "str | Path") -> int:
+        """Write JSON (or CSV for a ``.csv`` path); returns bucket count."""
+        path = Path(path)
+        if path.suffix == ".csv":
+            path.write_text(self.to_csv())
+        else:
+            path.write_text(self.to_json() + "\n")
+        return len(self.buckets)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (warm-restart support)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able state capturing both the series and the live
+        tracked values, so a restored aggregator continues the stream
+        exactly where this one stopped."""
+        return {
+            "interval_s": self.interval_s,
+            "capacity_blocks": self.capacity_blocks,
+            "num_boards": self.num_boards,
+            "board_capacity": self.board_capacity,
+            "bucket": self._bucket,
+            "finished": self.finished,
+            "buckets": [dict(b) for b in self.buckets],
+            "allocated": self._allocated,
+            "queue": self._queue,
+            "board_occ": {str(b): n
+                          for b, n in sorted(self._board_occ.items())},
+            "tenant_blocks": dict(sorted(
+                self._tenant_blocks.items())),
+            "failed_boards": sorted(self._failed_boards),
+            "holdings": [
+                [rid, blocks, [list(p) for p in per_board], tenant,
+                 spans]
+                for rid, (blocks, per_board, tenant, spans)
+                in sorted(self._holdings.items())],
+            "rates": [self._arrivals, self._deploys,
+                      self._completions],
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "TimelineAggregator":
+        timeline = cls(interval_s=state["interval_s"],
+                       capacity_blocks=state["capacity_blocks"],
+                       num_boards=state["num_boards"],
+                       board_capacity=state["board_capacity"])
+        timeline._bucket = state["bucket"]
+        timeline.finished = state["finished"]
+        timeline.buckets = [dict(b) for b in state["buckets"]]
+        timeline._allocated = state["allocated"]
+        timeline._queue = state["queue"]
+        timeline._board_occ = {int(b): n for b, n
+                               in state["board_occ"].items()}
+        timeline._tenant_blocks = dict(state["tenant_blocks"])
+        timeline._failed_boards = set(state["failed_boards"])
+        for rid, blocks, per_board, tenant, spans in state["holdings"]:
+            pairs = tuple((int(b), int(n)) for b, n in per_board)
+            timeline._holdings[rid] = (blocks, pairs, tenant, spans)
+            if spans and timeline._ring is not None:
+                timeline._ring.register_flow(
+                    rid, [b for b, _ in pairs])
+        timeline._arrivals, timeline._deploys, \
+            timeline._completions = state["rates"]
+        return timeline
+
+
+def _csv_cell(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

@@ -23,6 +23,15 @@ path is a single attribute check -- simulation results are bit-identical
 with tracing on, off, or absent, because the tracer only observes.
 Recording appends one tuple per event; JSON formatting happens only at
 export.
+
+Streaming consumers (the timeline aggregator and SLO engine of
+:mod:`repro.obs.timeline` / :mod:`repro.obs.slo`) subscribe with
+:meth:`Tracer.add_sink` and receive every recorded entry as it happens,
+through the exact same hooks the retained trace is built from -- so an
+online aggregate is computed from the same stream a batch recomputation
+over the exported JSONL would see.  A tracer created with
+``retain=False`` forwards to its sinks without storing entries, keeping
+a health-monitored run's memory O(1) in trace length.
 """
 
 from __future__ import annotations
@@ -105,18 +114,28 @@ class Tracer:
         enabled: a disabled tracer is falsy and records nothing.
         record_wall: include wall-clock durations in exported entries
             (breaks byte-for-byte reproducibility; off by default).
+        retain: keep entries for export (default).  ``retain=False``
+            turns the tracer into a pure stream head for its sinks:
+            nothing is stored, ``to_jsonl`` exports nothing, and memory
+            stays O(1) however long the run.
         now: the current simulation time; instrumented loops advance it
             so deeper layers (policy, controller) need no clock of
             their own.
     """
 
     def __init__(self, enabled: bool = True,
-                 record_wall: bool = False) -> None:
+                 record_wall: bool = False,
+                 retain: bool = True) -> None:
         self.enabled = enabled
         self.record_wall = record_wall
+        self.retain = retain
         self.now = 0.0
         #: (kind, name, t, duration_s | None, fields)
         self._entries: list[tuple] = []
+        #: streaming subscribers: ``fn(kind, name, t, duration_s,
+        #: fields)`` called once per recorded entry, in subscription
+        #: order.  Empty (the common case) costs one falsy check.
+        self._sinks: list = []
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -124,21 +143,41 @@ class Tracer:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def add_sink(self, sink) -> None:
+        """Subscribe a streaming consumer to every future entry.
+
+        ``sink(kind, name, t, duration_s, fields)`` is invoked with the
+        raw (pre-JSON) payload at record time.  Sinks must treat
+        ``fields`` as read-only -- it is the same dict the retained
+        entry references.
+        """
+        if not callable(sink):
+            raise TypeError(f"sink must be callable, got {sink!r}")
+        self._sinks.append(sink)
+
     # ------------------------------------------------------------------
     def _record(self, kind: str, name: str, t: float,
                 duration_s: float | None, fields: dict) -> None:
         if not self.enabled:
             return
-        self._entries.append((kind, name, t, duration_s, fields))
+        if self.retain:
+            self._entries.append((kind, name, t, duration_s, fields))
+        if self._sinks:
+            for sink in self._sinks:
+                sink(kind, name, t, duration_s, fields)
 
     def event(self, name: str, t: float | None = None,
               **fields) -> None:
         """Record one point-in-time occurrence."""
         if not self.enabled:
             return
-        self._entries.append(
-            ("event", name, self.now if t is None else t, None,
-             fields))
+        t_event = self.now if t is None else t
+        if self.retain:
+            self._entries.append(
+                ("event", name, t_event, None, fields))
+        if self._sinks:
+            for sink in self._sinks:
+                sink("event", name, t_event, None, fields)
 
     def span(self, name: str, t: float | None = None,
              **fields) -> "Span | _NullSpan":

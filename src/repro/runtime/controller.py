@@ -25,6 +25,7 @@ from repro.cluster.cluster import FPGACluster
 from repro.compiler.bitstream import CompiledApp
 from repro.compiler.relocation import Relocator
 from repro.interconnect.links import LINKS, LinkClass
+from repro.obs.stats import fragmentation_index
 from repro.obs.tracer import Tracer
 from repro.peripherals.bandwidth import BandwidthArbiter
 from repro.peripherals.dram import VirtualMemory
@@ -72,6 +73,9 @@ class SystemController:
         self.tracer: Tracer | None = None
         if tracer is not None:
             self.attach_tracer(tracer)
+        #: live fragmentation gauge (``attach_metrics``); ``None`` keeps
+        #: allocate/release at a single None-check
+        self._frag_gauge = None
         self.resource_db = ResourceDB(cluster)
         # heterogeneous subclasses replace this with per-footprint
         # databases; any one group's footprint seeds the default DB
@@ -124,6 +128,25 @@ class SystemController:
         self.tracer = tracer
         if hasattr(self.policy, "tracer"):
             self.policy.tracer = tracer
+
+    def attach_metrics(self, registry) -> None:
+        """Expose live controller state through ``registry``.
+
+        Today that is one gauge: ``fragmentation_index`` (how split the
+        free space is across healthy boards), updated on every
+        allocate/release/fail/repair rather than recomputed post hoc
+        from the audit log.
+        """
+        self._frag_gauge = registry.gauge(
+            "fragmentation_index",
+            "1 - largest single-board free pool / total free blocks",
+            manager=self.name)
+        self._refresh_fragmentation()
+
+    def _refresh_fragmentation(self) -> None:
+        if self._frag_gauge is not None:
+            self._frag_gauge.set(fragmentation_index(
+                self.resource_db.free_counts_by_board()))
 
     def try_deploy(self, app: CompiledApp, request_id: int, now: float,
                    tenant: str | None = None) -> Deployment | None:
@@ -381,6 +404,7 @@ class SystemController:
             latency_overhead_s=model.latency_overhead_s,
         )
         self._track_deployment(deployment)
+        self._refresh_fragmentation()
         boards = placement.boards
         blocks = len(placement.mapping)
         spans = len(boards) > 1
@@ -390,10 +414,18 @@ class SystemController:
             app=app_name, boards=boards, blocks=blocks, spans=spans,
             reconfig_s=round(reconfig, 6))
         if self.tracer:
+            by_board: dict[int, int] = {}
+            for board, _ in placement.mapping.values():
+                by_board[board] = by_board.get(board, 0) + 1
             self.tracer.event(
                 "ctrl.deploy", t=now, request=request_id,
                 tenant=tenant, app=app_name, reason="placed",
                 boards=boards, blocks=blocks, spans=spans,
+                # one pass over this placement's own addresses: the
+                # timeline aggregator needs per-board counts to keep
+                # occupancy incremental, and the cost is O(app blocks),
+                # not O(cluster boards)
+                blocks_by_board=sorted(by_board.items()),
                 reconfig_s=reconfig,
                 comm_slowdown=model.comm_slowdown,
                 # the candidate set is the boards considered; per-board
@@ -434,6 +466,7 @@ class SystemController:
         self._detach_dram_demand(deployment.tenant,
                                  deployment.placement)
         self._untrack_deployment(deployment)
+        self._refresh_fragmentation()
 
     # ------------------------------------------------------------------
     # failure handling (fault model)
@@ -478,6 +511,7 @@ class SystemController:
                     reason=f"board-{board_id}-failed")
         self.board_health[board_id] = BoardHealth.FAILED
         self.resource_db.set_board_failed(board_id)
+        self._refresh_fragmentation()
         # the crash loses DRAM contents and any queued ICAP work
         board = self.cluster.board(board_id)
         self.memories[board_id] = VirtualMemory(
@@ -496,6 +530,7 @@ class SystemController:
             return
         self.resource_db.set_board_repaired(board_id)
         self.board_health[board_id] = BoardHealth.HEALTHY
+        self._refresh_fragmentation()
         self.audit.record(now, AuditEvent.REPAIR, -1, "-",
                           board=board_id)
         if self.tracer:

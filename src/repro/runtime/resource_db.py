@@ -104,6 +104,18 @@ class ResourceDB:
         return {board: self._free_sorted(board)
                 for board in self._board_ids}
 
+    def free_counts_by_board(self) -> dict[int, int]:
+        """Healthy board id -> free-block count (fragmentation input).
+
+        O(boards) with no sorting or copying -- cheap enough to call on
+        every allocate/release to keep a live gauge current.  Failed
+        boards are excluded: their blocks are out of service, not free,
+        and counting them would overstate fragmentation during outages.
+        """
+        return {board: len(self._free[board])
+                for board in self._board_ids
+                if board not in self._failed_boards}
+
     def allocated_count(self) -> int:
         return self._allocated
 

@@ -29,7 +29,7 @@ averages -- the paper's methodology.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.baselines.amorphos import AmorphOSManager
@@ -45,6 +45,8 @@ from repro.faults.recovery import RecoveryPolicy, \
 from repro.faults.schedule import FaultSchedule
 from repro.hls.kernels import all_benchmarks
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine
+from repro.obs.timeline import TimelineAggregator
 from repro.obs.tracer import Tracer
 from repro.runtime.controller import SystemController
 from repro.sim.events import EventQueue
@@ -131,6 +133,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                    recovery: "RecoveryPolicy | str | None" = None,
                    tracer: Tracer | None = None,
                    metrics: MetricsRegistry | None = None,
+                   timeline: TimelineAggregator | None = None,
+                   slo: SLOEngine | None = None,
                    ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
@@ -152,6 +156,18 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     stream.  ``metrics`` accumulates counters/histograms labeled by
     manager name.  Both default to ``None`` -- the simulation's results
     are identical with or without them; they only observe.
+
+    ``timeline`` streams the run into a
+    :class:`~repro.obs.timeline.TimelineAggregator` (configured from
+    the manager's own capacity if the caller left it bare) and ``slo``
+    evaluates :class:`~repro.obs.slo.SLOEngine` rules at every bucket
+    close, emitting ``slo.violation`` / ``slo.recovered`` events into
+    the trace and folding totals into the summary's ``slo_*`` fields.
+    Either implies the other's plumbing: health monitoring without an
+    explicit ``tracer`` uses an internal non-retaining tracer, so
+    memory stays O(1) in trace length.  Like the tracer, both only
+    observe -- simulation results are bit-identical with health
+    monitoring on or off.
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
@@ -159,11 +175,34 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         raise ValueError(f"unknown discipline {discipline!r}")
     backfill = discipline == "backfill"
 
+    if slo is not None and timeline is None:
+        timeline = TimelineAggregator()
+    if timeline is not None:
+        if tracer is None:
+            # stream head only: forwards to the timeline/SLO sinks
+            # without retaining entries
+            tracer = Tracer(retain=False)
+        if not timeline.configured:
+            cluster = getattr(manager, "cluster", None)
+            timeline.configure(
+                manager.capacity_blocks(),
+                num_boards=len(cluster.boards)
+                if cluster is not None else None)
+        # sink order matters: the timeline closes bucket k when the
+        # first event past its boundary arrives, and the SLO engine's
+        # own sink must not have seen that event yet when it evaluates
+        # bucket k -- timeline first, SLO second (via bind)
+        tracer.add_sink(timeline.on_record)
+        if slo is not None:
+            slo.bind(timeline, tracer)
+
     if tracer is not None:
         if hasattr(manager, "attach_tracer"):
             manager.attach_tracer(tracer)
         elif hasattr(manager, "tracer"):
             manager.tracer = tracer
+    if metrics is not None and hasattr(manager, "attach_metrics"):
+        manager.attach_metrics(metrics)
     mx = _ExperimentMetrics(metrics, manager.name) if metrics is not None \
         else None
 
@@ -232,7 +271,11 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                         wait_s=now - request.arrival_s,
                         blocks=record.num_blocks,
                         boards=record.boards,
-                        spans=record.spans_boards)
+                        spans=record.spans_boards,
+                        # lets a trace consumer (the SLO engine) close
+                        # an open recovery the way the collector does:
+                        # at deploy + programming time
+                        reconfig_s=deployment.reconfig_time_s)
                 if mx is not None:
                     mx.deploys.inc()
                     mx.wait_s.observe(now - request.arrival_s)
@@ -307,7 +350,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 if tracer:
                     tracer.event("sim.evict", t=now, request=rid,
                                  reason="migrated",
-                                 progress_kept_s=progress)
+                                 progress_kept_s=progress,
+                                 recovery_s=replacement.reconfig_time_s)
                 if mx is not None:
                     mx.recoveries.inc()
                 schedule_completion(
@@ -369,7 +413,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                     record = collector.records[request_id]
                     tracer.event("sim.complete", t=now,
                                  request=request_id,
-                                 response_s=record.response_s)
+                                 response_s=record.response_s,
+                                 service_s=record.service_time_s)
                 if mx is not None:
                     mx.completions.inc()
                     mx.response_s.observe(
@@ -407,8 +452,21 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
 
     if mx is not None:
         mx.finish(collector)
+    summary = collector.summarize()
+    if timeline is not None:
+        # closing the tail buckets also drives the SLO engine's final
+        # evaluations (it listens on bucket close)
+        timeline.finish(collector.last_completion)
+    if slo is not None:
+        slo.finalize(collector.last_completion)
+        summary = replace(
+            summary,
+            slo_rules=float(len(slo.rules)),
+            slo_violations=float(slo.total_violations()),
+            slo_violated_s=slo.total_violated_s(),
+            slo_recovered=float(slo.total_recovered()))
     result = ExperimentResult(manager_name=manager.name,
-                              summary=collector.summarize(),
+                              summary=summary,
                               records=list(collector.records.values()))
     if isinstance(manager, AmorphOSManager):
         result.extras["combinations"] = float(manager.combination_count)
@@ -486,4 +544,8 @@ def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
         permanently_failed=mean("permanently_failed"),
         mean_time_to_recovery_s=mean("mean_time_to_recovery_s"),
         goodput_fraction=mean("goodput_fraction"),
+        slo_rules=mean("slo_rules"),
+        slo_violations=mean("slo_violations"),
+        slo_violated_s=mean("slo_violated_s"),
+        slo_recovered=mean("slo_recovered"),
     )

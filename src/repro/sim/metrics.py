@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.stats import percentile
 from repro.sim.events import TimeWeightedValue
 
 __all__ = ["RequestRecord", "SummaryMetrics", "MetricsCollector",
@@ -121,6 +122,18 @@ class SummaryMetrics:
     #: useful service-seconds / (useful + lost) -- 1.0 means no work
     #: was ever thrown away
     goodput_fraction: float = 1.0
+    # SLO accounting (zero unless run_experiment(slo=...) evaluated
+    # rules online; the defaults describe an unmonitored run exactly,
+    # so traced and untraced summaries stay comparable)
+    #: rules evaluated
+    slo_rules: float = 0.0
+    #: violation episodes (ok -> violated transitions, all rules)
+    slo_violations: float = 0.0
+    #: simulated seconds spent with >= 1 rule in violation
+    slo_violated_s: float = 0.0
+    #: episodes that healed before the run ended; a fault-injection run
+    #: "recovered within SLO" iff this equals ``slo_violations``
+    slo_recovered: float = 0.0
 
     def normalized_response(self, baseline: "SummaryMetrics") -> float:
         if baseline.mean_response_s == 0:
@@ -234,9 +247,8 @@ class MetricsCollector:
             manager=self.manager_name,
             num_requests=len(done),
             mean_response_s=sum(responses) / len(responses),
-            p50_response_s=responses[len(responses) // 2],
-            p95_response_s=responses[
-                min(len(responses) - 1, int(0.95 * len(responses)))],
+            p50_response_s=percentile(responses, 0.50),
+            p95_response_s=percentile(responses, 0.95),
             mean_wait_s=sum(r.wait_s for r in done) / len(done),
             mean_service_s=(sum(r.service_time_s for r in done)
                             / len(done)),

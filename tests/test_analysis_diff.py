@@ -1,0 +1,197 @@
+"""Trace/metrics differ: the semantic regression gate behind
+``python -m repro diff``."""
+
+import json
+
+import pytest
+
+from repro.analysis.diff import (diff_metrics, diff_profiles,
+                                 diff_traces, find_regressions,
+                                 format_diff, load_diff_input,
+                                 trace_profile)
+
+
+def span(name, t, duration_s):
+    return {"kind": "span", "name": name, "t": t,
+            "duration_s": duration_s}
+
+
+def event(name, t, **fields):
+    entry = {"kind": "event", "name": name, "t": t}
+    if fields:
+        entry["fields"] = fields
+    return entry
+
+
+BASE_EVENTS = [
+    span("compile.pnr", 0.0, 2.0),
+    span("compile.pnr", 1.0, 4.0),
+    event("ctrl.deploy", 1.0, request=1),
+    event("ctrl.reject", 2.0, request=2, reason="no_capacity"),
+    event("slo.violation", 10.0, rule="failed_boards < 1"),
+    event("slo.recovered", 30.0, rule="failed_boards < 1"),
+]
+
+
+class TestTraceProfile:
+    def test_folds_spans_decisions_and_slo(self):
+        profile = trace_profile(BASE_EVENTS)
+        assert profile["entries"] == len(BASE_EVENTS)
+        assert profile["spans"]["compile.pnr"]["count"] == 2
+        assert profile["spans"]["compile.pnr"]["p95_s"] == 4.0
+        assert profile["decisions"]["deploys"] == 1
+        assert profile["decisions"]["rejects"] == {"no_capacity": 1}
+        assert profile["slo"] == {
+            "violations": {"failed_boards < 1": 1},
+            "recovered": {"failed_boards < 1": 1}}
+
+    def test_profile_is_jsonable(self):
+        json.dumps(trace_profile(BASE_EVENTS), sort_keys=True)
+
+
+class TestDiffProfiles:
+    def test_identical_traces_zero_deltas(self):
+        diff = diff_traces(BASE_EVENTS, list(BASE_EVENTS))
+        assert diff["identical"]
+        assert find_regressions(diff) == []
+        assert "identical" in format_diff(diff, [])
+
+    def test_new_and_missing_types(self):
+        cand = [e for e in BASE_EVENTS if e["name"] != "ctrl.reject"]
+        cand.append(event("ctrl.evict", 5.0, request=1,
+                          reason="preempted"))
+        diff = diff_traces(BASE_EVENTS, cand)
+        assert diff["new_names"] == ["ctrl.evict"]
+        assert diff["missing_names"] == ["ctrl.reject"]
+        regressions = find_regressions(diff)
+        assert any("disappeared: ctrl.reject" in r for r in regressions)
+
+    def test_new_reject_reason_is_a_regression(self):
+        cand = BASE_EVENTS + [
+            event("ctrl.reject", 3.0, request=9, reason="fragmented")]
+        regressions = find_regressions(diff_traces(BASE_EVENTS, cand))
+        assert any("new reject reason: fragmented" in r
+                   for r in regressions)
+        # more of an existing reason is a delta but not a regression
+        cand2 = BASE_EVENTS + [
+            event("ctrl.reject", 3.0, request=9, reason="no_capacity")]
+        diff2 = diff_traces(BASE_EVENTS, cand2)
+        assert diff2["reject_deltas"]["no_capacity"]["delta"] == 1
+        assert find_regressions(diff2) == []
+
+    def test_span_p95_shift_respects_tolerance(self):
+        cand = [span("compile.pnr", 0.0, 2.0),
+                span("compile.pnr", 1.0, 4.3)] + BASE_EVENTS[2:]
+        diff = diff_traces(BASE_EVENTS, cand)
+        assert diff["span_shifts"]["compile.pnr"]["ratio"] == \
+            pytest.approx(4.3 / 4.0)
+        assert find_regressions(diff, p95_tolerance=0.10) == []
+        (regression,) = find_regressions(diff, p95_tolerance=0.05)
+        assert "span p95 regression: compile.pnr" in regression
+
+    def test_faster_span_is_not_a_regression(self):
+        cand = [span("compile.pnr", 0.0, 1.0),
+                span("compile.pnr", 1.0, 2.0)] + BASE_EVENTS[2:]
+        diff = diff_traces(BASE_EVENTS, cand)
+        assert diff["span_shifts"]  # the delta is reported...
+        assert find_regressions(diff) == []  # ...but not flagged
+
+    def test_more_slo_violations_regress(self):
+        cand = BASE_EVENTS + [
+            event("slo.violation", 50.0, rule="failed_boards < 1")]
+        diff = diff_traces(BASE_EVENTS, cand)
+        assert diff["slo_deltas"]["failed_boards < 1"]["delta"] == 1
+        (regression,) = find_regressions(diff)
+        assert "more SLO violations" in regression
+
+    def test_permanent_failures_regress(self):
+        cand = BASE_EVENTS + [
+            event("sim.permanent_failure", 9.0, request=4)]
+        regressions = find_regressions(diff_traces(BASE_EVENTS, cand))
+        assert any("permanent failures increased" in r
+                   for r in regressions)
+
+    def test_format_diff_lists_regressions(self):
+        cand = BASE_EVENTS + [
+            event("ctrl.reject", 3.0, request=9, reason="fragmented")]
+        diff = diff_traces(BASE_EVENTS, cand)
+        regressions = find_regressions(diff)
+        text = format_diff(diff, regressions)
+        assert "semantic deltas" in text
+        assert "1 regression(s):" in text
+        assert "fragmented" in text
+
+
+class TestDiffMetrics:
+    BASE = {
+        "deployments_total": [
+            {"kind": "counter", "labels": {"manager": "vital"},
+             "value": 10.0}],
+        "response_s": [
+            {"kind": "histogram", "labels": {},
+             "value": {"sum": 50.0, "count": 10,
+                       "buckets": {"1.0": 3}}}],
+    }
+
+    def test_identical(self):
+        diff = diff_metrics(self.BASE, json.loads(json.dumps(self.BASE)))
+        assert diff["identical"]
+
+    def test_changed_series(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["deployments_total"][0]["value"] = 12.0
+        diff = diff_metrics(self.BASE, cand)
+        key = "deployments_total{manager=vital}"
+        assert diff["changed"][key]["delta"] == 2.0
+        assert not diff["identical"]
+
+    def test_histograms_compare_sum_and_count_only(self):
+        cand = json.loads(json.dumps(self.BASE))
+        cand["response_s"][0]["value"]["buckets"] = {"1.0": 4}
+        assert diff_metrics(self.BASE, cand)["identical"]
+        cand["response_s"][0]["value"]["sum"] = 60.0
+        diff = diff_metrics(self.BASE, cand)
+        assert "response_s/sum" in diff["changed"]
+
+    def test_added_and_removed_series(self):
+        cand = {"other_total": [
+            {"kind": "counter", "labels": {}, "value": 1.0}]}
+        diff = diff_metrics(self.BASE, cand)
+        assert diff["added"] == ["other_total"]
+        assert set(diff["removed"]) == {
+            "deployments_total{manager=vital}", "response_s/count",
+            "response_s/sum"}
+        assert not diff["identical"]
+
+
+class TestLoadDiffInput:
+    def test_detects_jsonl_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(
+            json.dumps(e, sort_keys=True) for e in BASE_EVENTS) + "\n")
+        kind, events = load_diff_input(path)
+        assert kind == "trace"
+        assert len(events) == len(BASE_EVENTS)
+
+    def test_detects_profile_document(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(trace_profile(BASE_EVENTS)))
+        kind, doc = load_diff_input(path)
+        assert kind == "profile"
+        assert doc["entries"] == len(BASE_EVENTS)
+
+    def test_detects_metrics_dump(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(TestDiffMetrics.BASE))
+        kind, doc = load_diff_input(path)
+        assert kind == "metrics"
+        assert "deployments_total" in doc
+
+    def test_single_line_trace_is_not_a_profile(self, tmp_path):
+        path = tmp_path / "tiny.jsonl"
+        path.write_text(json.dumps(
+            {"seq": 0, "kind": "event", "name": "sim.arrival",
+             "t": 0.0}) + "\n")
+        kind, events = load_diff_input(path)
+        assert kind == "trace"
+        assert events[0]["name"] == "sim.arrival"

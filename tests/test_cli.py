@@ -234,3 +234,133 @@ class TestFaultDrills:
     def test_repair_healthy_board(self, capsys):
         assert main(["repair-board", "1", "--boards", "2"]) == 0
         assert "not failed" in capsys.readouterr().out
+
+
+class TestHealthEngine:
+    HEALTH_RUN = ["simulate", "--set", "1", "--requests", "20",
+                  "--boards", "4", "--seed", "3", "--managers", "vital",
+                  "--faults", "demo", "--recovery",
+                  "migrate-on-failure"]
+
+    def test_simulate_health_prints_slo_verdict(self, capsys):
+        assert main(self.HEALTH_RUN + ["--health"]) == 0
+        out = capsys.readouterr().out
+        assert "failed_boards < 1" in out
+        assert "all SLO violations recovered within the run" in out
+
+    def test_simulate_timeline_is_byte_identical(self, capsys,
+                                                 tmp_path):
+        import json
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(self.HEALTH_RUN
+                        + ["--timeline", str(path)]) == 0
+        capsys.readouterr()
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+        doc = json.loads(first)
+        assert doc["interval_s"] == 10.0
+        downs = [b["failed_boards"] for b in doc["buckets"]]
+        assert 1 in downs and downs[-1] == 0  # outage seen, healed
+
+    def test_simulate_timeline_csv(self, capsys, tmp_path):
+        path = tmp_path / "tl.csv"
+        assert main(self.HEALTH_RUN + ["--timeline", str(path)]) == 0
+        assert path.read_text().startswith("t,utilization,")
+
+    def test_simulate_custom_slo_rule(self, capsys):
+        assert main(self.HEALTH_RUN
+                    + ["--slo", "utilization > 0.99"]) == 0
+        assert "still violated at end of run" in capsys.readouterr().out
+
+    def test_simulate_bad_slo_rule(self, capsys):
+        assert main(["simulate", "--slo", "bogus metric"]) == 2
+        assert "cannot parse" in capsys.readouterr().out
+
+    def test_faults_demo_needs_two_boards(self, capsys):
+        assert main(["simulate", "--boards", "1", "--managers",
+                     "vital", "--faults", "demo"]) == 2
+        assert "at least 2 boards" in capsys.readouterr().out
+
+    def test_report_timeline_table(self, capsys, tmp_path):
+        path = tmp_path / "tl.json"
+        main(self.HEALTH_RUN + ["--timeline", str(path)])
+        capsys.readouterr()
+        assert main(["report", "--timeline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "util" in out and "frag" in out
+
+    def test_report_trace_json_profile(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "t.jsonl"
+        main(self.HEALTH_RUN + ["--health", "--trace", str(path)])
+        capsys.readouterr()
+        assert main(["report", "--trace", str(path),
+                     "--format", "json"]) == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert profile["decisions"]["deploys"] > 0
+        assert profile["slo"]["violations"]
+
+
+class TestDiff:
+    def _trace(self, tmp_path, name, *extra):
+        path = tmp_path / name
+        args = ["simulate", "--set", "1", "--requests", "15",
+                "--boards", "4", "--seed", "3", "--trace", str(path),
+                *extra]
+        assert main(args) == 0
+        return path
+
+    def test_identical_traces_exit_zero(self, capsys, tmp_path):
+        a = self._trace(tmp_path, "a.jsonl", "--managers", "vital")
+        b = self._trace(tmp_path, "b.jsonl", "--managers", "vital")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b),
+                     "--fail-on-regression"]) == 0
+        assert "semantically identical" in capsys.readouterr().out
+
+    def test_policy_change_produces_deltas(self, capsys, tmp_path):
+        a = self._trace(tmp_path, "a.jsonl", "--managers", "vital")
+        b = self._trace(tmp_path, "b.jsonl", "--managers",
+                        "per-device")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0  # no gate flag
+        assert "semantic deltas" in capsys.readouterr().out
+
+    def test_fail_on_regression_gates(self, capsys, tmp_path):
+        import json
+        a = self._trace(tmp_path, "a.jsonl", "--managers", "vital")
+        events = [json.loads(line)
+                  for line in a.read_text().splitlines()]
+        events = [e for e in events if e["name"] != "ctrl.deploy"]
+        b = tmp_path / "b.jsonl"
+        b.write_text("\n".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":"))
+            for e in events) + "\n")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b),
+                     "--fail-on-regression"]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_diff_json_format(self, capsys, tmp_path):
+        import json
+        a = self._trace(tmp_path, "a.jsonl", "--managers", "vital")
+        capsys.readouterr()
+        assert main(["diff", str(a), str(a), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["identical"] is True
+        assert doc["regressions"] == []
+
+    def test_metrics_vs_trace_mismatch(self, capsys, tmp_path):
+        a = self._trace(tmp_path, "a.jsonl", "--managers", "vital")
+        metrics = tmp_path / "m.json"
+        assert main(["simulate", "--set", "1", "--requests", "10",
+                     "--boards", "2", "--managers", "vital",
+                     "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(metrics), str(a)]) == 2
+        assert "cannot diff" in capsys.readouterr().out
+
+    def test_missing_operand(self, capsys, tmp_path):
+        assert main(["diff", str(tmp_path / "nope.jsonl"),
+                     str(tmp_path / "nada.jsonl")]) == 2

@@ -1,0 +1,196 @@
+"""SLO rules: parsing, online evaluation, and violation events."""
+
+import pytest
+
+from repro.obs.slo import (DEFAULT_RULES, SLOEngine, SLORule, parse_slo)
+from repro.obs.timeline import TimelineAggregator
+from repro.obs.tracer import Tracer
+
+
+def make_bound(rules, interval=10.0):
+    """A timeline + engine + retaining tracer, wired like run_experiment."""
+    tracer = Tracer()
+    timeline = TimelineAggregator(interval_s=interval, capacity_blocks=40,
+                                  num_boards=4, board_capacity=10)
+    tracer.add_sink(timeline.on_record)
+    engine = SLOEngine(rules)
+    engine.bind(timeline, tracer)
+    return tracer, timeline, engine
+
+
+class TestParse:
+    def test_basic_forms(self):
+        rule = parse_slo("p99_response_s < 40")
+        assert rule == SLORule("p99_response_s", "<", 40.0)
+        assert parse_slo("goodput >= 0.9").op == ">="
+        assert parse_slo("queue_depth <= 5").threshold == 5.0
+
+    def test_window_suffix(self):
+        rule = parse_slo("fragmentation < 0.8 @ 60")
+        assert rule.window_s == 60.0
+        assert str(rule) == "fragmentation < 0.8 @ 60"
+
+    def test_roundtrips_through_str(self):
+        for spec in ("utilization > 0.25", "mttr_s < 30 @ 120"):
+            assert str(parse_slo(str(parse_slo(spec)))) == str(
+                parse_slo(spec))
+
+    def test_rule_passthrough(self):
+        rule = SLORule("goodput", ">", 0.5)
+        assert parse_slo(rule) is rule
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_slo("nonsense")
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            parse_slo("no_such_metric < 1")
+        with pytest.raises(ValueError, match="window must be positive"):
+            parse_slo("goodput > 0.5 @ 0")
+        with pytest.raises(ValueError, match="unknown SLO operator"):
+            SLORule("goodput", "==", 0.5)
+
+    def test_defaults(self):
+        engine = SLOEngine()
+        assert [str(r) for r in engine.rules] == list(DEFAULT_RULES)
+
+
+class TestGaugeRules:
+    def test_violation_and_recovery_events(self):
+        tracer, timeline, engine = make_bound(["failed_boards < 1"])
+        tracer.event("ctrl.board_fail", t=5.0, board=2)
+        tracer.event("ctrl.board_repair", t=25.0, board=2)
+        timeline.finish(25.0)
+        engine.finalize(25.0)
+        events = {(e["name"], e["t"]) for e in tracer.entries()
+                  if e["name"].startswith("slo.")}
+        assert ("slo.violation", 10.0) in events
+        assert ("slo.recovered", 30.0) in events
+        (state,) = engine.report()
+        assert state["violations"] == 1
+        assert state["recovered"] == 1
+        assert state["violated_s"] == pytest.approx(20.0)  # buckets 0,1
+        assert not state["still_violated"]
+        assert engine.all_recovered()
+
+    def test_violation_reason_is_machine_readable(self):
+        tracer, timeline, engine = make_bound(["failed_boards < 1"])
+        tracer.event("ctrl.board_fail", t=5.0, board=0)
+        timeline.finish(5.0)
+        (event,) = [e for e in tracer.entries()
+                    if e["name"] == "slo.violation"]
+        assert event["fields"]["metric"] == "failed_boards"
+        assert event["fields"]["op"] == "<"
+        assert event["fields"]["threshold"] == 1.0
+        assert event["fields"]["value"] == 1.0
+        assert event["fields"]["reason"] == \
+            "failed_boards=1 violates < 1"
+        assert not engine.all_recovered()
+
+    def test_windowed_gauge_averages_trailing_buckets(self):
+        # queue holds 2 for one bucket then 0: the 30s-window mean decays
+        tracer, timeline, engine = make_bound(
+            ["queue_depth <= 0.5 @ 30"])
+        tracer.event("sim.arrival", t=1.0, request=1)
+        tracer.event("sim.arrival", t=2.0, request=2)
+        tracer.event("sim.deploy", t=12.0, request=1)
+        tracer.event("sim.deploy", t=13.0, request=2)
+        timeline.finish(45.0)
+        # bucket means over @30: [2], [2,0], [2,0,0], [0,0,0]
+        assert [e["name"] for e in tracer.entries()
+                if e["name"].startswith("slo.")] == [
+            "slo.violation", "slo.recovered"]
+        (state,) = engine.report()
+        assert state["violated_s"] == pytest.approx(30.0)
+
+    def test_idle_cluster_trips_a_utilization_floor(self):
+        _, timeline, engine = make_bound(["utilization > 0.9"])
+        timeline.finish(25.0)
+        (state,) = engine.report()
+        assert state["last_value"] == 0.0
+        assert state["violations"] == 1  # one episode, from bucket 0
+        assert state["still_violated"]
+
+
+class TestDistributionRules:
+    def test_percentile_response_rule(self):
+        tracer, timeline, engine = make_bound(["p50_response_s < 5"])
+        for i, resp in enumerate((1.0, 2.0, 100.0)):
+            tracer.event("sim.complete", t=3.0 + i, request=i,
+                         response_s=resp, service_s=1.0)
+        timeline.finish(3.0)
+        (state,) = engine.report()
+        assert state["last_value"] == 2.0  # nearest-rank median
+        assert state["violations"] == 0
+
+    def test_goodput_counts_useful_vs_lost(self):
+        tracer, timeline, engine = make_bound(["goodput > 0.5"])
+        tracer.event("sim.complete", t=1.0, request=1, response_s=2.0,
+                     service_s=30.0)
+        tracer.event("sim.evict", t=2.0, request=2, reason="requeued",
+                     progress_lost_s=90.0)
+        timeline.finish(2.0)
+        (state,) = engine.report()
+        assert state["last_value"] == pytest.approx(30.0 / 120.0)
+        assert state["violations"] == 1
+
+    def test_goodput_none_before_any_service(self):
+        _, timeline, engine = make_bound(["goodput > 0.5"])
+        timeline.finish(15.0)
+        (state,) = engine.report()
+        assert state["last_value"] is None
+        assert state["violations"] == 0
+
+    def test_mttr_requeue_matches_collector_accounting(self):
+        # recovery = redeploy_t + reconfig_s - evicted_t
+        tracer, timeline, engine = make_bound(["mttr_s < 10"])
+        tracer.event("sim.evict", t=4.0, request=7, reason="requeued",
+                     progress_lost_s=1.0)
+        tracer.event("sim.deploy", t=15.0, request=7, reconfig_s=2.0)
+        timeline.finish(15.0)
+        (state,) = engine.report()
+        assert state["last_value"] == pytest.approx(15.0 + 2.0 - 4.0)
+        assert state["violations"] == 1
+
+    def test_mttr_migration_uses_recovery_field(self):
+        tracer, timeline, engine = make_bound(["mttr_s < 10"])
+        tracer.event("sim.evict", t=4.0, request=7, reason="migrated",
+                     recovery_s=3.0)
+        timeline.finish(4.0)
+        (state,) = engine.report()
+        assert state["last_value"] == pytest.approx(3.0)
+        assert state["violations"] == 0
+
+
+class TestEngineLifecycle:
+    def test_finalized_engine_ignores_later_events(self):
+        tracer, timeline, engine = make_bound(["p50_response_s < 5"])
+        tracer.event("sim.complete", t=1.0, request=1, response_s=2.0)
+        timeline.finish(1.0)
+        engine.finalize(1.0)
+        tracer.event("sim.complete", t=2.0, request=2, response_s=99.0)
+        assert engine._responses == [(1.0, 2.0)]
+
+    def test_slo_events_never_feed_back(self):
+        # the violation event itself must not re-enter either consumer
+        tracer, timeline, engine = make_bound(["failed_boards < 1"])
+        tracer.event("ctrl.board_fail", t=5.0, board=0)
+        timeline.finish(200.0)
+        violations = [e for e in tracer.entries()
+                      if e["name"] == "slo.violation"]
+        assert len(violations) == 1  # one episode, not one per bucket
+
+    def test_totals(self):
+        tracer, timeline, engine = make_bound(
+            ["failed_boards < 1", "fragmentation < 0.95"])
+        tracer.event("ctrl.board_fail", t=5.0, board=1)
+        tracer.event("ctrl.board_repair", t=15.0, board=1)
+        timeline.finish(15.0)
+        assert engine.total_violations() == 1
+        assert engine.total_recovered() == 1
+        assert engine.total_violated_s() == pytest.approx(10.0)
+
+    def test_observe_replays_exported_entries(self):
+        engine = SLOEngine(["p99_response_s < 5"])
+        engine.observe({"kind": "event", "name": "sim.complete",
+                        "t": 1.0, "fields": {"response_s": 2.0}})
+        assert engine._responses == [(1.0, 2.0)]

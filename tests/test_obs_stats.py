@@ -1,0 +1,148 @@
+"""Shared observability math: percentiles + fragmentation index."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.obs.stats import (fragmentation_index, percentile,
+                             quantile_from_cumulative)
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q0_is_min_q1_is_max(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_nearest_rank_convention(self):
+        # the exact indices the span viewer and summary always used:
+        # int(q * n), clamped
+        values = list(range(100))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+
+    def test_median_matches_legacy_summary_convention(self):
+        # summarize() used responses[len // 2]
+        for n in (1, 2, 3, 10, 11):
+            values = [float(i) for i in range(n)]
+            assert percentile(values, 0.5) == values[n // 2]
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.1)
+
+
+class TestQuantileFromCumulative:
+    def test_empty_total_is_zero(self):
+        assert quantile_from_cumulative([], 0, 0.5) == 0.0
+
+    def test_picks_first_reaching_bound(self):
+        pairs = [(1.0, 2), (2.0, 5), (4.0, 10)]
+        assert quantile_from_cumulative(pairs, 10, 0.2) == 1.0
+        assert quantile_from_cumulative(pairs, 10, 0.5) == 2.0
+        assert quantile_from_cumulative(pairs, 10, 0.9) == 4.0
+
+    def test_overflow_bucket_is_inf(self):
+        pairs = [(1.0, 2)]
+        assert quantile_from_cumulative(pairs, 10, 0.9) == math.inf
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            quantile_from_cumulative([(1.0, 1)], 1, 2.0)
+
+    def test_histogram_quantile_unchanged(self):
+        # Histogram.quantile now routes through the shared helper; the
+        # observable behaviour must be what it always was
+        h = Histogram(buckets=(1.0, 5.0, 10.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        for v in (0.5, 0.7, 3.0, 3.5, 20.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.4) == 1.0
+        assert h.quantile(0.8) == 5.0
+        assert h.quantile(1.0) == math.inf
+        with pytest.raises(ValueError):
+            h.quantile(-1.0)
+
+
+class TestFragmentationIndex:
+    def test_no_free_blocks_is_not_fragmentation(self):
+        assert fragmentation_index({}) == 0.0
+        assert fragmentation_index({0: 0, 1: 0}) == 0.0
+        assert fragmentation_index([]) == 0.0
+
+    def test_all_on_one_board_is_zero(self):
+        assert fragmentation_index({0: 15, 1: 0, 2: 0}) == 0.0
+
+    def test_even_shred_approaches_one_minus_inverse_n(self):
+        assert fragmentation_index([5, 5, 5, 5]) == pytest.approx(0.75)
+
+    def test_accepts_free_block_lists(self):
+        # the shape of ResourceDB.free_by_board()
+        assert fragmentation_index(
+            {0: [0, 1, 2], 1: [4]}) == pytest.approx(0.25)
+
+    def test_matches_live_controller_free_counts(self, cluster,
+                                                 compiled_medium):
+        from repro.analysis.occupancy import cluster_fragmentation
+        from repro.runtime.controller import SystemController
+        controller = SystemController(cluster)
+        assert cluster_fragmentation(controller) == pytest.approx(0.75)
+        controller.try_deploy(compiled_medium, 1, now=0.0)
+        frag = cluster_fragmentation(controller)
+        assert frag == fragmentation_index(
+            controller.resource_db.free_counts_by_board())
+
+    def test_free_counts_exclude_failed_boards(self, cluster,
+                                               compiled_small):
+        from repro.runtime.controller import SystemController
+        controller = SystemController(cluster)
+        controller.fail_board(1)
+        counts = controller.resource_db.free_counts_by_board()
+        assert 1 not in counts
+        assert set(counts) == {0, 2, 3}
+        controller.repair_board(1)
+        assert 1 in controller.resource_db.free_counts_by_board()
+
+
+class TestLiveFragmentationGauge:
+    def test_gauge_tracks_allocate_release_fail_repair(
+            self, cluster, compiled_medium):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.runtime.controller import SystemController
+        registry = MetricsRegistry()
+        controller = SystemController(cluster)
+        controller.attach_metrics(registry)
+        gauge = registry.gauge("fragmentation_index", manager="vital")
+        assert gauge.value == pytest.approx(0.75)
+        deployment = controller.try_deploy(compiled_medium, 1, now=0.0)
+        assert deployment is not None
+        expected = fragmentation_index(
+            controller.resource_db.free_counts_by_board())
+        assert gauge.value == pytest.approx(expected)
+        controller.fail_board(3)
+        assert gauge.value == pytest.approx(fragmentation_index(
+            controller.resource_db.free_counts_by_board()))
+        controller.repair_board(3)
+        controller.release(deployment)
+        assert gauge.value == pytest.approx(0.75)
+
+    def test_without_registry_no_gauge_work(self, cluster,
+                                            compiled_small):
+        from repro.runtime.controller import SystemController
+        controller = SystemController(cluster)
+        assert controller._frag_gauge is None
+        d = controller.try_deploy(compiled_small, 1, now=0.0)
+        controller.release(d)

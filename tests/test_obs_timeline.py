@@ -1,0 +1,237 @@
+"""TimelineAggregator: streaming health series over trace events."""
+
+import json
+
+import pytest
+
+from repro.obs.timeline import BUCKET_FIELDS, TimelineAggregator
+from repro.obs.tracer import Tracer
+
+
+def make_timeline(interval=10.0, capacity=40, boards=4):
+    return TimelineAggregator(interval_s=interval,
+                              capacity_blocks=capacity,
+                              num_boards=boards,
+                              board_capacity=capacity // boards)
+
+
+def deploy_event(timeline, t, request, blocks_by_board, tenant="a",
+                 spans=None):
+    blocks = sum(n for _, n in blocks_by_board)
+    timeline.on_record("event", "ctrl.deploy", t, None, {
+        "request": request, "blocks": blocks, "tenant": tenant,
+        "blocks_by_board": blocks_by_board,
+        "spans": len(blocks_by_board) > 1 if spans is None else spans})
+
+
+class TestBucketing:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TimelineAggregator(interval_s=0.0)
+
+    def test_buckets_close_at_fixed_boundaries(self):
+        tl = make_timeline()
+        tl.on_record("event", "sim.arrival", 3.0, None, {"request": 1})
+        assert tl.buckets == []  # bucket 0 still open
+        tl.on_record("event", "sim.arrival", 25.0, None, {"request": 2})
+        # events at t=25 close buckets [0,10) and [10,20)
+        assert [b["t"] for b in tl.buckets] == [10.0, 20.0]
+        assert tl.buckets[0]["queue_depth"] == 1
+        assert tl.buckets[1]["queue_depth"] == 1
+
+    def test_sample_is_state_at_bucket_end(self):
+        tl = make_timeline()
+        tl.on_record("event", "sim.arrival", 1.0, None, {"request": 1})
+        deploy_event(tl, 2.0, 1, [[0, 4]])
+        tl.on_record("event", "sim.deploy", 2.0, None, {"request": 1})
+        tl.finish(2.0)
+        (bucket,) = tl.buckets
+        assert bucket["queue_depth"] == 0       # deployed within bucket
+        assert bucket["allocated_blocks"] == 4
+        assert bucket["utilization"] == pytest.approx(4 / 40)
+        assert bucket["arrivals"] == 1
+        assert bucket["deploys"] == 1
+
+    def test_rate_counters_reset_per_bucket(self):
+        tl = make_timeline()
+        tl.on_record("event", "sim.arrival", 1.0, None, {"request": 1})
+        tl.finish(25.0)
+        assert [b["arrivals"] for b in tl.buckets] == [1, 0, 0]
+
+    def test_finish_is_idempotent_and_closes_tail(self):
+        tl = make_timeline()
+        tl.finish(35.0)
+        assert len(tl.buckets) == 4  # [0,10) .. [30,40)
+        tl.finish(95.0)
+        assert len(tl.buckets) == 4
+        tl.on_record("event", "sim.arrival", 99.0, None, {})
+        assert len(tl.buckets) == 4  # finished: intake ignored
+
+
+class TestStateTracking:
+    def test_occupancy_and_release(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[0, 3], [1, 2]], tenant="alice")
+        deploy_event(tl, 2.0, 2, [[2, 4]], tenant="bob")
+        tl.on_record("event", "ctrl.release", 5.0, None, {"request": 1})
+        tl.finish(5.0)
+        (bucket,) = tl.buckets
+        assert bucket["allocated_blocks"] == 4
+        assert bucket["board_occupancy"] == [0, 0, 4, 0]
+        assert bucket["active_tenants"] == 1
+        assert bucket["max_tenant_share"] == pytest.approx(4 / 40)
+
+    def test_ring_flows_from_spanning_deployments(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[0, 2], [1, 2]])   # spans 0-1
+        tl.finish(1.0)
+        assert tl.buckets[0]["ring_max_flows"] == 1
+        tl2 = make_timeline()
+        deploy_event(tl2, 1.0, 1, [[0, 4]])          # single board
+        tl2.finish(1.0)
+        assert tl2.buckets[0]["ring_max_flows"] == 0
+
+    def test_failed_boards_and_fragmentation(self):
+        tl = make_timeline()
+        tl.on_record("event", "ctrl.board_fail", 1.0, None, {"board": 1})
+        tl.on_record("event", "ctrl.board_repair", 11.0, None,
+                     {"board": 1})
+        tl.finish(11.0)
+        assert tl.buckets[0]["failed_boards"] == 1
+        # 3 healthy boards, 10 free each -> evenly shredded
+        assert tl.buckets[0]["fragmentation"] == pytest.approx(2 / 3)
+        assert tl.buckets[1]["failed_boards"] == 0
+
+    def test_evict_requeued_reenters_queue(self):
+        tl = make_timeline()
+        tl.on_record("event", "sim.arrival", 1.0, None, {"request": 1})
+        tl.on_record("event", "sim.deploy", 2.0, None, {"request": 1})
+        deploy_event(tl, 2.0, 1, [[0, 2]])
+        tl.on_record("event", "ctrl.evict", 3.0, None, {"request": 1})
+        tl.on_record("event", "sim.evict", 3.0, None,
+                     {"request": 1, "reason": "requeued"})
+        tl.finish(3.0)
+        assert tl.buckets[0]["queue_depth"] == 1
+        assert tl.buckets[0]["allocated_blocks"] == 0
+
+    def test_spans_and_slo_events_ignored(self):
+        tl = make_timeline()
+        tl.on_record("span", "compile.pnr", 1.0, 2.0, {})
+        tl.on_record("event", "slo.violation", 50.0, None, {"rule": "x"})
+        assert tl.buckets == []  # neither advanced the bucket clock
+
+
+class TestConfigure:
+    def test_bare_aggregator_requires_configure(self):
+        tl = TimelineAggregator(interval_s=5.0)
+        assert not tl.configured
+        tl.configure(40, num_boards=4)
+        assert tl.configured
+        assert tl.board_capacity == 10
+
+    def test_reconfigure_running_timeline_rejected(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[0, 1]])
+        with pytest.raises(RuntimeError):
+            tl.configure(80)
+
+    def test_listener_must_be_callable(self):
+        tl = make_timeline()
+        with pytest.raises(TypeError):
+            tl.add_listener("not-callable")
+
+    def test_listener_fires_per_bucket(self):
+        tl = make_timeline()
+        seen = []
+        tl.add_listener(lambda t, sample: seen.append(t))
+        tl.finish(25.0)
+        assert seen == [10.0, 20.0, 30.0]
+
+
+class TestExport:
+    def test_json_is_compact_sorted_and_stable(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[0, 2]])
+        tl.finish(1.0)
+        text = tl.to_json()
+        doc = json.loads(text)
+        assert doc["interval_s"] == 10.0
+        assert json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")) == text
+
+    def test_csv_shape(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[1, 3]])
+        tl.finish(1.0)
+        lines = tl.to_csv().splitlines()
+        header = lines[0].split(",")
+        assert header[:len(BUCKET_FIELDS)] == list(BUCKET_FIELDS)
+        assert header[len(BUCKET_FIELDS):] == [
+            "board0", "board1", "board2", "board3"]
+        row = lines[1].split(",")
+        assert row[header.index("board1")] == "3"
+
+    def test_dump_selects_format_by_suffix(self, tmp_path):
+        tl = make_timeline()
+        tl.finish(5.0)
+        n = tl.dump(tmp_path / "tl.json")
+        assert n == 1
+        assert json.loads((tmp_path / "tl.json").read_text())
+        tl.dump(tmp_path / "tl.csv")
+        assert (tmp_path / "tl.csv").read_text().startswith("t,")
+
+    def test_series_accessor(self):
+        tl = make_timeline()
+        tl.on_record("event", "sim.arrival", 1.0, None, {})
+        tl.finish(15.0)
+        assert tl.series("arrivals") == [1, 0]
+
+
+class TestTracerIntegration:
+    def test_sink_receives_and_aggregates_live_events(self):
+        tracer = Tracer()
+        tl = make_timeline()
+        tracer.add_sink(tl.on_record)
+        tracer.event("sim.arrival", t=1.0, request=1)
+        tracer.event("ctrl.deploy", t=2.0, request=1, blocks=2,
+                     tenant="a", blocks_by_board=[[0, 2]], spans=False)
+        tracer.event("sim.deploy", t=2.0, request=1)
+        tracer.event("sim.complete", t=12.0, request=1)
+        tl.finish(12.0)
+        assert tl.buckets[0]["deploys"] == 1
+        assert tl.buckets[1]["completions"] == 1
+
+    def test_non_retaining_tracer_still_feeds_sinks(self):
+        tracer = Tracer(retain=False)
+        tl = make_timeline()
+        tracer.add_sink(tl.on_record)
+        tracer.event("sim.arrival", t=1.0, request=1)
+        assert len(tracer) == 0
+        tl.finish(1.0)
+        assert tl.buckets[0]["arrivals"] == 1
+
+    def test_disabled_tracer_feeds_nothing(self):
+        tracer = Tracer(enabled=False)
+        tl = make_timeline()
+        tracer.add_sink(tl.on_record)
+        tracer.event("sim.arrival", t=1.0, request=1)
+        tl.finish(1.0)
+        assert tl.buckets[0]["arrivals"] == 0
+
+    def test_sink_must_be_callable(self):
+        with pytest.raises(TypeError):
+            Tracer().add_sink(42)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_jsonable_and_restores_midstream(self):
+        tl = make_timeline()
+        deploy_event(tl, 1.0, 1, [[0, 2], [1, 1]], tenant="alice")
+        tl.on_record("event", "sim.arrival", 12.0, None, {})
+        state = json.loads(json.dumps(tl.snapshot()))
+        restored = TimelineAggregator.restore(state)
+        for t in (tl, restored):
+            t.on_record("event", "ctrl.release", 14.0, None,
+                        {"request": 1})
+            t.finish(14.0)
+        assert restored.to_json() == tl.to_json()

@@ -1,0 +1,179 @@
+"""Timeline determinism properties.
+
+The regression gate depends on three invariants, asserted here on real
+seeded fault runs rather than synthetic event lists:
+
+- **stream == batch**: feeding the tracer stream one event at a time
+  produces byte-identical exports to replaying the retained trace;
+- **observation is free**: a health-monitored run's simulation results
+  are bit-identical to an unmonitored one (modulo the ``slo_*`` summary
+  fields the monitor itself fills in);
+- **warm restart is invisible**: cutting the stream at any bucket
+  boundary, snapshotting, and restoring -- including across a
+  *controller* snapshot/restore -- continues the series exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.obs.slo import SLOEngine
+from repro.obs.timeline import TimelineAggregator
+from repro.obs.tracer import Tracer
+from repro.runtime.controller import SystemController
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import Request
+
+INTERVAL_S = 10.0
+
+
+@pytest.fixture(scope="module")
+def requests(compiled_small, compiled_medium, compiled_large):
+    specs = [compiled_small.spec, compiled_medium.spec,
+             compiled_large.spec]
+    return [Request(request_id=i, spec=specs[i % 3],
+                    arrival_s=1.0 + 2.5 * i)
+            for i in range(30)]
+
+
+def run_health(cluster, requests, compiled_apps, recovery="migrate"):
+    """One demo-fault run with a retaining tracer + full health stack."""
+    tracer = Tracer()
+    timeline = TimelineAggregator(interval_s=INTERVAL_S)
+    slo = SLOEngine()
+    result = run_experiment(
+        SystemController(cluster), requests, compiled_apps,
+        faults=FaultSchedule.demo(len(cluster.boards)),
+        recovery=recovery, tracer=tracer, timeline=timeline, slo=slo)
+    return result, tracer, timeline, slo
+
+
+def batch_replay(events, timeline):
+    """Recompute ``timeline`` from its run's exported events."""
+    end_t = max(e["t"] for e in events
+                if not e["name"].startswith("slo."))
+    return TimelineAggregator.from_events(
+        events, interval_s=timeline.interval_s,
+        capacity_blocks=timeline.capacity_blocks,
+        num_boards=timeline.num_boards,
+        board_capacity=timeline.board_capacity, end_t=end_t)
+
+
+class TestStreamEqualsBatch:
+    def test_incremental_matches_batch_replay(self, cluster, requests,
+                                              compiled_apps):
+        _, tracer, timeline, _ = run_health(cluster, requests,
+                                            compiled_apps)
+        events = list(tracer.entries())
+        batch = batch_replay(events, timeline)
+        assert batch.to_json() == timeline.to_json()
+        assert batch.to_csv() == timeline.to_csv()
+
+    def test_snapshot_restore_at_any_cut_matches_batch(
+            self, cluster, requests, compiled_apps):
+        _, tracer, timeline, _ = run_health(cluster, requests,
+                                            compiled_apps)
+        events = list(tracer.entries())
+        end_t = max(e["t"] for e in events
+                    if not e["name"].startswith("slo."))
+        for cut in (1, len(events) // 3, len(events) // 2,
+                    len(events) - 1):
+            first = TimelineAggregator(
+                interval_s=INTERVAL_S,
+                capacity_blocks=timeline.capacity_blocks,
+                num_boards=timeline.num_boards,
+                board_capacity=timeline.board_capacity)
+            for entry in events[:cut]:
+                first.observe(entry)
+            resumed = TimelineAggregator.restore(first.snapshot())
+            for entry in events[cut:]:
+                resumed.observe(entry)
+            resumed.finish(end_t)
+            assert resumed.to_json() == timeline.to_json(), \
+                f"cut at event {cut} diverged"
+
+    def test_byte_stable_across_runs(self, cluster, requests,
+                                     compiled_apps):
+        runs = [run_health(cluster, requests, compiled_apps)
+                for _ in range(2)]
+        (_, t1, tl1, s1), (_, t2, tl2, s2) = runs
+        assert tl1.to_json() == tl2.to_json()
+        assert t1.to_jsonl() == t2.to_jsonl()
+        assert s1.report() == s2.report()
+
+
+class TestObservationIsFree:
+    def test_summary_identical_modulo_slo_fields(self, cluster,
+                                                 requests,
+                                                 compiled_apps):
+        plain = run_experiment(
+            SystemController(cluster), requests, compiled_apps,
+            faults=FaultSchedule.demo(len(cluster.boards)),
+            recovery="migrate")
+        monitored, _, _, slo = run_health(cluster, requests,
+                                          compiled_apps)
+        assert slo.total_violations() >= 1  # the outage tripped a rule
+        stripped = replace(monitored.summary, slo_rules=0.0,
+                           slo_violations=0.0, slo_violated_s=0.0,
+                           slo_recovered=0.0)
+        assert stripped == plain.summary
+        assert monitored.records == plain.records
+
+    def test_demo_outage_trips_and_recovers(self, cluster, requests,
+                                            compiled_apps):
+        result, tracer, _, slo = run_health(cluster, requests,
+                                            compiled_apps)
+        names = [e["name"] for e in tracer.entries()]
+        assert "slo.violation" in names
+        assert "slo.recovered" in names
+        assert slo.all_recovered()
+        assert result.summary.slo_violations == \
+            result.summary.slo_recovered
+
+
+class TestControllerWarmRestart:
+    def test_timeline_stream_survives_controller_restore(
+            self, cluster, compiled_small, compiled_medium):
+        def drive(restart):
+            """Deploy / maybe warm-restart / fail / repair / release,
+            all narrated into one shared timeline stream."""
+            tracer = Tracer()
+            timeline = TimelineAggregator(
+                interval_s=INTERVAL_S, capacity_blocks=40,
+                num_boards=4, board_capacity=10)
+            tracer.add_sink(timeline.on_record)
+            ctrl = SystemController(cluster)
+            ctrl.attach_tracer(tracer)
+            assert ctrl.try_deploy(compiled_medium, 1, now=2.0,
+                                   tenant="alice") is not None
+            assert ctrl.try_deploy(compiled_small, 2, now=4.0,
+                                   tenant="bob") is not None
+            ctrl = restart(ctrl, tracer)
+            ctrl.fail_board(3, now=15.0)
+            ctrl.repair_board(3, now=25.0)
+            for rid in (1, 2):
+                ctrl.release(ctrl.deployments[rid], now=31.0 + rid)
+            timeline.finish(35.0)
+            assert ctrl.deployments == {}
+            return timeline
+
+        continuous = drive(lambda ctrl, tracer: ctrl)
+
+        def warm_restart(ctrl, tracer):
+            snap = ctrl.snapshot()
+            # the old controller dies silently: its releases must not
+            # narrate into the stream, and it must hand back its ring
+            # flows before anything else on this shared cluster
+            ctrl.attach_tracer(None)
+            for deployment in list(ctrl.deployments.values()):
+                ctrl.release(deployment)
+            restored = SystemController.restore(cluster, snap,
+                                                ctrl.bitstream_db)
+            restored.attach_tracer(tracer)
+            return restored
+
+        restarted = drive(warm_restart)
+        assert restarted.to_json() == continuous.to_json()
