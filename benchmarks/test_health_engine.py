@@ -27,7 +27,7 @@ from repro.fabric.partition import PartitionPlanner
 from repro.faults import FaultSchedule
 from repro.obs import SLOEngine, TimelineAggregator, Tracer
 from repro.runtime.controller import SystemController
-from repro.sim.experiment import compile_benchmarks, run_experiment
+from repro.sim.experiment import run_experiment
 from repro.sim.workload import WorkloadGenerator
 
 #: the 64-board saturated configuration of test_scalability.py
@@ -39,10 +39,9 @@ MAX_OVERHEAD = 0.10
 ROUNDS = 5
 
 
-def _fixture(boards: int, num_requests: int, interarrival: float):
+def _fixture(apps, boards: int, num_requests: int, interarrival: float):
     partition = PartitionPlanner(make_xcvu37p()).plan()
     cluster = make_cluster(boards, partition=partition)
-    apps = compile_benchmarks(cluster)
     requests = WorkloadGenerator(seed=2020).generate(
         WORKLOAD_SET, num_requests=num_requests,
         mean_interarrival_s=interarrival)
@@ -60,10 +59,10 @@ def _timed_run(cluster, apps, requests, health: bool, **kwargs):
     return time.perf_counter() - t0, result, monitors
 
 
-def test_health_slo_demo_outage(emit):
+def test_health_slo_demo_outage(emit, compiled_apps):
     """The canonical outage trips an SLO, recovery closes it, and the
     timeline export is byte-stable across seeded runs."""
-    cluster, apps, requests = _fixture(4, 120, 2.0)
+    cluster, apps, requests = _fixture(compiled_apps, 4, 120, 2.0)
     runs = []
     for _ in range(2):
         timeline = TimelineAggregator()
@@ -98,11 +97,11 @@ def test_health_slo_demo_outage(emit):
     emit("health_slo", "\n".join(rows))
 
 
-def test_health_engine_overhead(emit):
+def test_health_engine_overhead(emit, compiled_apps):
     """Health-monitored event loop within MAX_OVERHEAD of bare, best of
     ROUNDS interleaved paired ratios."""
-    cluster, apps, requests = _fixture(BOARDS, NUM_REQUESTS,
-                                       INTERARRIVAL_S)
+    cluster, apps, requests = _fixture(compiled_apps, BOARDS,
+                                       NUM_REQUESTS, INTERARRIVAL_S)
     # warmup pair: first runs pay cache/branch-predictor warmup
     _timed_run(cluster, apps, requests, health=False)
     _timed_run(cluster, apps, requests, health=True)

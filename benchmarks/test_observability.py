@@ -26,7 +26,7 @@ from repro.fabric.devices import make_xcvu37p
 from repro.fabric.partition import PartitionPlanner
 from repro.obs import Tracer
 from repro.runtime.controller import SystemController
-from repro.sim.experiment import compile_benchmarks, run_experiment
+from repro.sim.experiment import run_experiment
 from repro.sim.workload import WorkloadGenerator
 
 #: the 64-board saturated configuration of test_scalability.py
@@ -38,10 +38,9 @@ MAX_OVERHEAD = 0.10
 ROUNDS = 5
 
 
-def _fixture(boards: int, num_requests: int, interarrival: float):
+def _fixture(apps, boards: int, num_requests: int, interarrival: float):
     partition = PartitionPlanner(make_xcvu37p()).plan()
     cluster = make_cluster(boards, partition=partition)
-    apps = compile_benchmarks(cluster)
     requests = WorkloadGenerator(seed=2020).generate(
         WORKLOAD_SET, num_requests=num_requests,
         mean_interarrival_s=interarrival)
@@ -55,10 +54,10 @@ def _timed_run(cluster, apps, requests, tracer):
     return time.perf_counter() - t0, result.summary
 
 
-def test_trace_determinism(emit):
+def test_trace_determinism(emit, compiled_apps):
     """Same seed, two runs: identical trace bytes, identical summary
     with tracing on, off, or absent."""
-    cluster, apps, requests = _fixture(4, 120, 2.0)
+    cluster, apps, requests = _fixture(compiled_apps, 4, 120, 2.0)
     tracers = [Tracer(), Tracer()]
     summaries = []
     for tracer in tracers:
@@ -76,11 +75,11 @@ def test_trace_determinism(emit):
          f"summary identical to tracing-off: yes")
 
 
-def test_tracer_overhead(emit):
+def test_tracer_overhead(emit, compiled_apps):
     """Traced event loop within MAX_OVERHEAD of untraced, best of
     ROUNDS interleaved paired ratios."""
-    cluster, apps, requests = _fixture(BOARDS, NUM_REQUESTS,
-                                       INTERARRIVAL_S)
+    cluster, apps, requests = _fixture(compiled_apps, BOARDS,
+                                       NUM_REQUESTS, INTERARRIVAL_S)
     # warmup pair: first runs pay cache/branch-predictor warmup
     _timed_run(cluster, apps, requests, None)
     _timed_run(cluster, apps, requests, Tracer())

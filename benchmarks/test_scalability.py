@@ -35,7 +35,7 @@ from repro.cluster.cluster import make_cluster
 from repro.fabric.devices import make_xcvu37p
 from repro.fabric.partition import PartitionPlanner
 from repro.runtime.controller import SystemController
-from repro.sim.experiment import compile_benchmarks, run_experiment
+from repro.sim.experiment import run_experiment
 from repro.sim.workload import WorkloadGenerator
 
 #: saturated workloads: interarrival well below the per-request service
@@ -80,12 +80,11 @@ print(time.perf_counter() - t0)
 """
 
 
-def _run_incremental(boards: int, num_requests: int,
+def _run_incremental(apps, boards: int, num_requests: int,
                      interarrival: float):
     """One full experiment on the default (incremental) stack."""
     partition = PartitionPlanner(make_xcvu37p()).plan()
     cluster = make_cluster(boards, partition=partition)
-    apps = compile_benchmarks(cluster)
     requests = WorkloadGenerator(seed=2020).generate(
         WORKLOAD_SET, num_requests=num_requests,
         mean_interarrival_s=interarrival)
@@ -128,11 +127,11 @@ HEADER = (f"{'boards':>6} {'requests':>9} {'interarr_s':>12} "
           f"{'util':>6} {'resp_s':>9}")
 
 
-def test_scalability_smoke(emit):
+def test_scalability_smoke(emit, compiled_apps):
     """CI-sized run: a small cluster must stay comfortably fast and the
     incremental indices must verify against a full rescan."""
     wall, summary = _run_incremental(
-        boards=8, num_requests=400, interarrival=0.8)
+        compiled_apps, boards=8, num_requests=400, interarrival=0.8)
     emit("scalability_smoke",
          "System-Layer scalability smoke (incremental stack)\n"
          f"{'boards':>6} {'requests':>9} {'interarr_s':>12} "
@@ -144,13 +143,13 @@ def test_scalability_smoke(emit):
     assert wall < 15.0, f"smoke run took {wall:.1f}s, budget 15s"
 
 
-def test_scalability_large_clusters(benchmark, emit):
+def test_scalability_large_clusters(benchmark, emit, compiled_apps):
     """32- and 64-board saturated workloads, incremental vs legacy."""
     configs = [(32, 1500, 0.4), (64, 2000, 0.2)]
     rows = []
     for boards, num_requests, interarrival in configs:
-        wall, summary = _run_incremental(boards, num_requests,
-                                         interarrival)
+        wall, summary = _run_incremental(compiled_apps, boards,
+                                         num_requests, interarrival)
         assert wall < NEW_BUDGET_S, (
             f"incremental stack took {wall:.1f}s at {boards} boards")
         legacy, timed_out = _run_legacy(boards, num_requests,
@@ -164,7 +163,8 @@ def test_scalability_large_clusters(benchmark, emit):
                                 wall, summary, legacy, timed_out))
 
     benchmark.pedantic(
-        lambda: _run_incremental(64, 2000, 0.2), rounds=1, iterations=1)
+        lambda: _run_incremental(compiled_apps, 64, 2000, 0.2),
+        rounds=1, iterations=1)
 
     emit("scalability", "\n".join([
         "System-Layer allocation hot path at scale "

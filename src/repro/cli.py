@@ -73,9 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hardened", action="store_true",
                    help="system regions in hard IP (§3.5.2 future work)")
 
-    p = sub.add_parser("compile", help="compile one Table 2 benchmark")
-    p.add_argument("family", choices=sorted(BENCHMARKS))
-    p.add_argument("size", choices=["S", "M", "L"])
+    p = sub.add_parser("compile",
+                       help="compile Table 2 benchmarks (cached)")
+    p.add_argument("family", nargs="?", choices=sorted(BENCHMARKS))
+    p.add_argument("size", nargs="?", choices=["S", "M", "L"])
+    p.add_argument("--all", action="store_true",
+                   help="compile the whole 21-app benchmark set")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for cache misses "
+                        "(1 = inline)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent compile cache directory; artifacts "
+                        "found there are reused instead of recompiled")
 
     sub.add_parser("links",
                    help="Table 4 link bandwidth microbenchmark")
@@ -152,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="stitch benchmarks/results/*.txt into REPORT.md")
     p.add_argument("--results", default="benchmarks/results")
     p.add_argument("--output", default=None)
+    p.add_argument("--cache-dir", default=None,
+                   help="summarize a compile-cache directory (entries, "
+                        "bytes, apps) instead of stitching results")
     p.add_argument("--trace", dest="trace_in", default=None,
                    help="summarize an event trace (decisions and "
                         "latency percentiles) instead of stitching "
@@ -213,20 +225,50 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.compiler.cache import CompileCache
+    from repro.compiler.service import CompileService
+    from repro.hls.kernels import all_benchmarks
+
     cluster = make_cluster(num_boards=1)
-    flow = CompilationFlow(fabric=cluster.partition)
-    app = flow.compile(benchmark(args.family, args.size))
-    b = app.breakdown
-    print(f"{app.name}: {app.num_blocks} virtual blocks, "
-          f"fmax {app.fmax_mhz:.0f} MHz, "
-          f"{len(app.interface.channels)} LI channels, "
-          f"cut {app.cut_bandwidth_bits:.0f} bits")
-    print(format_table(
-        ["step", "modeled time", "share"],
-        [[step, f"{seconds / 60:.1f} min",
-          f"{seconds / b.total_s:.1%}"]
-         for step, seconds in b.as_dict().items()],
-        title="vendor-scale compile breakdown"))
+    cache = CompileCache(cache_dir=args.cache_dir) \
+        if args.cache_dir else None
+    service = CompileService(fabric=cluster.partition, cache=cache)
+
+    if args.all:
+        t0 = time.perf_counter()
+        apps = service.compile_many(all_benchmarks(), jobs=args.jobs)
+        wall = time.perf_counter() - t0
+        print(format_table(
+            ["app", "blocks", "fmax", "modeled compile"],
+            [[name, app.num_blocks, f"{app.fmax_mhz:.0f} MHz",
+              f"{app.breakdown.total_s / 60:.0f} min"]
+             for name, app in apps.items()],
+            title="Table 2 benchmark set"))
+        print(f"compiled {len(apps)} applications in {wall:.2f}s "
+              f"(jobs={args.jobs})")
+    else:
+        if not args.family or not args.size:
+            print("family and size are required unless --all is given")
+            return 2
+        app = service.compile_one(benchmark(args.family, args.size))
+        b = app.breakdown
+        print(f"{app.name}: {app.num_blocks} virtual blocks, "
+              f"fmax {app.fmax_mhz:.0f} MHz, "
+              f"{len(app.interface.channels)} LI channels, "
+              f"cut {app.cut_bandwidth_bits:.0f} bits")
+        print(format_table(
+            ["step", "modeled time", "share"],
+            [[step, f"{seconds / 60:.1f} min",
+              f"{seconds / b.total_s:.1%}"]
+             for step, seconds in b.as_dict().items()],
+            title="vendor-scale compile breakdown"))
+    if cache is not None:
+        s = cache.stats()
+        print(f"cache: {s['hits']} hits ({s['disk_hits']} from disk), "
+              f"{s['misses']} misses, {s['stores']} stored "
+              f"at {args.cache_dir}")
     return 0
 
 
@@ -558,6 +600,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
              "arrivals", "deploys", "completions"], rows,
             title=f"health timeline ({doc.get('interval_s', '?')} s "
                   f"buckets, {doc.get('capacity_blocks', '?')} blocks)"))
+        return 0
+    if args.cache_dir:
+        cache_dir = Path(args.cache_dir)
+        if not cache_dir.is_dir():
+            print(f"no compile cache at {cache_dir}; run "
+                  "`repro compile --all --cache-dir ...` first")
+            return 2
+        entries = sorted(cache_dir.glob("*.json"))
+        rows = []
+        total = 0
+        for entry in entries:
+            size = entry.stat().st_size
+            total += size
+            try:
+                name = json.loads(entry.read_text())["spec"]
+                name = f"{name['family']}-{name['size']}"
+            except (ValueError, KeyError, TypeError):
+                name = "?"
+            rows.append([entry.stem[:12], name, f"{size:,} B"])
+        if args.format == "json":
+            print(json.dumps({"cache_dir": str(cache_dir),
+                              "entries": len(entries),
+                              "bytes": total}, sort_keys=True))
+        else:
+            print(format_table(
+                ["fingerprint", "app", "size"], rows,
+                title=f"compile cache at {cache_dir}"))
+            print(f"{len(entries)} artifacts, {total:,} bytes")
         return 0
     results = Path(args.results)
     if not results.is_dir():

@@ -17,7 +17,10 @@
 
 :mod:`repro.compiler.flow` orchestrates the steps and
 :mod:`repro.compiler.timing` models the vendor-tool runtimes that dominate
-the Fig. 8 breakdown.
+the Fig. 8 breakdown.  :mod:`repro.compiler.cache` content-addresses the
+finished artifacts (compile once, ever) and
+:mod:`repro.compiler.service` fans independent compiles out across
+worker processes.
 """
 
 from repro.compiler.packing import Cluster, GreedyPacker
@@ -38,7 +41,9 @@ from repro.compiler.pnr import LocalPnR, GlobalPnR, PlacedVirtualBlock
 from repro.compiler.relocation import Relocator, RelocationError
 from repro.compiler.bitstream import VirtualBlockImage, CompiledApp
 from repro.compiler.timing import CompileTimeModel, CompileTimeBreakdown
-from repro.compiler.flow import CompilationFlow
+from repro.compiler.flow import CompilationFlow, FLOW_VERSION
+from repro.compiler.cache import CompileCache, compile_fingerprint
+from repro.compiler.service import CompileService
 from repro.compiler.techmap import LUTNetwork, MappedLUT, technology_map
 from repro.compiler.frames import (
     PartialBitstream,
@@ -76,6 +81,10 @@ __all__ = [
     "CompileTimeModel",
     "CompileTimeBreakdown",
     "CompilationFlow",
+    "FLOW_VERSION",
+    "CompileCache",
+    "compile_fingerprint",
+    "CompileService",
     "LUTNetwork",
     "MappedLUT",
     "technology_map",

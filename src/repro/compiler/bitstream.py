@@ -6,18 +6,31 @@ the physical-block *footprint* and relocatable to any physical block with
 that footprint (Section 3.3, step 5).  A :class:`CompiledApp` bundles all
 of an application's images with its latency-insensitive interface and the
 metadata the System Layer's databases index.
+
+:meth:`CompiledApp.to_dict` / :meth:`CompiledApp.from_dict` give the
+canonical serialized form.  The dict is *deterministic*: it contains only
+quantities that are pure functions of (spec, fabric abstraction, flow
+config) -- the wall-clock profiling fields of the compile-time breakdown
+are deliberately excluded -- so serializing the same artifact twice, or an
+artifact produced by a different worker process, yields byte-identical
+JSON.  The compile cache and the bitstream-database persistence both rely
+on this.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 
-from repro.compiler.interface_gen import LatencyInsensitiveInterface
+from repro.compiler.interface_gen import (
+    ChannelSpec,
+    LatencyInsensitiveInterface,
+)
 from repro.compiler.pnr import PlacedVirtualBlock
 from repro.compiler.timing import CompileTimeBreakdown
 from repro.fabric.resources import ResourceVector
-from repro.hls.kernels import KernelSpec
+from repro.hls.kernels import KernelSpec, SizeClass
 
 __all__ = ["VirtualBlockImage", "CompiledApp"]
 
@@ -96,3 +109,119 @@ class CompiledApp:
             raise ValueError(f"{self.name}: non-contiguous block ids {ids}")
         if not self.interface.verify_deadlock_free():
             raise ValueError(f"{self.name}: interface may deadlock")
+
+    # ------------------------------------------------------------------
+    # canonical serialization (deterministic round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic dict form of the artifact.
+
+        Contains every deploy-relevant field and the *modeled* compile
+        breakdown; the measured wall-clock fields
+        (``measured_custom_s`` / ``measured_wall_s``) are excluded so the
+        dict is a pure function of the compile inputs -- two compiles of
+        the same (spec, abstraction, flow config) serialize to identical
+        bytes regardless of machine, process, or run.
+        """
+        return {
+            "spec": {
+                "family": self.spec.family,
+                "size": self.spec.size.value,
+                "resources": self.spec.resources.as_dict(),
+                "work_gops": self.spec.work_gops,
+                "stream_width_bits": self.spec.stream_width_bits,
+                "paper_blocks": self.spec.paper_blocks,
+            },
+            "footprint": self.footprint,
+            "fmax_mhz": self.fmax_mhz,
+            "cut_bandwidth_bits": self.cut_bandwidth_bits,
+            "flows": [[src, dst, bits]
+                      for (src, dst), bits in sorted(self.flows.items())],
+            "images": [
+                {
+                    "virtual_block": img.virtual_block,
+                    "usage": img.usage.as_dict(),
+                    "fmax_mhz": img.fmax_mhz,
+                    "size_mb": img.size_mb,
+                }
+                for img in sorted(self.images,
+                                  key=lambda im: im.virtual_block)
+            ],
+            "channels": [
+                {
+                    "src": ch.src_block,
+                    "dst": ch.dst_block,
+                    "payload_bits": ch.payload_bits,
+                    "fifo_depth": ch.fifo_depth,
+                    "width_bits": ch.width_bits,
+                    "init_tokens": ch.init_tokens,
+                }
+                for ch in self.interface.channels
+            ],
+            "breakdown": self.breakdown.as_dict(),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable canonical JSON (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompiledApp":
+        """Reconstruct an artifact; validates before returning."""
+        spec_data = data["spec"]
+        spec = KernelSpec(
+            family=spec_data["family"],
+            size=SizeClass(spec_data["size"]),
+            resources=ResourceVector(**spec_data["resources"]),
+            work_gops=spec_data["work_gops"],
+            stream_width_bits=spec_data["stream_width_bits"],
+            paper_blocks=spec_data["paper_blocks"],
+        )
+        images = [
+            VirtualBlockImage(
+                app_name=spec.name,
+                virtual_block=img["virtual_block"],
+                footprint=data["footprint"],
+                usage=ResourceVector(**img["usage"]),
+                fmax_mhz=img["fmax_mhz"],
+                size_mb=img["size_mb"],
+            )
+            for img in data["images"]
+        ]
+        channels = [
+            ChannelSpec(
+                src_block=ch["src"], dst_block=ch["dst"],
+                payload_bits=ch["payload_bits"],
+                fifo_depth=ch["fifo_depth"],
+                width_bits=ch["width_bits"],
+                init_tokens=ch["init_tokens"],
+            )
+            for ch in data["channels"]
+        ]
+        interface = LatencyInsensitiveInterface(
+            app_name=spec.name, channels=channels,
+            num_blocks=len(images))
+        b = data["breakdown"]
+        breakdown = CompileTimeBreakdown(
+            synthesis_s=b["synthesis_s"],
+            partition_s=b["partition_s"],
+            interface_gen_s=b["interface_gen_s"],
+            local_pnr_s=b["local_pnr_s"],
+            relocation_s=b["relocation_s"],
+            global_pnr_s=b["global_pnr_s"],
+            measured_custom_s=b.get("measured_custom_s", 0.0),
+        )
+        app = cls(
+            spec=spec,
+            images=images,
+            interface=interface,
+            fmax_mhz=data["fmax_mhz"],
+            footprint=data["footprint"],
+            breakdown=breakdown,
+            cut_bandwidth_bits=data["cut_bandwidth_bits"],
+            flows={(src, dst): bits
+                   for src, dst, bits in data["flows"]},
+        )
+        app.validate()
+        return app

@@ -278,54 +278,131 @@ class QuadraticPlacer:
     # ------------------------------------------------------------------
     def _legalize(self, clusters: list[Cluster], positions: np.ndarray,
                   edges: dict[tuple[int, int], float]) -> list[int]:
-        """SA legalization with the Eq. 3 cost, then greedy refinement."""
+        """SA legalization with the Eq. 3 cost, then greedy refinement.
+
+        The inner loop runs ``sa_moves`` times per placement iteration and
+        dominated the whole compile in profiles, almost entirely in
+        :class:`ResourceVector` allocation and property recomputation.  It
+        therefore works on flat per-component float arrays, performing the
+        exact same IEEE operations in the same order as the vector algebra
+        it replaces -- accept/reject decisions, and hence results, are
+        bit-identical to the original formulation.
+        """
         n = len(clusters)
         grid = self.grid
-        assignment = [grid.nearest_block(*positions[i]) for i in range(n)]
-        usage = [ResourceVector.zero() for _ in range(grid.num_blocks)]
+        num_blocks = grid.num_blocks
+        cols = grid.cols
+        aspect = grid.aspect_ratio
+        penalty = self.overflow_penalty
+        rng = self.rng
+        inf = math.inf
+
+        # per-block cell centers and per-cluster demand/position, unpacked
+        # once so the loop touches only local floats
+        cx = [b % cols + 0.5 for b in range(num_blocks)]
+        cy = [b // cols + 0.5 for b in range(num_blocks)]
+        px = [float(positions[i][0]) for i in range(n)]
+        py = [float(positions[i][1]) for i in range(n)]
+        r_lut = [c.resources.lut for c in clusters]
+        r_dff = [c.resources.dff for c in clusters]
+        r_dsp = [c.resources.dsp for c in clusters]
+        r_bram = [c.resources.bram_mb for c in clusters]
+        cap = grid.capacity
+        cap_lut, cap_dff = cap.lut, cap.dff
+        cap_dsp, cap_bram = cap.dsp, cap.bram_mb
+
+        assignment = [grid.nearest_block(px[i], py[i]) for i in range(n)]
+        u_lut = [0.0] * num_blocks
+        u_dff = [0.0] * num_blocks
+        u_dsp = [0.0] * num_blocks
+        u_bram = [0.0] * num_blocks
         for i, b in enumerate(assignment):
-            usage[b] = usage[b] + clusters[i].resources
+            u_lut[b] += r_lut[i]
+            u_dff[b] += r_dff[i]
+            u_dsp[b] += r_dsp[i]
+            u_bram[b] += r_bram[i]
 
         def overflow_term() -> float:
+            # mirrors ResourceVector.fits_in / utilization_of, component
+            # order preserved (lut, dff, dsp, bram) for identical floats
             total = 0.0
-            for u in usage:
-                if not u.fits_in(grid.capacity):
-                    ratio = u.utilization_of(grid.capacity)
-                    total += self.overflow_penalty * ratio
-            return total / grid.num_blocks
+            for b in range(num_blocks):
+                lut, dff = u_lut[b], u_dff[b]
+                dsp, bram = u_dsp[b], u_bram[b]
+                if (lut <= cap_lut and dff <= cap_dff
+                        and dsp <= cap_dsp and bram <= cap_bram):
+                    continue
+                worst = 0.0
+                if lut != 0:
+                    if cap_lut == 0:
+                        total += penalty * inf
+                        continue
+                    worst = max(worst, lut / cap_lut)
+                if dff != 0:
+                    if cap_dff == 0:
+                        total += penalty * inf
+                        continue
+                    worst = max(worst, dff / cap_dff)
+                if dsp != 0:
+                    if cap_dsp == 0:
+                        total += penalty * inf
+                        continue
+                    worst = max(worst, dsp / cap_dsp)
+                if bram != 0:
+                    if cap_bram == 0:
+                        total += penalty * inf
+                        continue
+                    worst = max(worst, bram / cap_bram)
+                total += penalty * worst
+            return total / num_blocks
 
         def move_term(i: int, b: int) -> float:
-            bx, by = grid.center(b)
-            return (grid.aspect_ratio * abs(bx - positions[i][0])
-                    + abs(by - positions[i][1])) / n
+            return (aspect * abs(cx[b] - px[i]) + abs(cy[b] - py[i])) / n
 
-        move_total = sum(move_term(i, assignment[i]) for i in range(n))
+        move_total = 0.0
+        for i in range(n):
+            move_total += move_term(i, assignment[i])
         cost = move_total + overflow_term()
 
         temperature = self.sa_t0
         cooling = 0.995
         for _ in range(self.sa_moves):
-            i = self.rng.randrange(n)
+            i = rng.randrange(n)
             old_b = assignment[i]
-            new_b = self.rng.randrange(grid.num_blocks)
+            new_b = rng.randrange(num_blocks)
             if new_b == old_b:
                 continue
-            usage[old_b] = usage[old_b] - clusters[i].resources
-            usage[new_b] = usage[new_b] + clusters[i].resources
+            lut, dff, dsp, bram = r_lut[i], r_dff[i], r_dsp[i], r_bram[i]
+            u_lut[old_b] -= lut
+            u_dff[old_b] -= dff
+            u_dsp[old_b] -= dsp
+            u_bram[old_b] -= bram
+            u_lut[new_b] += lut
+            u_dff[new_b] += dff
+            u_dsp[new_b] += dsp
+            u_bram[new_b] += bram
             new_move_total = (move_total - move_term(i, old_b)
                               + move_term(i, new_b))
             new_cost = new_move_total + overflow_term()
             delta = new_cost - cost
-            if delta <= 0 or self.rng.random() < math.exp(
+            if delta <= 0 or rng.random() < math.exp(
                     -delta / max(temperature, 1e-9)):
                 assignment[i] = new_b
                 move_total = new_move_total
                 cost = new_cost
             else:
-                usage[old_b] = usage[old_b] + clusters[i].resources
-                usage[new_b] = usage[new_b] - clusters[i].resources
+                u_lut[old_b] += lut
+                u_dff[old_b] += dff
+                u_dsp[old_b] += dsp
+                u_bram[old_b] += bram
+                u_lut[new_b] -= lut
+                u_dff[new_b] -= dff
+                u_dsp[new_b] -= dsp
+                u_bram[new_b] -= bram
             temperature *= cooling
 
+        usage = [ResourceVector(u_lut[b], u_dff[b], u_dsp[b], u_bram[b])
+                 for b in range(num_blocks)]
         self._refine(clusters, assignment, usage, edges)
         return assignment
 
@@ -336,18 +413,22 @@ class QuadraticPlacer:
         reduces wirelength without creating over-utilization (the
         density-preserving refinement adapted from POLAR)."""
         grid = self.grid
+        cols = grid.cols
+        aspect = grid.aspect_ratio
+        cx = [b % cols + 0.5 for b in range(grid.num_blocks)]
+        cy = [b // cols + 0.5 for b in range(grid.num_blocks)]
         neighbor_w: dict[int, list[tuple[int, float]]] = {}
         for (a, b), w in edges.items():
             neighbor_w.setdefault(a, []).append((b, w))
             neighbor_w.setdefault(b, []).append((a, w))
 
         def star_cost(i: int, block: int) -> float:
-            x, y = grid.center(block)
+            x, y = cx[block], cy[block]
             total = 0.0
             for j, w in neighbor_w.get(i, ()):  # current partner positions
-                jx, jy = grid.center(assignment[j])
-                total += w * (grid.aspect_ratio * (x - jx) ** 2
-                              + (y - jy) ** 2)
+                jb = assignment[j]
+                total += w * (aspect * (x - cx[jb]) ** 2
+                              + (y - cy[jb]) ** 2)
             return total
 
         for i in range(len(clusters)):

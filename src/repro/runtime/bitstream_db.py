@@ -23,12 +23,30 @@ class BitstreamDB:
         self.footprint = footprint
         self._apps: dict[str, CompiledApp] = {}
 
-    def register(self, app: CompiledApp) -> None:
+    def register(self, app: CompiledApp, replace: bool = False) -> None:
+        """Store one artifact under its application name.
+
+        Re-registering the *same* artifact is an idempotent no-op (the
+        offline service may legitimately hand the database a cached
+        object twice).  Registering a *different* artifact under a name
+        already taken raises -- silently swapping bitstreams under live
+        deployments corrupts capacity accounting -- unless the caller
+        states the intent with ``replace=True``.
+        """
         app.validate()
         if app.footprint != self.footprint:
             raise ValueError(
                 f"{app.name}: compiled for footprint {app.footprint!r}, "
                 f"cluster uses {self.footprint!r} -- recompile required")
+        existing = self._apps.get(app.name)
+        if existing is not None and not replace:
+            # identical artifact (same object, or same canonical bytes,
+            # e.g. reloaded from the cache's disk tier): free no-op
+            if existing is app or existing.to_json() == app.to_json():
+                return
+            raise ValueError(
+                f"{app.name}: already registered with a different "
+                f"artifact; pass replace=True to overwrite")
         self._apps[app.name] = app
 
     def lookup(self, name: str) -> CompiledApp:

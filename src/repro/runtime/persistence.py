@@ -5,6 +5,10 @@ of offline compilation; in production it outlives any controller process.
 This module serializes compiled applications to a versioned JSON document
 and restores them, refusing documents whose footprint does not match the
 loading cluster -- the same guarantee the live database enforces.
+
+The per-application payload is the canonical deterministic form defined
+by :meth:`repro.compiler.bitstream.CompiledApp.to_dict`, shared with the
+compile cache so a persisted artifact round-trips byte-identically.
 """
 
 from __future__ import annotations
@@ -12,14 +16,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.compiler.bitstream import CompiledApp, VirtualBlockImage
-from repro.compiler.interface_gen import (
-    ChannelSpec,
-    LatencyInsensitiveInterface,
-)
-from repro.compiler.timing import CompileTimeBreakdown
-from repro.fabric.resources import ResourceVector
-from repro.hls.kernels import KernelSpec, SizeClass
+from repro.compiler.bitstream import CompiledApp
 from repro.runtime.bitstream_db import BitstreamDB
 
 __all__ = ["save_bitstream_db", "load_bitstream_db",
@@ -28,113 +25,14 @@ __all__ = ["save_bitstream_db", "load_bitstream_db",
 _FORMAT_VERSION = 1
 
 
-def _vec_to_dict(vec: ResourceVector) -> dict:
-    return vec.as_dict()
-
-
-def _vec_from_dict(data: dict) -> ResourceVector:
-    return ResourceVector(**data)
-
-
 def app_to_dict(app: CompiledApp) -> dict:
-    """Serialize one compiled application."""
-    return {
-        "spec": {
-            "family": app.spec.family,
-            "size": app.spec.size.value,
-            "resources": _vec_to_dict(app.spec.resources),
-            "work_gops": app.spec.work_gops,
-            "stream_width_bits": app.spec.stream_width_bits,
-            "paper_blocks": app.spec.paper_blocks,
-        },
-        "footprint": app.footprint,
-        "fmax_mhz": app.fmax_mhz,
-        "cut_bandwidth_bits": app.cut_bandwidth_bits,
-        "flows": [[src, dst, bits]
-                  for (src, dst), bits in sorted(app.flows.items())],
-        "images": [
-            {
-                "virtual_block": img.virtual_block,
-                "usage": _vec_to_dict(img.usage),
-                "fmax_mhz": img.fmax_mhz,
-                "size_mb": img.size_mb,
-            }
-            for img in app.images
-        ],
-        "channels": [
-            {
-                "src": ch.src_block,
-                "dst": ch.dst_block,
-                "payload_bits": ch.payload_bits,
-                "fifo_depth": ch.fifo_depth,
-                "width_bits": ch.width_bits,
-                "init_tokens": ch.init_tokens,
-            }
-            for ch in app.interface.channels
-        ],
-        "breakdown": app.breakdown.as_dict()
-        | {"measured_custom_s": app.breakdown.measured_custom_s},
-    }
+    """Serialize one compiled application (canonical form)."""
+    return app.to_dict()
 
 
 def app_from_dict(data: dict) -> CompiledApp:
     """Reconstruct a compiled application; validates before returning."""
-    spec_data = data["spec"]
-    spec = KernelSpec(
-        family=spec_data["family"],
-        size=SizeClass(spec_data["size"]),
-        resources=_vec_from_dict(spec_data["resources"]),
-        work_gops=spec_data["work_gops"],
-        stream_width_bits=spec_data["stream_width_bits"],
-        paper_blocks=spec_data["paper_blocks"],
-    )
-    images = [
-        VirtualBlockImage(
-            app_name=spec.name,
-            virtual_block=img["virtual_block"],
-            footprint=data["footprint"],
-            usage=_vec_from_dict(img["usage"]),
-            fmax_mhz=img["fmax_mhz"],
-            size_mb=img["size_mb"],
-        )
-        for img in data["images"]
-    ]
-    channels = [
-        ChannelSpec(
-            src_block=ch["src"], dst_block=ch["dst"],
-            payload_bits=ch["payload_bits"],
-            fifo_depth=ch["fifo_depth"],
-            width_bits=ch["width_bits"],
-            init_tokens=ch["init_tokens"],
-        )
-        for ch in data["channels"]
-    ]
-    interface = LatencyInsensitiveInterface(
-        app_name=spec.name, channels=channels,
-        num_blocks=len(images))
-    b = data["breakdown"]
-    breakdown = CompileTimeBreakdown(
-        synthesis_s=b["synthesis_s"],
-        partition_s=b["partition_s"],
-        interface_gen_s=b["interface_gen_s"],
-        local_pnr_s=b["local_pnr_s"],
-        relocation_s=b["relocation_s"],
-        global_pnr_s=b["global_pnr_s"],
-        measured_custom_s=b.get("measured_custom_s", 0.0),
-    )
-    app = CompiledApp(
-        spec=spec,
-        images=images,
-        interface=interface,
-        fmax_mhz=data["fmax_mhz"],
-        footprint=data["footprint"],
-        breakdown=breakdown,
-        cut_bandwidth_bits=data["cut_bandwidth_bits"],
-        flows={(src, dst): bits
-               for src, dst, bits in data["flows"]},
-    )
-    app.validate()
-    return app
+    return CompiledApp.from_dict(data)
 
 
 def save_bitstream_db(db: BitstreamDB, path: "str | Path") -> None:

@@ -38,7 +38,8 @@ from repro.baselines.per_device import PerDeviceManager
 from repro.baselines.slot_based import SlotBasedManager
 from repro.cluster.cluster import FPGACluster, make_cluster
 from repro.compiler.bitstream import CompiledApp
-from repro.compiler.flow import CompilationFlow
+from repro.compiler.cache import CompileCache
+from repro.compiler.service import CompileService
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryPolicy, \
     resolve_recovery_policy
@@ -64,16 +65,26 @@ __all__ = [
 
 
 def compile_benchmarks(cluster: FPGACluster,
-                       specs=None) -> dict[str, CompiledApp]:
+                       specs=None,
+                       cache: "CompileCache | None" = None,
+                       jobs: int = 1,
+                       tracer: Tracer | None = None,
+                       ) -> dict[str, CompiledApp]:
     """Offline-compile the benchmark set against the cluster's abstraction.
 
     One compile per application -- this is the ViTAL story; the same
     artifacts also drive the baselines, which in reality would each need
     their own (and in AmorphOS's case, combinatorial) compilation.
+
+    ``cache`` reuses previously compiled artifacts (one compile per
+    (spec, abstraction, flow config), ever); ``jobs`` fans cache misses
+    out across worker processes.  Both default to the sequential
+    uncached path, which is bit-identical to what they produce.
     """
-    flow = CompilationFlow(fabric=cluster.partition)
     specs = specs if specs is not None else all_benchmarks()
-    return {spec.name: flow.compile(spec) for spec in specs}
+    service = CompileService(fabric=cluster.partition, cache=cache,
+                             tracer=tracer)
+    return service.compile_many(specs, jobs=jobs)
 
 
 @dataclass(slots=True)
@@ -488,15 +499,19 @@ def compare_managers(workload_sets: dict[int, list[list[Request]]],
                      managers: dict[str, Callable[[FPGACluster],
                                                   ClusterManager]]
                      | None = None,
+                     cache: "CompileCache | None" = None,
+                     jobs: int = 1,
                      ) -> dict[str, dict[int, SummaryMetrics]]:
     """Run every manager over every workload set (averaging replicas).
 
     ``workload_sets`` maps set index -> list of replica request lists.
     Returns ``{manager: {set_index: averaged summary}}``; summaries are
-    averaged field-wise over replicas.
+    averaged field-wise over replicas.  When ``apps`` is not supplied,
+    the benchmark set is compiled through ``cache`` / ``jobs`` (see
+    :func:`compile_benchmarks`).
     """
     cluster = cluster or make_cluster()
-    apps = apps or compile_benchmarks(cluster)
+    apps = apps or compile_benchmarks(cluster, cache=cache, jobs=jobs)
     managers = managers or MANAGER_FACTORIES
 
     out: dict[str, dict[int, SummaryMetrics]] = {}

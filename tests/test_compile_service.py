@@ -1,0 +1,171 @@
+"""The compile service: cached and parallel compiles are bit-identical.
+
+The acceptance bar for the offline service is exact equivalence: a
+cached artifact, a persisted-and-reloaded artifact and a
+worker-process-compiled artifact must serialize to the same bytes as a
+sequential fresh compile, and traces must agree modulo the ``cache.*``
+lookup events.  Wall-clock *speed* is asserted in
+``benchmarks/test_compile_service.py``; this module pins correctness
+with a small spec subset so the tier-1 suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import make_cluster
+from repro.compiler.cache import CompileCache
+from repro.compiler.service import CompileService
+from repro.hls.kernels import benchmark
+from repro.obs.tracer import Tracer
+from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.persistence import (load_bitstream_db,
+                                       save_bitstream_db)
+
+#: small subset: three families, one/multi-block mix
+SPECS = [("mlp-mnist", "S"), ("lenet5", "S"), ("cifar10", "S")]
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [benchmark(f, s) for f, s in SPECS]
+
+
+@pytest.fixture(scope="module")
+def fresh(cluster, specs):
+    """Sequential, uncached compiles: the reference artifacts."""
+    service = CompileService(fabric=cluster.partition)
+    return service.compile_many(specs)
+
+
+def _non_cache_entries(tracer: Tracer) -> list[dict]:
+    out = []
+    for e in tracer.entries():
+        if e["name"].startswith("cache."):
+            continue
+        e = dict(e)
+        e.pop("seq")  # interleaved cache.* events shift sequence ids
+        out.append(e)
+    return out
+
+
+class TestWarmCache:
+    def test_warm_hits_are_byte_identical(self, cluster, specs, fresh):
+        cache = CompileCache()
+        service = CompileService(fabric=cluster.partition, cache=cache)
+        cold = service.compile_many(specs)
+        warm = service.compile_many(specs)
+        for spec in specs:
+            assert warm[spec.name] is cold[spec.name]  # same object
+            assert warm[spec.name].to_json() \
+                == fresh[spec.name].to_json()
+        assert cache.stats()["misses"] == len(specs)
+        assert cache.stats()["hits"] == len(specs)
+
+    def test_result_order_matches_input(self, cluster, specs):
+        cache = CompileCache()
+        service = CompileService(fabric=cluster.partition, cache=cache)
+        service.compile_many(specs)
+        reversed_out = service.compile_many(list(reversed(specs)))
+        assert list(reversed_out) == [s.name for s in reversed(specs)]
+
+    def test_traces_agree_modulo_cache_events(self, cluster, specs):
+        cold_tracer, warm_tracer = Tracer(), Tracer()
+        cache = CompileCache()
+        CompileService(fabric=cluster.partition, cache=cache,
+                       tracer=cold_tracer).compile_many(specs)
+        CompileService(fabric=cluster.partition, cache=cache,
+                       tracer=warm_tracer).compile_many(specs)
+        assert _non_cache_entries(cold_tracer) \
+            == _non_cache_entries(warm_tracer)
+        cold_cache = [e["name"] for e in cold_tracer.entries()
+                      if e["name"].startswith("cache.")]
+        warm_cache = [e["name"] for e in warm_tracer.entries()
+                      if e["name"].startswith("cache.")]
+        assert cold_cache == ["cache.miss"] * len(specs)
+        assert warm_cache == ["cache.hit"] * len(specs)
+
+    def test_uncached_trace_has_no_cache_events(self, cluster, specs):
+        tracer = Tracer()
+        CompileService(fabric=cluster.partition,
+                       tracer=tracer).compile_many(specs)
+        assert not [e for e in tracer.entries()
+                    if e["name"].startswith("cache.")]
+
+
+class TestParallel:
+    def test_parallel_bit_identical(self, cluster, specs, fresh):
+        service = CompileService(fabric=cluster.partition)
+        parallel = service.compile_many(specs, jobs=2)
+        for spec in specs:
+            assert parallel[spec.name].to_json() \
+                == fresh[spec.name].to_json()
+
+    def test_parallel_keeps_measured_walls(self, cluster, specs):
+        service = CompileService(fabric=cluster.partition)
+        apps = service.compile_many(specs, jobs=2)
+        for app in apps.values():
+            # profiling data survives the worker boundary even though
+            # it rides outside the canonical payload
+            assert app.breakdown.measured_custom_s > 0.0
+            assert app.breakdown.measured_wall_s \
+                >= app.breakdown.measured_custom_s
+
+    def test_parallel_trace_matches_inline(self, cluster, specs):
+        inline_tracer, parallel_tracer = Tracer(), Tracer()
+        CompileService(fabric=cluster.partition,
+                       tracer=inline_tracer).compile_many(specs, jobs=1)
+        CompileService(fabric=cluster.partition,
+                       tracer=parallel_tracer).compile_many(specs,
+                                                            jobs=2)
+        assert inline_tracer.to_jsonl() == parallel_tracer.to_jsonl()
+
+    def test_parallel_fills_cache(self, cluster, specs, fresh):
+        cache = CompileCache()
+        service = CompileService(fabric=cluster.partition, cache=cache)
+        service.compile_many(specs, jobs=2)
+        warm = service.compile_many(specs, jobs=2)
+        assert cache.stats()["hits"] == len(specs)
+        for spec in specs:
+            assert warm[spec.name].to_json() \
+                == fresh[spec.name].to_json()
+
+    def test_rejects_bad_jobs(self, cluster, specs):
+        with pytest.raises(ValueError, match="jobs"):
+            CompileService(fabric=cluster.partition).compile_many(
+                specs, jobs=0)
+
+    def test_rejects_duplicate_names(self, cluster, specs):
+        with pytest.raises(ValueError, match="duplicate"):
+            CompileService(fabric=cluster.partition).compile_many(
+                specs + [specs[0]])
+
+
+class TestPersistedReload:
+    def test_persisted_artifacts_bit_identical(self, tmp_path, cluster,
+                                               specs, fresh):
+        db = BitstreamDB(cluster.footprint)
+        for app in fresh.values():
+            db.register(app)
+        path = tmp_path / "db.json"
+        save_bitstream_db(db, path)
+        reloaded = load_bitstream_db(path, cluster.footprint)
+        for spec in specs:
+            assert reloaded.lookup(spec.name).to_json() \
+                == fresh[spec.name].to_json()
+
+    def test_disk_cache_feeds_fresh_service(self, tmp_path, cluster,
+                                            specs, fresh):
+        """A second process (fresh cache over the same directory) gets
+        the artifacts without compiling."""
+        CompileService(fabric=cluster.partition,
+                       cache=CompileCache(cache_dir=tmp_path)) \
+            .compile_many(specs)
+        cache = CompileCache(cache_dir=tmp_path)
+        service = CompileService(fabric=cluster.partition, cache=cache)
+        apps = service.compile_many(specs)
+        assert cache.stats()["disk_hits"] == len(specs)
+        assert cache.stats()["misses"] == 0
+        for spec in specs:
+            assert apps[spec.name].to_json() \
+                == fresh[spec.name].to_json()

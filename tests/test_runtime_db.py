@@ -79,6 +79,48 @@ class TestBitstreamDB:
         db.register(compiled_medium)
         assert len(db) == 2
 
+    def test_identical_reregistration_is_noop(self, cluster,
+                                              compiled_small):
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        db.register(compiled_small)  # same object: free no-op
+        assert db.lookup(compiled_small.name) is compiled_small
+        assert len(db) == 1
+
+    def test_identical_bytes_reregistration_is_noop(self, cluster,
+                                                    compiled_small):
+        """A cache/persistence reload of the same artifact is fine."""
+        from repro.compiler.bitstream import CompiledApp
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        clone = CompiledApp.from_dict(compiled_small.to_dict())
+        db.register(clone)
+        # the original registration wins (no silent swap under live
+        # deployments)
+        assert db.lookup(compiled_small.name) is compiled_small
+
+    def test_conflicting_registration_raises(self, cluster,
+                                             compiled_small):
+        import dataclasses
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        conflicting = dataclasses.replace(
+            compiled_small, fmax_mhz=compiled_small.fmax_mhz + 1.0)
+        with pytest.raises(ValueError, match="different artifact"):
+            db.register(conflicting)
+        assert db.lookup(compiled_small.name) is compiled_small
+
+    def test_replace_overwrites_explicitly(self, cluster,
+                                           compiled_small):
+        import dataclasses
+        db = BitstreamDB(cluster.footprint)
+        db.register(compiled_small)
+        updated = dataclasses.replace(
+            compiled_small, fmax_mhz=compiled_small.fmax_mhz + 1.0)
+        db.register(updated, replace=True)
+        assert db.lookup(compiled_small.name) is updated
+        assert len(db) == 1
+
 
 class TestPlacement:
     def test_boards_and_spanning(self):
