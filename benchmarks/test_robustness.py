@@ -1,0 +1,175 @@
+"""Robustness: degraded-mode control vs recovery-only under chaos.
+
+Not a paper figure: the paper's evaluation assumes a healthy cluster.
+This bench drives the PR 6 chaos harness and records the two numbers
+the acceptance criteria name:
+
+- **the guard win** -- on the correlated rack-flap scenario (one rack
+  fail-stops three times inside a breaker window) the degraded-mode
+  control plane must beat PR 1 recovery-only on goodput *and* eviction
+  count, because the breaker stops re-placement onto the flapping rack;
+- **the guard is free when idle** -- a fault-free run with the guard
+  attached must stay within a 10% wall-clock budget of the unguarded
+  run (the hot path pays one ``None``-check).
+
+Results land in ``benchmarks/results/robustness.txt`` and the
+``BENCH_robustness.json`` perf-trajectory file at the repo root (the
+first entry of the roadmap's perf history; later PRs append).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.runtime.controller import SystemController
+from repro.runtime.guard import DegradedModeGuard, GuardConfig
+from repro.sim.chaos import run_scenario, standard_scenarios
+from repro.sim.experiment import run_experiment
+from repro.sim.workload import WorkloadGenerator
+
+BENCH_FILE = Path(__file__).resolve().parent.parent \
+    / "BENCH_robustness.json"
+
+#: wall-clock budget for the guard's fault-free overhead (CI noise
+#: makes tighter budgets flaky; the guard's real cost is one attribute
+#: check per deploy attempt)
+OVERHEAD_BUDGET = 1.10
+
+
+def _scenario(name: str):
+    for scenario in standard_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise LookupError(name)
+
+
+def _chaos_cluster():
+    from repro.cluster.cluster import make_cluster
+    return make_cluster(num_boards=8)
+
+
+def test_guard_beats_recovery_only_on_rack_flap(benchmark, emit,
+                                                compiled_apps):
+    cluster = _chaos_cluster()
+    scenario = _scenario("rack-flap")
+
+    t0 = time.perf_counter()
+    guarded = run_scenario(scenario, with_guard=True,
+                           apps=compiled_apps, cluster=cluster)
+    baseline = run_scenario(scenario, with_guard=False,
+                            apps=compiled_apps, cluster=cluster)
+    campaign_wall_s = time.perf_counter() - t0
+
+    benchmark(lambda: run_scenario(scenario, with_guard=True,
+                                   apps=compiled_apps,
+                                   cluster=cluster))
+
+    rows = []
+    for label, result in (("degraded-mode guard", guarded),
+                          ("recovery-only (PR 1)", baseline)):
+        s = result.summary
+        rows.append([label, f"{s.goodput_fraction:.3f}",
+                     f"{s.interruptions:g}", f"{s.shed_requests:g}",
+                     f"{result.quarantines}",
+                     f"{s.degraded_s:.0f}"])
+    text = format_table(
+        ["control plane", "goodput", "evictions", "shed",
+         "quarantines", "degraded (s)"], rows,
+        title="Correlated rack-flap scenario (one rack fails 3x in a "
+              "breaker window):\nbreaker + shedding vs PR 1 recovery "
+              "alone, same seed, same schedule")
+    emit("robustness", text)
+
+    # the acceptance criterion: better goodput AND fewer evictions
+    assert guarded.summary.goodput_fraction \
+        > baseline.summary.goodput_fraction
+    assert guarded.summary.interruptions \
+        < baseline.summary.interruptions
+    assert guarded.quarantines > 0
+
+    _record_trajectory(
+        rack_flap={
+            "guarded": {
+                "goodput": guarded.summary.goodput_fraction,
+                "evictions": guarded.summary.interruptions,
+                "shed": guarded.shed,
+                "quarantines": guarded.quarantines,
+            },
+            "recovery_only": {
+                "goodput": baseline.summary.goodput_fraction,
+                "evictions": baseline.summary.interruptions,
+            },
+        },
+        rack_flap_pair_wall_s=round(campaign_wall_s, 3))
+
+
+def test_guard_is_free_when_fault_free(cluster, compiled_apps):
+    """Attached-but-idle guard stays inside the 10% wall budget."""
+    requests = WorkloadGenerator(seed=11).generate(
+        7, num_requests=120, mean_interarrival_s=1.5)
+
+    def run(guard):
+        run_experiment(SystemController(cluster), requests,
+                       compiled_apps, guard=guard)
+
+    def best_of(n, guard_factory):
+        walls = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            run(guard_factory())
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    best_of(1, lambda: None)  # warm caches before timing
+    plain = best_of(3, lambda: None)
+    guarded = best_of(3, lambda: DegradedModeGuard(GuardConfig()))
+    ratio = guarded / plain
+    print(f"\nfault-free wall: plain {plain:.4f}s, guarded "
+          f"{guarded:.4f}s, ratio {ratio:.3f}")
+    assert ratio < OVERHEAD_BUDGET
+    _record_trajectory(
+        faultfree_overhead_ratio=round(ratio, 4),
+        faultfree_plain_wall_s=round(plain, 4),
+        faultfree_guarded_wall_s=round(guarded, 4))
+
+
+def test_chaos_campaign_wall_time(emit):
+    """The whole six-scenario campaign in one number for the
+    trajectory file (and a sanity ceiling so CI notices blowups)."""
+    from repro.sim.chaos import run_campaign
+    t0 = time.perf_counter()
+    campaign = run_campaign()
+    wall = time.perf_counter() - t0
+    assert len(campaign.results) == 6
+    print(f"\nchaos campaign: {wall:.2f}s wall, "
+          f"{sum(r.invariant_checks for r in campaign.results)} "
+          "invariant checks")
+    assert wall < 300.0
+    _record_trajectory(campaign_wall_s=round(wall, 2),
+                       campaign_scenarios=len(campaign.results))
+
+
+def _record_trajectory(**fields) -> None:
+    """Merge ``fields`` into this PR's entry of the trajectory file.
+
+    The file keeps one entry per anchor; re-running a bench overwrites
+    that entry's fields, never history.
+    """
+    doc = {"bench": "robustness", "entries": []}
+    if BENCH_FILE.exists():
+        try:
+            doc = json.loads(BENCH_FILE.read_text())
+        except ValueError:
+            pass
+    anchor = "pr6-degraded-mode"
+    for entry in doc["entries"]:
+        if entry.get("anchor") == anchor:
+            entry.update(fields)
+            break
+    else:
+        doc["entries"].append({"anchor": anchor, **fields})
+    BENCH_FILE.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n")

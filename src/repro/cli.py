@@ -15,6 +15,10 @@ Operator-facing entry points over the library:
 - ``fail-board``/``repair-board`` -- manual failure drills: deploy a
   demo workload, fail-stop (or repair) one board, and print who was
   evicted, what recovery did, and the audit trail;
+- ``chaos``     -- run the correlated/gray-failure scenario matrix (or
+  one scenario) with per-event invariants; ``--no-guard`` replays the
+  recovery-only baseline, ``--trace`` writes the JSONL the chaos-smoke
+  CI gate diffs against its golden;
 - ``diff``      -- semantically compare two traces / report profiles /
   metrics snapshots (``--fail-on-regression`` is the CI gate).
 
@@ -150,6 +154,23 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fail-board":
             p.add_argument("--recovery", default="migrate-on-failure",
                            choices=["fail-requeue", "migrate-on-failure"])
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the chaos campaign (correlated + gray failures)")
+    p.add_argument("--scenario", default=None,
+                   help="run one named scenario instead of the whole "
+                        "matrix (see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the scenario matrix and exit")
+    p.add_argument("--no-guard", action="store_true",
+                   help="disable the degraded-mode guard (recovery-"
+                        "only baseline)")
+    p.add_argument("--trace", dest="trace_out", default=None,
+                   help="write the scenario event trace (JSON lines); "
+                        "requires --scenario")
+    p.add_argument("--format", dest="format", default="text",
+                   choices=["text", "json"])
 
     p = sub.add_parser(
         "export-db",
@@ -469,8 +490,19 @@ def _drill_controller(num_boards: int,
     return controller
 
 
+def _check_board_id(board: int, num_boards: int) -> "str | None":
+    if 0 <= board < num_boards:
+        return None
+    return (f"unknown board id {board}: the cluster has boards "
+            f"0..{num_boards - 1} (pass --boards to size it)")
+
+
 def _cmd_fail_board(args: argparse.Namespace) -> int:
     from repro.faults.recovery import resolve_recovery_policy
+    error = _check_board_id(args.board, args.boards)
+    if error:
+        print(error)
+        return 2
     state = _load_state(args.state)
     failed = set(state["failed_boards"])
     if args.board in failed:
@@ -516,6 +548,10 @@ def _cmd_fail_board(args: argparse.Namespace) -> int:
 
 
 def _cmd_repair_board(args: argparse.Namespace) -> int:
+    error = _check_board_id(args.board, args.boards)
+    if error:
+        print(error)
+        return 2
     state = _load_state(args.state)
     failed = set(state["failed_boards"])
     if args.board not in failed:
@@ -531,6 +567,71 @@ def _cmd_repair_board(args: argparse.Namespace) -> int:
                        title="board health"))
     state["failed_boards"] = sorted(failed)
     _save_state(args.state, state)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.chaos import (ChaosInvariantError, run_scenario,
+                                 standard_scenarios)
+    scenarios = standard_scenarios()
+    if args.list:
+        print(format_table(
+            ["scenario", "boards", "faults", "description"],
+            [[s.name, s.num_boards, len(s.schedule()), s.description]
+             for s in scenarios],
+            title="chaos scenario matrix"))
+        return 0
+    if args.scenario is not None:
+        chosen = [s for s in scenarios if s.name == args.scenario]
+        if not chosen:
+            print(f"unknown scenario {args.scenario!r} (choose from "
+                  f"{', '.join(s.name for s in scenarios)})")
+            return 2
+        scenarios = chosen
+    elif args.trace_out:
+        print("--trace needs --scenario (one trace per scenario)")
+        return 2
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    results = []
+    clusters: dict[int, tuple] = {}
+    for scenario in scenarios:
+        cached = clusters.get(scenario.num_boards)
+        if cached is None:
+            cluster = make_cluster(num_boards=scenario.num_boards)
+            cached = (cluster, compile_benchmarks(cluster))
+            clusters[scenario.num_boards] = cached
+        cluster, apps = cached
+        try:
+            results.append(run_scenario(
+                scenario, with_guard=not args.no_guard,
+                tracer=tracer, apps=apps, cluster=cluster))
+        except ChaosInvariantError as exc:
+            print(f"invariant violated: {exc}")
+            return 1
+    if args.format == "json":
+        print(json.dumps({"guarded": not args.no_guard,
+                          "scenarios": [r.as_dict() for r in results]},
+                         sort_keys=True, indent=2))
+    else:
+        mode = ("recovery-only baseline" if args.no_guard
+                else "guarded")
+        print(format_table(
+            ["scenario", "goodput", "interruptions", "shed",
+             "quarantines", "degraded (s)", "checks"],
+            [[r.scenario, f"{r.summary.goodput_fraction:.1%}",
+              f"{r.summary.interruptions:g}", r.shed, r.quarantines,
+              f"{r.summary.degraded_s:.0f}", r.invariant_checks]
+             for r in results],
+            title=f"chaos campaign ({mode})"))
+        print("all invariants held")
+    if tracer and args.trace_out:
+        count = tracer.dump(args.trace_out)
+        print(f"wrote {count} trace entries to {args.trace_out}")
     return 0
 
 
@@ -700,6 +801,7 @@ _COMMANDS = {
     "status": _cmd_status,
     "fail-board": _cmd_fail_board,
     "repair-board": _cmd_repair_board,
+    "chaos": _cmd_chaos,
     "export-db": _cmd_export_db,
     "trace": _cmd_trace,
     "diff": _cmd_diff,

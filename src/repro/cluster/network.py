@@ -40,6 +40,8 @@ class RingNetwork:
     _flows: "dict[object, list[int]]" = None  # type: ignore[assignment]
     #: segment id -> remaining capacity fraction (absent == 1.0, healthy)
     _segment_scale: "dict[int, float]" = None  # type: ignore[assignment]
+    #: segment id -> transient drop probability (absent == 0.0, stable)
+    _segment_drop: "dict[int, float]" = None  # type: ignore[assignment]
     #: segment id -> number of registered flows holding it
     _segment_flows: "dict[int, int]" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
@@ -57,6 +59,7 @@ class RingNetwork:
             raise ValueError("ring needs at least one node")
         self._flows = {}
         self._segment_scale = {}
+        self._segment_drop = {}
         self._segment_flows = {}
         n = self.num_nodes
         self._dist = [[min(abs(a - b), n - abs(a - b))
@@ -79,7 +82,7 @@ class RingNetwork:
         """End-to-end bandwidth of the shorter path (segment-limited)."""
         if self.distance(a, b) == 0:
             return float("inf")
-        scale = min((self._segment_scale.get(s, 1.0)
+        scale = min((self._effective_scale(s)
                      for s in self.segments_on_path(a, b)), default=1.0)
         return self.segment_bandwidth_gbps * scale
 
@@ -186,11 +189,11 @@ class RingNetwork:
         segments = self._segments_of_members(members)
         if not segments:
             return 1
-        if not self._segment_scale:
+        if not self._segment_scale and not self._segment_drop:
             # healthy-ring fast path: identical to the pre-fault model
             return 1 + max(self.flows_on_segment(s) for s in segments)
         return max((1 + self.flows_on_segment(s))
-                   / self._segment_scale.get(s, 1.0) for s in segments)
+                   / self._effective_scale(s) for s in segments)
 
     # ------------------------------------------------------------------
     # link degradation (fault model)
@@ -214,8 +217,10 @@ class RingNetwork:
         self._segment_scale.pop(segment, None)
 
     def restore_all_segments(self) -> None:
-        """Heal every degraded segment (end-of-experiment cleanup)."""
+        """Heal every degraded or flaky segment (end-of-experiment
+        cleanup)."""
         self._segment_scale.clear()
+        self._segment_drop.clear()
 
     def segment_capacity_fraction(self, segment: int) -> float:
         self._check_segment(segment)
@@ -223,6 +228,38 @@ class RingNetwork:
 
     def degraded_segments(self) -> dict[int, float]:
         return dict(self._segment_scale)
+
+    # ------------------------------------------------------------------
+    # gray flakiness (transient drops -> retransmission derating)
+    # ------------------------------------------------------------------
+    def set_segment_flakiness(self, segment: int,
+                              drop_probability: float) -> None:
+        """``segment`` drops a ``drop_probability`` fraction of its
+        traffic; retransmissions derate effective bandwidth to
+        ``1 - drop_probability`` of whatever the segment's (possibly
+        degraded) capacity is, until :meth:`clear_segment_flakiness`."""
+        self._check_segment(segment)
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1), "
+                f"got {drop_probability}")
+        if drop_probability == 0.0:
+            self._segment_drop.pop(segment, None)
+        else:
+            self._segment_drop[segment] = drop_probability
+
+    def clear_segment_flakiness(self, segment: int) -> None:
+        self._check_segment(segment)
+        self._segment_drop.pop(segment, None)
+
+    def flaky_segments(self) -> dict[int, float]:
+        return dict(self._segment_drop)
+
+    def _effective_scale(self, segment: int) -> float:
+        """Capacity fraction after degradation *and* flaky-drop
+        derating compose (both absent == 1.0, healthy)."""
+        return (self._segment_scale.get(segment, 1.0)
+                * (1.0 - self._segment_drop.get(segment, 0.0)))
 
     def _check_segment(self, segment: int) -> None:
         if not 0 <= segment < self.num_nodes:

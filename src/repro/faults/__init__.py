@@ -11,6 +11,8 @@ abstraction -- any image relocates to any free block without recompiling,
 so recovery-by-relocation is cheap (:mod:`repro.faults.recovery`).
 
 - :mod:`repro.faults.schedule` -- typed fault events and schedules;
+- :mod:`repro.faults.domains` -- failure domains, correlated outages,
+  and gray-fault generators;
 - :mod:`repro.faults.injector` -- applies events to a manager/cluster;
 - :mod:`repro.faults.recovery` -- fail-requeue and migrate-on-failure.
 """
@@ -20,9 +22,18 @@ from repro.faults.schedule import (
     BoardUp,
     FaultEvent,
     FaultSchedule,
+    IcapDegraded,
+    IcapRestored,
     LinkDegraded,
+    LinkFlaky,
     LinkRestored,
+    LinkStable,
     ReconfigTransientFault,
+)
+from repro.faults.domains import (
+    FailureDomainMap,
+    correlated_outages,
+    gray_faults,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import (
@@ -38,8 +49,15 @@ __all__ = [
     "BoardUp",
     "LinkDegraded",
     "LinkRestored",
+    "LinkFlaky",
+    "LinkStable",
+    "IcapDegraded",
+    "IcapRestored",
     "ReconfigTransientFault",
     "FaultSchedule",
+    "FailureDomainMap",
+    "correlated_outages",
+    "gray_faults",
     "FaultInjector",
     "RecoveryPolicy",
     "FailRequeuePolicy",

@@ -1,0 +1,296 @@
+"""Correlated failure domains and gray-fault schedule generators.
+
+The per-class renewal generator of :mod:`repro.faults.schedule` models
+*independent* board failures -- the classic fail-stop assumption.  Real
+clouds break differently: boards share racks (one top-of-rack switch or
+PDU takes all of them down at once), racks share power zones (a zone
+brown-out cascades across racks), and the ring is built from physical
+segments that degrade *gray* -- slow ICAP ports and flaky optics that
+still "work" while quietly wrecking tail latency.
+
+:class:`FailureDomainMap` names those groupings once; the generators in
+this module draw deterministic schedules against them:
+
+- :func:`correlated_outages` -- whole-rack fail-stops (every board of
+  the rack goes down at the same instant) with optional cascades into
+  power-zone siblings, each governed by a per-domain correlation factor;
+- :func:`gray_faults` -- degraded-ICAP windows on boards and flaky
+  windows on ring-segment groups.
+
+Everything is a pure function of ``(seed, horizon, domain map, rates)``:
+domains are iterated in sorted order and all draws come from one
+``random.Random(seed)`` stream, so two runs replay bit-identically.  An
+empty domain map yields an empty schedule -- the fault machinery stays
+entirely dormant, bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.faults.schedule import (
+    BoardDown,
+    BoardUp,
+    FaultEvent,
+    FaultSchedule,
+    IcapDegraded,
+    IcapRestored,
+    LinkFlaky,
+    LinkStable,
+)
+
+__all__ = ["FailureDomainMap", "correlated_outages", "gray_faults"]
+
+
+class FailureDomainMap:
+    """Groups boards into racks and racks into power zones, and ring
+    segments into physical segment groups.
+
+    The map is pure metadata -- it never touches the cluster -- and is
+    validated against a board count before a schedule built from it is
+    injected.  An empty map is falsy and generates empty schedules.
+    """
+
+    def __init__(self,
+                 racks: "Mapping[str, Iterable[int]] | None" = None,
+                 power_zones: "Mapping[str, Iterable[str]] | None" = None,
+                 ring_segments: "Mapping[str, Iterable[int]] | None" = None,
+                 ) -> None:
+        self._racks: dict[str, tuple[int, ...]] = {
+            name: tuple(sorted(set(boards)))
+            for name, boards in sorted((racks or {}).items())}
+        self._zones: dict[str, tuple[str, ...]] = {
+            name: tuple(sorted(set(members)))
+            for name, members in sorted((power_zones or {}).items())}
+        self._ring_segments: dict[str, tuple[int, ...]] = {
+            name: tuple(sorted(set(segments)))
+            for name, segments in sorted((ring_segments or {}).items())}
+        self._rack_of: dict[int, str] = {}
+        for rack, boards in self._racks.items():
+            for board in boards:
+                if board < 0:
+                    raise ValueError(
+                        f"rack {rack!r} names negative board {board}")
+                if board in self._rack_of:
+                    raise ValueError(
+                        f"board {board} belongs to both rack "
+                        f"{self._rack_of[board]!r} and {rack!r}")
+                self._rack_of[board] = rack
+        self._zone_of: dict[str, str] = {}
+        for zone, members in self._zones.items():
+            for rack in members:
+                if rack not in self._racks:
+                    raise ValueError(
+                        f"power zone {zone!r} names unknown rack "
+                        f"{rack!r}")
+                if rack in self._zone_of:
+                    raise ValueError(
+                        f"rack {rack!r} belongs to both power zone "
+                        f"{self._zone_of[rack]!r} and {zone!r}")
+                self._zone_of[rack] = zone
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FailureDomainMap":
+        return cls()
+
+    @classmethod
+    def grid(cls, num_boards: int, boards_per_rack: int = 4,
+             racks_per_zone: int = 2) -> "FailureDomainMap":
+        """The canonical layout: consecutive boards share a rack,
+        consecutive racks share a power zone, and each rack's boards
+        define one ring-segment group (segment ``i`` joins board ``i``
+        and ``i+1``, so a rack's optics are the segments between its
+        own boards plus the uplink to the next rack)."""
+        if num_boards < 1:
+            raise ValueError("need at least one board")
+        if boards_per_rack < 1 or racks_per_zone < 1:
+            raise ValueError("rack and zone sizes must be positive")
+        racks: dict[str, list[int]] = {}
+        ring: dict[str, list[int]] = {}
+        for board in range(num_boards):
+            rack = f"rack{board // boards_per_rack}"
+            racks.setdefault(rack, []).append(board)
+            ring.setdefault(rack, []).append(board)
+        zones: dict[str, list[str]] = {}
+        for index, rack in enumerate(sorted(racks)):
+            zones.setdefault(
+                f"zone{index // racks_per_zone}", []).append(rack)
+        return cls(racks=racks, power_zones=zones, ring_segments=ring)
+
+    # ------------------------------------------------------------------
+    @property
+    def racks(self) -> dict[str, tuple[int, ...]]:
+        return dict(self._racks)
+
+    @property
+    def power_zones(self) -> dict[str, tuple[str, ...]]:
+        return dict(self._zones)
+
+    @property
+    def ring_segments(self) -> dict[str, tuple[int, ...]]:
+        return dict(self._ring_segments)
+
+    def rack_of(self, board: int) -> str | None:
+        return self._rack_of.get(board)
+
+    def zone_of(self, rack: str) -> str | None:
+        return self._zone_of.get(rack)
+
+    def boards_in(self, rack: str) -> tuple[int, ...]:
+        if rack not in self._racks:
+            raise KeyError(f"no rack {rack!r} in this domain map")
+        return self._racks[rack]
+
+    def correlated_racks(self, rack: str) -> tuple[str, ...]:
+        """Racks sharing ``rack``'s power zone (cascade candidates)."""
+        zone = self._zone_of.get(rack)
+        if zone is None:
+            return ()
+        return tuple(r for r in self._zones[zone] if r != rack)
+
+    def boards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._rack_of))
+
+    def validate_for(self, num_boards: int) -> None:
+        """Reject maps addressing boards/segments outside the cluster."""
+        for board in self._rack_of:
+            if not 0 <= board < num_boards:
+                raise ValueError(
+                    f"domain map names board {board}, cluster has "
+                    f"{num_boards}")
+        for group, segments in self._ring_segments.items():
+            for segment in segments:
+                if not 0 <= segment < num_boards:
+                    raise ValueError(
+                        f"segment group {group!r} names segment "
+                        f"{segment}, ring has {num_boards}")
+
+    def __bool__(self) -> bool:
+        return bool(self._racks or self._ring_segments)
+
+    def __repr__(self) -> str:
+        return (f"FailureDomainMap({len(self._racks)} racks, "
+                f"{len(self._zones)} zones, "
+                f"{len(self._ring_segments)} segment groups)")
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def correlated_outages(domains: FailureDomainMap, seed: int,
+                       horizon_s: float,
+                       rack_mtbf_s: float,
+                       rack_mttr_s: float = 60.0,
+                       cascade_probability: float = 0.0,
+                       cascade_delay_s: float = 5.0,
+                       repair_stagger_s: float = 0.0,
+                       ) -> FaultSchedule:
+    """Whole-rack outages with optional power-zone cascades.
+
+    Each rack runs its own renewal process (exponential up-time draws
+    pick the outage instant, exponential repair draws the heal instant,
+    clamped inside the horizon).  An outage takes *every* board of the
+    rack down at the same instant; repairs optionally stagger
+    ``repair_stagger_s`` apart per board (technicians re-rack one board
+    at a time).  With ``cascade_probability > 0`` each outage spreads to
+    each rack sharing the power zone with that probability, delayed by
+    ``cascade_delay_s`` -- the per-domain correlation factor.  Cascaded
+    outages do not re-cascade (one hop bounds the blast radius).
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    if rack_mtbf_s <= 0 or rack_mttr_s <= 0:
+        raise ValueError("rack MTBF/MTTR must be positive")
+    if not 0.0 <= cascade_probability <= 1.0:
+        raise ValueError("cascade probability must be in [0, 1]")
+    if cascade_delay_s < 0 or repair_stagger_s < 0:
+        raise ValueError("delays must be non-negative")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+
+    def rack_outage(rack: str, down_at: float) -> float:
+        """Emit one whole-rack outage; returns the last repair time."""
+        down_for = rng.expovariate(1.0 / rack_mttr_s)
+        last_up = down_at
+        for index, board in enumerate(domains.boards_in(rack)):
+            up_at = min(down_at + down_for
+                        + index * repair_stagger_s, horizon_s)
+            events.append(BoardDown(time_s=down_at, board=board))
+            events.append(BoardUp(time_s=up_at, board=board))
+            last_up = max(last_up, up_at)
+        return last_up
+
+    for rack in sorted(domains.racks):
+        t = rng.expovariate(1.0 / rack_mtbf_s)
+        while t < horizon_s:
+            healed = rack_outage(rack, t)
+            if cascade_probability > 0.0:
+                for sibling in domains.correlated_racks(rack):
+                    if rng.random() < cascade_probability:
+                        spread_at = t + cascade_delay_s
+                        if spread_at < horizon_s:
+                            rack_outage(sibling, spread_at)
+            t = healed + rng.expovariate(1.0 / rack_mtbf_s)
+    return FaultSchedule(events)
+
+
+def gray_faults(domains: FailureDomainMap, seed: int,
+                horizon_s: float,
+                icap_mtbf_s: float | None = None,
+                icap_mttr_s: float = 120.0,
+                icap_latency_multiplier: float = 4.0,
+                flaky_mtbf_s: float | None = None,
+                flaky_mttr_s: float = 60.0,
+                drop_probability: float = 0.1,
+                ) -> FaultSchedule:
+    """Gray-failure windows: degraded ICAP ports and flaky segments.
+
+    Boards in the domain map draw degraded-ICAP windows (programming
+    slows by ``icap_latency_multiplier``); ring-segment groups draw
+    flaky windows (every segment of the group drops a
+    ``drop_probability`` fraction of traffic at once -- shared optics
+    flap together).  Each fault class with a non-``None`` MTBF gets its
+    own renewal process; windows are clamped inside the horizon so the
+    cluster always ends healthy.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    for name, value in (("icap_mtbf_s", icap_mtbf_s),
+                        ("icap_mttr_s", icap_mttr_s),
+                        ("flaky_mtbf_s", flaky_mtbf_s),
+                        ("flaky_mttr_s", flaky_mttr_s)):
+        if value is not None and value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+    rng = random.Random(seed)
+    events: list[FaultEvent] = []
+
+    if icap_mtbf_s is not None:
+        for board in domains.boards():
+            t = rng.expovariate(1.0 / icap_mtbf_s)
+            while t < horizon_s:
+                up_at = min(t + rng.expovariate(1.0 / icap_mttr_s),
+                            horizon_s)
+                events.append(IcapDegraded(
+                    time_s=t, board=board,
+                    latency_multiplier=icap_latency_multiplier))
+                events.append(IcapRestored(time_s=up_at, board=board))
+                t = up_at + rng.expovariate(1.0 / icap_mtbf_s)
+
+    if flaky_mtbf_s is not None:
+        for group in sorted(domains.ring_segments):
+            segments = domains.ring_segments[group]
+            t = rng.expovariate(1.0 / flaky_mtbf_s)
+            while t < horizon_s:
+                up_at = min(t + rng.expovariate(1.0 / flaky_mttr_s),
+                            horizon_s)
+                for segment in segments:
+                    events.append(LinkFlaky(
+                        time_s=t, segment=segment,
+                        drop_probability=drop_probability))
+                    events.append(LinkStable(time_s=up_at,
+                                             segment=segment))
+                t = up_at + rng.expovariate(1.0 / flaky_mtbf_s)
+
+    return FaultSchedule(events)

@@ -22,8 +22,12 @@ from repro.faults.schedule import (
     BoardDown,
     BoardUp,
     FaultEvent,
+    IcapDegraded,
+    IcapRestored,
     LinkDegraded,
+    LinkFlaky,
     LinkRestored,
+    LinkStable,
     ReconfigTransientFault,
 )
 from repro.runtime.types import Deployment
@@ -42,6 +46,8 @@ class FaultInjector:
         self.unsupported: dict[str, int] = {}
         self._degraded_segments: set[int] = set()
         self._failed_boards: set[int] = set()
+        self._flaky_segments: set[int] = set()
+        self._degraded_icap: set[int] = set()
 
     # ------------------------------------------------------------------
     def apply(self, event: FaultEvent,
@@ -77,6 +83,35 @@ class FaultInjector:
             self.network.restore_segment(event.segment)
             self._degraded_segments.discard(event.segment)
             return []
+        if isinstance(event, LinkFlaky):
+            if self.network is None or not hasattr(
+                    self.network, "set_segment_flakiness"):
+                return self._skip(event)
+            self.network.set_segment_flakiness(event.segment,
+                                               event.drop_probability)
+            self._flaky_segments.add(event.segment)
+            return []
+        if isinstance(event, LinkStable):
+            if self.network is None or not hasattr(
+                    self.network, "clear_segment_flakiness"):
+                return self._skip(event)
+            self.network.clear_segment_flakiness(event.segment)
+            self._flaky_segments.discard(event.segment)
+            return []
+        if isinstance(event, IcapDegraded):
+            degrade = getattr(self.manager, "degrade_icap", None)
+            if degrade is None:
+                return self._skip(event)
+            degrade(event.board, event.latency_multiplier)
+            self._degraded_icap.add(event.board)
+            return []
+        if isinstance(event, IcapRestored):
+            restore = getattr(self.manager, "restore_icap", None)
+            if restore is None:
+                return self._skip(event)
+            restore(event.board)
+            self._degraded_icap.discard(event.board)
+            return []
         if isinstance(event, ReconfigTransientFault):
             arm = getattr(self.manager, "inject_reconfig_fault", None)
             if arm is None:
@@ -84,6 +119,13 @@ class FaultInjector:
             arm(event.board, event.attempts)
             return []
         raise TypeError(f"unknown fault event {event!r}")
+
+    def substrate_degraded(self) -> bool:
+        """True while any fault this injector applied is still live on
+        the substrate (failed boards, degraded/flaky segments, slow
+        ICAPs) -- the sim's degraded-time accounting samples this."""
+        return bool(self._failed_boards or self._degraded_segments
+                    or self._flaky_segments or self._degraded_icap)
 
     def reset(self, now: float = 0.0) -> None:
         """Heal everything this injector broke (end-of-run cleanup).
@@ -95,7 +137,15 @@ class FaultInjector:
         if self.network is not None:
             for segment in sorted(self._degraded_segments):
                 self.network.restore_segment(segment)
+            for segment in sorted(self._flaky_segments):
+                self.network.clear_segment_flakiness(segment)
         self._degraded_segments.clear()
+        self._flaky_segments.clear()
+        restore_icap = getattr(self.manager, "restore_icap", None)
+        if restore_icap is not None:
+            for board in sorted(self._degraded_icap):
+                restore_icap(board)
+        self._degraded_icap.clear()
         repair = getattr(self.manager, "repair_board", None)
         if repair is not None:
             for board in sorted(self._failed_boards):

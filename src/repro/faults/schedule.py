@@ -18,6 +18,18 @@ Event semantics:
   flows see proportionally more contention.
 - :class:`ReconfigTransientFault` -- the next ICAP programming attempt(s)
   on a board fail a CRC check and must be retried (with backoff).
+- :class:`IcapDegraded` / :class:`IcapRestored` -- *gray* failure of a
+  board's configuration port: programming still succeeds, but every
+  attempt takes ``latency_multiplier`` times longer (a worn ICAP clock,
+  a throttled management processor).
+- :class:`LinkFlaky` / :class:`LinkStable` -- gray failure of one ring
+  segment: transient drops force retransmissions, which derate the
+  segment's effective bandwidth by the drop probability without taking
+  it down.
+
+Correlated (multi-board, domain-scoped) and gray-fault *generators* live
+in :mod:`repro.faults.domains`; this module only defines the event
+vocabulary and the per-class renewal generator.
 """
 
 from __future__ import annotations
@@ -32,6 +44,10 @@ __all__ = [
     "BoardUp",
     "LinkDegraded",
     "LinkRestored",
+    "LinkFlaky",
+    "LinkStable",
+    "IcapDegraded",
+    "IcapRestored",
     "ReconfigTransientFault",
     "FaultSchedule",
 ]
@@ -83,6 +99,53 @@ class LinkRestored(FaultEvent):
     """Ring segment ``segment`` returns to full bandwidth."""
 
     segment: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFlaky(FaultEvent):
+    """Ring segment ``segment`` starts dropping a ``drop_probability``
+    fraction of its traffic; retransmissions derate the segment's
+    effective bandwidth to ``1 - drop_probability`` of nominal."""
+
+    segment: int = 0
+    drop_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if not 0.0 < self.drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in (0, 1), "
+                f"got {self.drop_probability}")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkStable(FaultEvent):
+    """Ring segment ``segment`` stops dropping traffic."""
+
+    segment: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IcapDegraded(FaultEvent):
+    """Board ``board``'s configuration port goes gray: every ICAP
+    programming attempt takes ``latency_multiplier`` times longer."""
+
+    board: int = 0
+    latency_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        FaultEvent.__post_init__(self)
+        if self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"ICAP latency multiplier must be >= 1, "
+                f"got {self.latency_multiplier}")
+
+
+@dataclass(frozen=True, slots=True)
+class IcapRestored(FaultEvent):
+    """Board ``board``'s configuration port returns to nominal speed."""
+
+    board: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -145,6 +208,18 @@ class FaultSchedule:
             raise ValueError("horizon must be positive")
         if num_boards < 1:
             raise ValueError("need at least one board")
+        # a zero or negative rate would silently produce a degenerate
+        # schedule (negative exponential draws clamp to "everything
+        # fails at t=0 forever"); fail loudly instead
+        for name, value in (("board_mtbf_s", board_mtbf_s),
+                            ("board_mttr_s", board_mttr_s),
+                            ("link_mtbf_s", link_mtbf_s),
+                            ("link_mttr_s", link_mttr_s),
+                            ("reconfig_fault_mtbf_s",
+                             reconfig_fault_mtbf_s)):
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {value}")
         rng = random.Random(seed)
         events: list[FaultEvent] = []
 
@@ -207,19 +282,22 @@ class FaultSchedule:
 
     def boards_touched(self) -> set[int]:
         return {e.board for e in self._events
-                if isinstance(e, (BoardDown, BoardUp,
+                if isinstance(e, (BoardDown, BoardUp, IcapDegraded,
+                                  IcapRestored,
                                   ReconfigTransientFault))}
 
     def validate_for(self, num_boards: int) -> None:
         """Reject events addressing boards/segments outside the cluster."""
         for event in self._events:
-            if isinstance(event, (BoardDown, BoardUp,
+            if isinstance(event, (BoardDown, BoardUp, IcapDegraded,
+                                  IcapRestored,
                                   ReconfigTransientFault)):
                 if not 0 <= event.board < num_boards:
                     raise ValueError(
                         f"fault targets board {event.board}, cluster "
                         f"has {num_boards}")
-            elif isinstance(event, (LinkDegraded, LinkRestored)):
+            elif isinstance(event, (LinkDegraded, LinkRestored,
+                                    LinkFlaky, LinkStable)):
                 if not 0 <= event.segment < num_boards:
                     raise ValueError(
                         f"fault targets ring segment {event.segment}, "

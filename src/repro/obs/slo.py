@@ -12,9 +12,9 @@ Two metric families:
 
 - **gauge** metrics come straight from the timeline bucket sample
   (``utilization``, ``fragmentation``, ``queue_depth``,
-  ``ring_max_flows``, ``failed_boards``, ``max_tenant_share``,
-  ``allocated_blocks``, ``active_tenants``); a windowed gauge rule
-  averages the trailing bucket samples;
+  ``ring_max_flows``, ``failed_boards``, ``quarantined_boards``,
+  ``max_tenant_share``, ``allocated_blocks``, ``active_tenants``); a
+  windowed gauge rule averages the trailing bucket samples;
 - **distribution** metrics are accumulated from the raw event stream
   (the engine is a tracer sink, like the timeline):
   ``p50/p95/p99_response_s`` from ``sim.complete``, ``mttr_s`` from the
@@ -47,8 +47,8 @@ __all__ = ["SLORule", "SLOEngine", "parse_slo", "DEFAULT_RULES",
 #: Metrics read from the timeline bucket sample.
 GAUGE_METRICS: frozenset[str] = frozenset({
     "utilization", "fragmentation", "queue_depth", "ring_max_flows",
-    "failed_boards", "max_tenant_share", "allocated_blocks",
-    "active_tenants"})
+    "failed_boards", "quarantined_boards", "max_tenant_share",
+    "allocated_blocks", "active_tenants"})
 
 #: Metrics accumulated from raw trace events.
 DISTRIBUTION_METRICS: frozenset[str] = frozenset({

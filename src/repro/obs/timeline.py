@@ -50,8 +50,8 @@ __all__ = ["TimelineAggregator", "BUCKET_FIELDS"]
 BUCKET_FIELDS: tuple[str, ...] = (
     "t", "utilization", "allocated_blocks", "queue_depth",
     "fragmentation", "ring_max_flows", "failed_boards",
-    "active_tenants", "max_tenant_share", "arrivals", "deploys",
-    "completions")
+    "quarantined_boards", "active_tenants", "max_tenant_share",
+    "arrivals", "deploys", "completions")
 
 
 class TimelineAggregator:
@@ -85,6 +85,7 @@ class TimelineAggregator:
         self._board_occ: dict[int, int] = {}
         self._tenant_blocks: dict[str, int] = {}
         self._failed_boards: set[int] = set()
+        self._quarantined: set[int] = set()
         #: request id -> (blocks, ((board, count), ...), tenant, spans)
         self._holdings: dict[int, tuple] = {}
         self._arrivals = 0        # per-bucket rate counters
@@ -212,6 +213,7 @@ class TimelineAggregator:
             "fragmentation": self._fragmentation(),
             "ring_max_flows": self._ring_max_flows(),
             "failed_boards": len(self._failed_boards),
+            "quarantined_boards": len(self._quarantined),
             "active_tenants": len(self._tenant_blocks),
             "max_tenant_share": max_share,
             "arrivals": self._arrivals,
@@ -265,6 +267,18 @@ class TimelineAggregator:
             board = fields.get("board")
             if board is not None:
                 self._failed_boards.discard(int(board))
+        elif name == "sim.shed":
+            self._queue -= 1
+        elif name == "ctrl.quarantine":
+            board = fields.get("board")
+            if board is not None:
+                self._quarantined.add(int(board))
+        elif name == "ctrl.probation":
+            # probation boards serve traffic again; only full
+            # quarantine counts as lost capacity in the series
+            board = fields.get("board")
+            if board is not None:
+                self._quarantined.discard(int(board))
 
     def _deploy(self, fields: dict) -> None:
         request = fields.get("request")
@@ -376,6 +390,7 @@ class TimelineAggregator:
             "tenant_blocks": dict(sorted(
                 self._tenant_blocks.items())),
             "failed_boards": sorted(self._failed_boards),
+            "quarantined": sorted(self._quarantined),
             "holdings": [
                 [rid, blocks, [list(p) for p in per_board], tenant,
                  spans]
@@ -400,6 +415,8 @@ class TimelineAggregator:
                                in state["board_occ"].items()}
         timeline._tenant_blocks = dict(state["tenant_blocks"])
         timeline._failed_boards = set(state["failed_boards"])
+        # pre-guard snapshots have no quarantine set
+        timeline._quarantined = set(state.get("quarantined", []))
         for rid, blocks, per_board, tenant, spans in state["holdings"]:
             pairs = tuple((int(b), int(n)) for b, n in per_board)
             timeline._holdings[rid] = (blocks, pairs, tenant, spans)

@@ -14,6 +14,8 @@ virtualized, monitored paths.
 - :mod:`repro.runtime.policy` -- allocation policies (communication-aware
   plus ablation alternatives);
 - :mod:`repro.runtime.controller` -- the system controller and its APIs;
+- :mod:`repro.runtime.guard` -- degraded-mode control plane (circuit
+  breakers, retry budgets, load shedding);
 - :mod:`repro.runtime.isolation` -- isolation invariant checks.
 """
 
@@ -27,6 +29,11 @@ from repro.runtime.policy import (
     SpreadPolicy,
 )
 from repro.runtime.controller import SystemController
+from repro.runtime.guard import (
+    BreakerState,
+    DegradedModeGuard,
+    GuardConfig,
+)
 from repro.runtime.isolation import verify_isolation
 
 __all__ = [
@@ -41,5 +48,8 @@ __all__ = [
     "FirstFitPolicy",
     "SpreadPolicy",
     "SystemController",
+    "BreakerState",
+    "DegradedModeGuard",
+    "GuardConfig",
     "verify_isolation",
 ]

@@ -101,9 +101,14 @@ class SystemController:
             for board in cluster.boards}
         #: board id -> ICAP programming attempts armed to fail
         self._armed_reconfig_faults: dict[int, int] = {}
+        #: board id -> gray ICAP latency multiplier (absent == nominal)
+        self._icap_multiplier: dict[int, float] = {}
         #: transient reconfig faults: bounded retries w/ exp. backoff
         self.reconfig_max_retries = 5
         self.reconfig_backoff_base_s = 0.001
+        #: optional degraded-mode guard (``attach_guard``); ``None``
+        #: keeps every hot path at a single falsy check
+        self.guard = None
         self.audit = AuditLog()
         #: tenant name -> maximum physical blocks it may hold at once
         self.quotas: dict[str, int] = {}
@@ -128,6 +133,15 @@ class SystemController:
         self.tracer = tracer
         if hasattr(self.policy, "tracer"):
             self.policy.tracer = tracer
+
+    def attach_guard(self, guard) -> None:
+        """Wire a :class:`repro.runtime.guard.DegradedModeGuard` into
+        this controller: the guard's circuit breakers narrow the
+        allocatable board set, and its retry budget replaces the fixed
+        reconfig backoff schedule."""
+        self.guard = guard
+        if guard is not None:
+            guard.bind(self)
 
     def attach_metrics(self, registry) -> None:
         """Expose live controller state through ``registry``.
@@ -156,6 +170,8 @@ class SystemController:
         tenant = tenant or f"tenant-{request_id}"
 
         tracer = self.tracer
+        if self.guard is not None:
+            self.guard.advance(now)
         if not self._within_quota(tenant, app.num_blocks):
             self.audit.record(now, AuditEvent.REJECT, request_id,
                               tenant, app=app_name,
@@ -346,11 +362,22 @@ class SystemController:
         dropped from the candidate set entirely (their blocks are
         already excluded as non-free; dropping the key keeps the
         policy's round enumeration away from them)."""
-        free = self.resource_db.free_by_board()
+        return self._filter_unavailable(
+            self.resource_db.free_by_board())
+
+    def _filter_unavailable(self, free: dict[int, list[int]],
+                            ) -> dict[int, list[int]]:
+        """Drop failed and guard-quarantined boards from a candidate
+        map (shared by the homogeneous and heterogeneous paths)."""
         if any(h is BoardHealth.FAILED
                for h in self.board_health.values()):
             free = {b: blocks for b, blocks in free.items()
                     if self.board_health[b] is BoardHealth.HEALTHY}
+        if self.guard is not None:
+            quarantined = self.guard.excluded_boards()
+            if quarantined:
+                free = {b: blocks for b, blocks in free.items()
+                        if b not in quarantined}
         return free
 
     def _finalize_deploy(self, app: CompiledApp, request_id: int,
@@ -520,6 +547,8 @@ class SystemController:
             sum(d.bandwidth_gbps for d in board.dimms))
         self._config_port_free_at[board_id] = 0.0
         self._armed_reconfig_faults.pop(board_id, None)
+        if self.guard is not None:
+            self.guard.record_board_failure(board_id, now)
         return victims
 
     def repair_board(self, board_id: int, now: float = 0.0) -> None:
@@ -584,6 +613,30 @@ class SystemController:
             raise ValueError("need >= 1 attempt")
         self._armed_reconfig_faults[board_id] = \
             self._armed_reconfig_faults.get(board_id, 0) + attempts
+
+    def degrade_icap(self, board_id: int,
+                     latency_multiplier: float) -> None:
+        """Gray failure: every ICAP programming attempt on ``board_id``
+        takes ``latency_multiplier`` times longer until
+        :meth:`restore_icap`."""
+        if board_id not in self.board_health:
+            raise KeyError(f"no board {board_id} in this cluster")
+        if latency_multiplier < 1.0:
+            raise ValueError(
+                f"ICAP latency multiplier must be >= 1, "
+                f"got {latency_multiplier}")
+        if latency_multiplier == 1.0:
+            self._icap_multiplier.pop(board_id, None)
+        else:
+            self._icap_multiplier[board_id] = latency_multiplier
+
+    def restore_icap(self, board_id: int) -> None:
+        if board_id not in self.board_health:
+            raise KeyError(f"no board {board_id} in this cluster")
+        self._icap_multiplier.pop(board_id, None)
+
+    def degraded_icaps(self) -> dict[int, float]:
+        return dict(self._icap_multiplier)
 
     # ------------------------------------------------------------------
     # status APIs
@@ -657,21 +710,33 @@ class SystemController:
         ``reconfig_max_retries``, and is audited as a RETRY.
         """
         reconfigurer = self.cluster.reconfigurer
+        guard = self.guard
         finish = now
         for board in placement.boards:
             duration = reconfigurer.partial_time_for_blocks(
                 app.images[0].size_mb, len(placement.blocks_on(board)))
+            # a gray ICAP programs correctly, just slower -- every
+            # attempt (including failed ones below) pays the multiplier
+            multiplier = self._icap_multiplier.get(board)
+            if multiplier is not None:
+                duration *= multiplier
             armed = self._armed_reconfig_faults.get(board, 0)
             if armed:
-                retries = min(armed, self.reconfig_max_retries)
+                max_retries = (guard.max_reconfig_retries
+                               if guard is not None
+                               else self.reconfig_max_retries)
+                retries = min(armed, max_retries)
                 if armed - retries:
                     self._armed_reconfig_faults[board] = armed - retries
                 else:
                     del self._armed_reconfig_faults[board]
                 per_attempt = duration
                 for attempt in range(retries):
-                    backoff = self.reconfig_backoff_base_s \
-                        * (2 ** attempt)
+                    if guard is not None:
+                        backoff = guard.retry_backoff(attempt)
+                    else:
+                        backoff = self.reconfig_backoff_base_s \
+                            * (2 ** attempt)
                     duration += per_attempt + backoff
                     self.audit.record(
                         now, AuditEvent.RETRY, request_id, tenant,
@@ -683,6 +748,8 @@ class SystemController:
                             request=request_id, board=board,
                             reason="transient-icap-fault",
                             attempt=attempt + 1, backoff_s=backoff)
+                if guard is not None:
+                    guard.record_reconfig_faults(board, retries, now)
             start = max(now, self._config_port_free_at[board])
             self._config_port_free_at[board] = start + duration
             finish = max(finish, start + duration)

@@ -61,14 +61,16 @@ class HeterogeneousController(SystemController):
 
     def _allocatable_blocks(self, app: CompiledApp,
                             ) -> dict[int, list[int]]:
-        """Only boards whose footprint matches the artifact."""
+        """Only boards whose footprint matches the artifact (and which
+        health / guard quarantine have not taken out of service)."""
         group = {b.board_id
                  for b in self.cluster.boards_with_footprint(
                      app.footprint)}
-        return {board: blocks
-                for board, blocks in
-                self.resource_db.free_by_board().items()
-                if board in group}
+        return self._filter_unavailable(
+            {board: blocks
+             for board, blocks in
+             self.resource_db.free_by_board().items()
+             if board in group})
 
 
 class HeterogeneousStack:

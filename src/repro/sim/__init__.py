@@ -10,7 +10,9 @@ latency overhead.
 - :mod:`repro.sim.workload` -- Table 3 workload-set generation;
 - :mod:`repro.sim.metrics` -- per-request records and summaries;
 - :mod:`repro.sim.experiment` -- the event loop and multi-manager
-  comparison drivers.
+  comparison drivers;
+- :mod:`repro.sim.chaos` -- chaos campaign harness (correlated/gray
+  scenario matrix with per-event invariants).
 """
 
 from repro.sim.events import EventQueue, TimeWeightedValue
@@ -27,6 +29,15 @@ from repro.sim.experiment import (
     compare_managers,
     MANAGER_FACTORIES,
 )
+from repro.sim.chaos import (
+    CampaignResult,
+    ChaosInvariantError,
+    ChaosScenario,
+    ScenarioResult,
+    run_campaign,
+    run_scenario,
+    standard_scenarios,
+)
 
 __all__ = [
     "EventQueue",
@@ -42,4 +53,11 @@ __all__ = [
     "compile_benchmarks",
     "compare_managers",
     "MANAGER_FACTORIES",
+    "CampaignResult",
+    "ChaosInvariantError",
+    "ChaosScenario",
+    "ScenarioResult",
+    "run_campaign",
+    "run_scenario",
+    "standard_scenarios",
 ]

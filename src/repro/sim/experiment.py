@@ -146,6 +146,9 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                    metrics: MetricsRegistry | None = None,
                    timeline: TimelineAggregator | None = None,
                    slo: SLOEngine | None = None,
+                   guard=None,
+                   probe: "Callable[[float, ClusterManager], None] | None"
+                   = None,
                    ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
@@ -179,6 +182,17 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     memory stays O(1) in trace length.  Like the tracer, both only
     observe -- simulation results are bit-identical with health
     monitoring on or off.
+
+    ``guard`` attaches a
+    :class:`~repro.runtime.guard.DegradedModeGuard` when the manager
+    supports one (``attach_guard``; others ignore it): quarantined
+    boards leave the allocatable set, reconfig retries use the guard's
+    jittered budget, and after every arrival or fault the guard may
+    shed queued requests (recorded per request and in the summary's
+    ``shed_requests``).  If ``slo`` is also given, sustained SLO
+    violations become a shedding trigger.  ``probe(now, manager)``
+    is called after every processed event -- the chaos harness uses it
+    to assert invariants mid-run; it must not mutate anything.
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
@@ -214,6 +228,13 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             manager.tracer = tracer
     if metrics is not None and hasattr(manager, "attach_metrics"):
         manager.attach_metrics(metrics)
+    if guard is not None:
+        if hasattr(manager, "attach_guard"):
+            manager.attach_guard(guard)
+            if slo is not None:
+                guard.bind_slo(slo)
+        else:
+            guard = None  # managers without guard hooks ignore it
     mx = _ExperimentMetrics(metrics, manager.name) if metrics is not None \
         else None
 
@@ -244,6 +265,23 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     def schedule_completion(request_id: int, when: float) -> None:
         completion_at[request_id] = when
         events.push(when, "completion", request_id)
+
+    def maybe_shed(now: float) -> None:
+        if guard is None or not queue:
+            return
+        victims = guard.shed_victims(now, queue)
+        for request in victims:
+            queue.remove(request)
+            record = collector.records[request.request_id]
+            record.shed = True
+            # an open recovery dies with the shed: the request will
+            # never redeploy, so there is no MTTR sample to close
+            evicted_at.pop(request.request_id, None)
+            if tracer:
+                tracer.event("sim.shed", t=now,
+                             request=request.request_id,
+                             app=record.app_name,
+                             reason="load-shed")
 
     def try_drain(now: float) -> None:
         if discipline == "sjf":
@@ -384,6 +422,16 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             queue.clear()
             queue.extend(merged)
         try_drain(now)
+        maybe_shed(now)
+
+    # degraded-time integral: simulated seconds with any fault live on
+    # the substrate or any breaker open.  Sampled per processed event
+    # (the substrate only changes at events); zero cost when neither
+    # fault machinery nor guard is active.
+    degraded_s = 0.0
+    monitor_degraded = injector is not None or guard is not None
+    was_degraded = False
+    prev_t = 0.0
 
     try:
         while events:
@@ -391,6 +439,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             now = event.time
             if tracer:
                 tracer.now = now
+            if monitor_degraded and was_degraded:
+                degraded_s += now - prev_t
             if event.kind == "arrival":
                 request: Request = event.payload
                 app_name = request.spec.name
@@ -412,6 +462,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 if mx is not None:
                     mx.arrivals.inc()
                 try_drain(now)
+                maybe_shed(now)
             elif event.kind == "completion":
                 request_id: int = event.payload
                 if completion_at.get(request_id) != now:
@@ -434,6 +485,14 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             elif event.kind == "fault":
                 on_fault(event.payload, now)
             state_snapshot(now)
+            if monitor_degraded:
+                was_degraded = (
+                    (injector is not None
+                     and injector.substrate_degraded())
+                    or (guard is not None and guard.degraded()))
+                prev_t = now
+            if probe is not None:
+                probe(now, manager)
     finally:
         if injector is not None:
             # heal the (shared) substrate so the next experiment on
@@ -476,6 +535,13 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             slo_violations=float(slo.total_violations()),
             slo_violated_s=slo.total_violated_s(),
             slo_recovered=float(slo.total_recovered()))
+    if degraded_s:
+        summary = replace(summary, degraded_s=degraded_s)
+    if guard is not None:
+        summary = replace(
+            summary,
+            quarantines=float(guard.quarantine_count),
+            probations=float(guard.probation_count))
     result = ExperimentResult(manager_name=manager.name,
                               summary=summary,
                               records=list(collector.records.values()))
@@ -563,4 +629,8 @@ def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
         slo_violations=mean("slo_violations"),
         slo_violated_s=mean("slo_violated_s"),
         slo_recovered=mean("slo_recovered"),
+        shed_requests=mean("shed_requests"),
+        quarantines=mean("quarantines"),
+        probations=mean("probations"),
+        degraded_s=mean("degraded_s"),
     )

@@ -80,6 +80,9 @@ class RequestRecord:
     lost_service_s: float = 0.0
     #: the request could never be (re)placed before the run ended
     permanently_failed: bool = False
+    #: shed from the queue by the degraded-mode guard (never deployed
+    #: in this run; no progress was lost because none existed)
+    shed: bool = False
 
     @property
     def wait_s(self) -> float:
@@ -134,6 +137,17 @@ class SummaryMetrics:
     #: episodes that healed before the run ended; a fault-injection run
     #: "recovered within SLO" iff this equals ``slo_violations``
     slo_recovered: float = 0.0
+    # degraded-mode control (zero unless a guard / fault schedule ran;
+    # the defaults describe an unguarded fault-free run exactly)
+    #: queued requests shed by the guard instead of served
+    shed_requests: float = 0.0
+    #: boards quarantined by the per-board circuit breaker
+    quarantines: float = 0.0
+    #: quarantined boards re-admitted on probation
+    probations: float = 0.0
+    #: simulated seconds the substrate spent degraded (failed boards,
+    #: degraded/flaky segments, slow ICAPs, or open breakers)
+    degraded_s: float = 0.0
 
     def normalized_response(self, baseline: "SummaryMetrics") -> float:
         if baseline.mean_response_s == 0:
@@ -273,4 +287,5 @@ class MetricsCollector:
                 sum(1 for r in every if r.permanently_failed)),
             mean_time_to_recovery_s=mttr,
             goodput_fraction=goodput,
+            shed_requests=float(sum(1 for r in every if r.shed)),
         )

@@ -43,6 +43,10 @@ class Request:
     request_id: int
     spec: KernelSpec
     arrival_s: float
+    #: load-shedding rank: lower sheds first (0 = best-effort default;
+    #: the degraded-mode guard never sheds running deployments, only
+    #: queued requests, lowest priority first)
+    priority: int = 0
 
 
 class WorkloadGenerator:

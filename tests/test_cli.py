@@ -364,3 +364,65 @@ class TestDiff:
     def test_missing_operand(self, capsys, tmp_path):
         assert main(["diff", str(tmp_path / "nope.jsonl"),
                      str(tmp_path / "nada.jsonl")]) == 2
+
+
+class TestBoardIdValidation:
+    """Unknown board ids exit non-zero with a clear message -- never a
+    traceback."""
+
+    def test_fail_board_unknown_id(self, capsys):
+        assert main(["fail-board", "9"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown board id 9" in out
+        assert "0..3" in out
+
+    def test_fail_board_negative_id(self, capsys):
+        assert main(["fail-board", "--", "-1"]) == 2
+        assert "unknown board id -1" in capsys.readouterr().out
+
+    def test_repair_board_unknown_id(self, capsys):
+        assert main(["repair-board", "7", "--boards", "4"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown board id 7" in out
+
+    def test_validation_respects_boards_flag(self, capsys):
+        # board 5 exists in an 8-board cluster
+        assert main(["repair-board", "5", "--boards", "8"]) == 0
+        assert "board 5" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_list_prints_the_matrix(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "rack-flap" in out and "zone-cascade" in out
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_trace_requires_scenario(self, capsys, tmp_path):
+        assert main(["chaos", "--trace",
+                     str(tmp_path / "t.jsonl")]) == 2
+        assert "--scenario" in capsys.readouterr().out
+
+    def test_scenario_run_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        code = main(["chaos", "--scenario", "rack-flap",
+                     "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert trace.exists()
+        lines = trace.read_text().splitlines()
+        assert any('"ctrl.quarantine"' in line for line in lines)
+
+    def test_scenario_json_output(self, capsys):
+        import json as _json
+        code = main(["chaos", "--scenario", "rack-flap",
+                     "--format", "json"])
+        assert code == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["guarded"] is True
+        assert doc["scenarios"][0]["scenario"] == "rack-flap"
+        assert doc["scenarios"][0]["quarantines"] > 0

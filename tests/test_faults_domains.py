@@ -1,0 +1,212 @@
+"""Failure domain maps and correlated/gray schedule generators.
+
+Acceptance criteria under test:
+- the map validates its own topology (no board in two racks, no rack in
+  two power zones, no unknown rack in a zone) and is falsy when empty;
+- correlated outages take *every* board of the rack down at the same
+  instant, cascade only to power-zone siblings, and are a pure function
+  of the seed;
+- gray faults pair every degraded/flaky window with its restore inside
+  the horizon;
+- an empty domain map generates empty schedules, keeping the fault
+  machinery entirely dormant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    BoardDown,
+    BoardUp,
+    FailureDomainMap,
+    IcapDegraded,
+    IcapRestored,
+    LinkFlaky,
+    LinkStable,
+    correlated_outages,
+    gray_faults,
+)
+
+
+class TestDomainMap:
+    def test_grid_layout(self):
+        domains = FailureDomainMap.grid(8, boards_per_rack=4,
+                                        racks_per_zone=2)
+        assert domains.racks == {"rack0": (0, 1, 2, 3),
+                                 "rack1": (4, 5, 6, 7)}
+        assert domains.power_zones == {"zone0": ("rack0", "rack1")}
+        assert domains.rack_of(5) == "rack1"
+        assert domains.zone_of("rack0") == "zone0"
+        assert domains.boards() == tuple(range(8))
+
+    def test_correlated_racks_share_the_zone(self):
+        domains = FailureDomainMap.grid(16, boards_per_rack=4,
+                                        racks_per_zone=2)
+        assert domains.correlated_racks("rack0") == ("rack1",)
+        assert domains.correlated_racks("rack2") == ("rack3",)
+        # different zone => not correlated
+        assert "rack2" not in domains.correlated_racks("rack0")
+
+    def test_empty_map_is_falsy(self):
+        assert not FailureDomainMap.empty()
+        assert FailureDomainMap.grid(4)
+
+    def test_board_in_two_racks_rejected(self):
+        with pytest.raises(ValueError, match="belongs to both"):
+            FailureDomainMap(racks={"a": [0, 1], "b": [1, 2]})
+
+    def test_rack_in_two_zones_rejected(self):
+        with pytest.raises(ValueError, match="belongs to both"):
+            FailureDomainMap(racks={"a": [0], "b": [1]},
+                             power_zones={"z0": ["a"],
+                                          "z1": ["a", "b"]})
+
+    def test_zone_naming_unknown_rack_rejected(self):
+        with pytest.raises(ValueError, match="unknown rack"):
+            FailureDomainMap(racks={"a": [0]},
+                             power_zones={"z": ["a", "ghost"]})
+
+    def test_validate_for_rejects_out_of_range(self):
+        domains = FailureDomainMap.grid(8)
+        domains.validate_for(8)
+        with pytest.raises(ValueError, match="board"):
+            domains.validate_for(4)
+
+    def test_rack_of_unknown_board_is_none(self):
+        assert FailureDomainMap.grid(4).rack_of(99) is None
+
+
+class TestCorrelatedOutages:
+    DOMAINS = FailureDomainMap.grid(8, boards_per_rack=4,
+                                    racks_per_zone=2)
+
+    def test_whole_rack_goes_down_together(self):
+        schedule = correlated_outages(
+            self.DOMAINS, seed=1, horizon_s=600.0, rack_mtbf_s=200.0)
+        downs = [e for e in schedule if isinstance(e, BoardDown)]
+        assert downs
+        by_time: dict[float, set[int]] = {}
+        for event in downs:
+            by_time.setdefault(event.time_s, set()).add(event.board)
+        for boards in by_time.values():
+            # the boards failing at one instant are exactly one rack
+            racks = {self.DOMAINS.rack_of(b) for b in boards}
+            assert len(racks) == 1
+            (rack,) = racks
+            assert boards == set(self.DOMAINS.boards_in(rack))
+
+    def test_every_down_has_an_up_inside_horizon(self):
+        schedule = correlated_outages(
+            self.DOMAINS, seed=2, horizon_s=500.0, rack_mtbf_s=150.0,
+            repair_stagger_s=3.0)
+        down = [e.board for e in schedule if isinstance(e, BoardDown)]
+        up = [e.board for e in schedule if isinstance(e, BoardUp)]
+        assert sorted(down) == sorted(up)
+        assert all(e.time_s <= 500.0 for e in schedule)
+
+    def test_same_seed_same_schedule(self):
+        a = correlated_outages(self.DOMAINS, seed=7, horizon_s=600.0,
+                               rack_mtbf_s=120.0,
+                               cascade_probability=0.5)
+        b = correlated_outages(self.DOMAINS, seed=7, horizon_s=600.0,
+                               rack_mtbf_s=120.0,
+                               cascade_probability=0.5)
+        assert a.events == b.events
+
+    def test_different_seed_different_schedule(self):
+        a = correlated_outages(self.DOMAINS, seed=7, horizon_s=600.0,
+                               rack_mtbf_s=120.0)
+        b = correlated_outages(self.DOMAINS, seed=8, horizon_s=600.0,
+                               rack_mtbf_s=120.0)
+        assert a.events != b.events
+
+    def test_certain_cascade_spreads_to_sibling(self):
+        schedule = correlated_outages(
+            self.DOMAINS, seed=3, horizon_s=400.0, rack_mtbf_s=300.0,
+            cascade_probability=1.0, cascade_delay_s=5.0)
+        downs = [e for e in schedule if isinstance(e, BoardDown)]
+        racks_hit = {self.DOMAINS.rack_of(e.board) for e in downs}
+        # with p=1 every outage drags its zone sibling down too
+        assert racks_hit == {"rack0", "rack1"}
+
+    def test_zero_cascade_never_spreads(self):
+        schedule = correlated_outages(
+            self.DOMAINS, seed=3, horizon_s=400.0,
+            rack_mtbf_s=10_000.0, cascade_probability=0.0)
+        # astronomically long MTBF: no outages at all, and certainly
+        # no cascades
+        assert len(schedule) == 0
+
+    def test_empty_map_yields_empty_schedule(self):
+        schedule = correlated_outages(
+            FailureDomainMap.empty(), seed=1, horizon_s=100.0,
+            rack_mtbf_s=10.0)
+        assert not schedule
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            correlated_outages(self.DOMAINS, seed=0, horizon_s=100.0,
+                               rack_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            correlated_outages(self.DOMAINS, seed=0, horizon_s=100.0,
+                               rack_mtbf_s=10.0, rack_mttr_s=-1.0)
+        with pytest.raises(ValueError):
+            correlated_outages(self.DOMAINS, seed=0, horizon_s=100.0,
+                               rack_mtbf_s=10.0,
+                               cascade_probability=1.5)
+
+
+class TestGrayFaults:
+    DOMAINS = FailureDomainMap.grid(8, boards_per_rack=4)
+
+    def test_icap_windows_pair_and_restore(self):
+        schedule = gray_faults(self.DOMAINS, seed=4, horizon_s=400.0,
+                               icap_mtbf_s=100.0, icap_mttr_s=50.0,
+                               icap_latency_multiplier=6.0)
+        degraded = [e for e in schedule
+                    if isinstance(e, IcapDegraded)]
+        restored = [e for e in schedule
+                    if isinstance(e, IcapRestored)]
+        assert degraded
+        assert sorted(e.board for e in degraded) \
+            == sorted(e.board for e in restored)
+        assert all(e.latency_multiplier == 6.0 for e in degraded)
+
+    def test_flaky_group_flaps_together(self):
+        schedule = gray_faults(self.DOMAINS, seed=5, horizon_s=400.0,
+                               flaky_mtbf_s=100.0, flaky_mttr_s=50.0,
+                               drop_probability=0.25)
+        flaky = [e for e in schedule if isinstance(e, LinkFlaky)]
+        stable = [e for e in schedule if isinstance(e, LinkStable)]
+        assert flaky and len(flaky) == len(stable)
+        by_time: dict[float, set[int]] = {}
+        for event in flaky:
+            by_time.setdefault(event.time_s, set()).add(event.segment)
+        groups = {frozenset(s)
+                  for s in self.DOMAINS.ring_segments.values()}
+        for segments in by_time.values():
+            assert frozenset(segments) in groups
+
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(seed=9, horizon_s=300.0, icap_mtbf_s=80.0,
+                      flaky_mtbf_s=90.0)
+        a = gray_faults(self.DOMAINS, **kwargs)
+        b = gray_faults(self.DOMAINS, **kwargs)
+        assert a.events == b.events
+
+    def test_no_rates_no_events(self):
+        assert not gray_faults(self.DOMAINS, seed=1, horizon_s=100.0)
+
+    def test_empty_map_yields_empty_schedule(self):
+        assert not gray_faults(FailureDomainMap.empty(), seed=1,
+                               horizon_s=100.0, icap_mtbf_s=10.0,
+                               flaky_mtbf_s=10.0)
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError, match="icap_mtbf_s"):
+            gray_faults(self.DOMAINS, seed=0, horizon_s=100.0,
+                        icap_mtbf_s=-5.0)
+        with pytest.raises(ValueError, match="flaky_mttr_s"):
+            gray_faults(self.DOMAINS, seed=0, horizon_s=100.0,
+                        flaky_mtbf_s=10.0, flaky_mttr_s=0.0)

@@ -122,3 +122,62 @@ class TestExponential:
                 degraded.discard(event.segment)
         assert saw_link
         assert not degraded
+
+
+class TestRateValidation:
+    """Non-positive MTBF/MTTR must fail loudly, not generate a
+    degenerate everything-fails-at-t0 schedule."""
+
+    @pytest.mark.parametrize("field", [
+        "board_mtbf_s", "board_mttr_s", "link_mtbf_s", "link_mttr_s",
+        "reconfig_fault_mtbf_s"])
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_non_positive_rates_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            FaultSchedule.exponential(
+                seed=0, horizon_s=100.0, num_boards=4,
+                **{field: value})
+
+    def test_bad_horizon_and_board_count_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultSchedule.exponential(seed=0, horizon_s=0.0,
+                                      num_boards=4)
+        with pytest.raises(ValueError, match="board"):
+            FaultSchedule.exponential(seed=0, horizon_s=10.0,
+                                      num_boards=0)
+
+    def test_positive_rates_still_accepted(self):
+        schedule = FaultSchedule.exponential(
+            seed=0, horizon_s=200.0, num_boards=4,
+            board_mtbf_s=50.0, board_mttr_s=10.0)
+        assert len(schedule) > 0
+
+
+class TestGrayEvents:
+    def test_flaky_drop_probability_bounds(self):
+        from repro.faults import LinkFlaky
+        LinkFlaky(time_s=0.0, segment=0, drop_probability=0.5)
+        with pytest.raises(ValueError):
+            LinkFlaky(time_s=0.0, segment=0, drop_probability=0.0)
+        with pytest.raises(ValueError):
+            LinkFlaky(time_s=0.0, segment=0, drop_probability=1.0)
+
+    def test_icap_multiplier_must_slow_not_speed(self):
+        from repro.faults import IcapDegraded
+        IcapDegraded(time_s=0.0, board=0, latency_multiplier=1.5)
+        with pytest.raises(ValueError):
+            IcapDegraded(time_s=0.0, board=0, latency_multiplier=0.9)
+
+    def test_gray_events_touch_boards(self):
+        from repro.faults import (IcapDegraded, IcapRestored,
+                                  LinkFlaky, LinkStable)
+        schedule = FaultSchedule([
+            IcapDegraded(time_s=0.0, board=2, latency_multiplier=2.0),
+            IcapRestored(time_s=5.0, board=2),
+            LinkFlaky(time_s=1.0, segment=1, drop_probability=0.1),
+            LinkStable(time_s=6.0, segment=1),
+        ])
+        assert schedule.boards_touched() == {2}
+        schedule.validate_for(4)
+        with pytest.raises(ValueError):
+            schedule.validate_for(1)

@@ -1,0 +1,239 @@
+"""Degraded-mode guard: circuit breakers, retry budgets, shedding.
+
+Acceptance criteria under test:
+- ``failure_threshold`` strikes inside ``failure_window_s`` quarantine
+  the board; allocation then avoids it even though it reports healthy;
+- quarantine elapses into probation (board serves traffic again), one
+  strike on probation re-quarantines, a clean probation closes the
+  breaker;
+- the breaker never starves the cluster below ``min_healthy_boards``;
+- retry backoff is exponential with deterministic (seeded) jitter;
+- shedding fires only under pressure (capacity loss or sustained SLO
+  violation) and picks lowest-priority, youngest victims;
+- every decision lands in the trace with a machine-readable reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracer import Tracer
+from repro.runtime.controller import SystemController
+from repro.runtime.guard import (
+    BreakerState,
+    DegradedModeGuard,
+    GuardConfig,
+)
+from repro.sim.workload import Request
+
+
+@pytest.fixture
+def vital(cluster):
+    return SystemController(cluster)
+
+
+def _guarded(controller, **overrides):
+    guard = DegradedModeGuard(GuardConfig(**overrides))
+    controller.attach_guard(guard)
+    return guard
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        GuardConfig()
+
+    @pytest.mark.parametrize("field, value", [
+        ("failure_threshold", 0),
+        ("failure_window_s", 0.0),
+        ("quarantine_s", -1.0),
+        ("probation_s", 0.0),
+        ("max_reconfig_retries", -1),
+        ("backoff_base_s", 0.0),
+        ("backoff_jitter", 1.5),
+        ("shed_queue_limit", -1),
+        ("capacity_loss_threshold", 0.0),
+        ("slo_sustained_s", -1.0),
+        ("min_healthy_boards", 0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            GuardConfig(**{field: value})
+
+
+class TestBreaker:
+    def test_threshold_strikes_quarantine(self, vital):
+        guard = _guarded(vital, failure_threshold=2,
+                         failure_window_s=60.0)
+        guard.record_board_failure(1, now=10.0)
+        assert guard.board_state(1) is BreakerState.CLOSED
+        guard.record_board_failure(1, now=20.0)
+        assert guard.board_state(1) is BreakerState.QUARANTINED
+        assert guard.excluded_boards() == frozenset({1})
+
+    def test_strikes_outside_window_do_not_trip(self, vital):
+        guard = _guarded(vital, failure_threshold=2,
+                         failure_window_s=30.0)
+        guard.record_board_failure(1, now=10.0)
+        guard.record_board_failure(1, now=100.0)
+        assert guard.board_state(1) is BreakerState.CLOSED
+
+    def test_quarantine_elapses_into_probation(self, vital):
+        guard = _guarded(vital, failure_threshold=1,
+                         quarantine_s=50.0, probation_s=40.0)
+        guard.record_board_failure(2, now=10.0)
+        assert guard.board_state(2) is BreakerState.QUARANTINED
+        guard.advance(59.0)
+        assert guard.board_state(2) is BreakerState.QUARANTINED
+        guard.advance(61.0)
+        assert guard.board_state(2) is BreakerState.PROBATION
+        # probation boards serve traffic
+        assert guard.excluded_boards() == frozenset()
+
+    def test_clean_probation_closes_the_breaker(self, vital):
+        guard = _guarded(vital, failure_threshold=1,
+                         quarantine_s=50.0, probation_s=40.0)
+        guard.record_board_failure(2, now=10.0)
+        guard.advance(200.0)  # past quarantine + probation
+        assert guard.board_state(2) is BreakerState.CLOSED
+        assert not guard.degraded()
+
+    def test_failure_on_probation_requarantines(self, vital):
+        guard = _guarded(vital, failure_threshold=2,
+                         quarantine_s=50.0, probation_s=40.0)
+        guard.record_board_failure(2, now=0.0)
+        guard.record_board_failure(2, now=1.0)
+        guard.advance(60.0)
+        assert guard.board_state(2) is BreakerState.PROBATION
+        # a single strike suffices on probation, threshold or not
+        guard.record_board_failure(2, now=65.0)
+        assert guard.board_state(2) is BreakerState.QUARANTINED
+
+    def test_reconfig_faults_count_toward_threshold(self, vital):
+        guard = _guarded(vital, failure_threshold=3)
+        guard.record_reconfig_faults(0, attempts=3, now=5.0)
+        assert guard.board_state(0) is BreakerState.QUARANTINED
+
+    def test_min_healthy_boards_floor(self, vital):
+        guard = _guarded(vital, failure_threshold=1,
+                         min_healthy_boards=2)
+        guard.record_board_failure(0, now=1.0)
+        guard.record_board_failure(1, now=2.0)
+        # quarantining a third of four boards would leave one
+        # admittable board -- below the floor of two
+        guard.record_board_failure(2, now=3.0)
+        assert guard.board_state(2) is BreakerState.CLOSED
+        assert guard.excluded_boards() == frozenset({0, 1})
+
+    def test_allocation_avoids_quarantined_board(self, vital,
+                                                 compiled_small):
+        guard = _guarded(vital, failure_threshold=1)
+        vital.register(compiled_small)
+        guard.record_board_failure(0, now=1.0)
+        candidates = vital._allocatable_blocks(compiled_small)
+        assert 0 not in candidates
+        assert sorted(candidates) == [1, 2, 3]
+        deployment = vital.try_deploy(compiled_small, 0, now=2.0)
+        assert deployment is not None
+        assert 0 not in deployment.placement.boards
+        vital.release(deployment, now=3.0)
+
+    def test_quarantine_events_have_reasons(self, vital):
+        vital.tracer = Tracer()
+        guard = _guarded(vital, failure_threshold=1,
+                         quarantine_s=50.0)
+        guard.record_board_failure(3, now=10.0)
+        guard.advance(100.0)
+        events = {e["name"]: e for e in vital.tracer.entries()}
+        assert events["ctrl.quarantine"]["fields"]["reason"] \
+            == "failure-threshold"
+        assert events["ctrl.quarantine"]["fields"]["board"] == 3
+        # the probation event carries the *scheduled* instant, not the
+        # tick that happened to observe it
+        assert events["ctrl.probation"]["t"] == 60.0
+        assert events["ctrl.probation"]["fields"]["reason"] \
+            == "quarantine-elapsed"
+
+
+class TestRetryBudget:
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        guard = DegradedModeGuard(GuardConfig(
+            backoff_base_s=0.01, backoff_jitter=0.25))
+        for attempt in range(5):
+            backoff = guard.retry_backoff(attempt)
+            lo = 0.01 * 2 ** attempt
+            assert lo <= backoff <= lo * 1.25
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = DegradedModeGuard(GuardConfig(seed=42))
+        b = DegradedModeGuard(GuardConfig(seed=42))
+        assert [a.retry_backoff(i) for i in range(4)] \
+            == [b.retry_backoff(i) for i in range(4)]
+
+    def test_zero_jitter_is_pure_exponential(self):
+        guard = DegradedModeGuard(GuardConfig(
+            backoff_base_s=0.5, backoff_jitter=0.0))
+        assert [guard.retry_backoff(i) for i in range(3)] \
+            == [0.5, 1.0, 2.0]
+
+
+class TestShedding:
+    def _queue(self, spec, n, priorities=None):
+        priorities = priorities or [0] * n
+        return [Request(request_id=i, spec=spec, arrival_s=float(i),
+                        priority=priorities[i]) for i in range(n)]
+
+    def test_no_shed_without_pressure(self, vital, compiled_small):
+        guard = _guarded(vital, shed_queue_limit=2)
+        queue = self._queue(compiled_small.spec, 5)
+        assert guard.shed_victims(10.0, queue) == []
+
+    def test_no_shed_below_queue_limit(self, vital, compiled_small):
+        guard = _guarded(vital, shed_queue_limit=8,
+                         capacity_loss_threshold=0.25)
+        vital.fail_board(0, now=1.0)
+        assert guard.shed_victims(10.0,
+                                  self._queue(compiled_small.spec,
+                                              5)) == []
+
+    def test_capacity_loss_sheds_the_excess(self, vital,
+                                            compiled_small):
+        guard = _guarded(vital, shed_queue_limit=3,
+                         capacity_loss_threshold=0.25,
+                         failure_threshold=99)
+        vital.fail_board(0, now=1.0)  # 1 of 4 boards = 25% lost
+        queue = self._queue(compiled_small.spec, 5)
+        victims = guard.shed_victims(10.0, queue)
+        # excess of 2, youngest (highest id) first at equal priority
+        assert [v.request_id for v in victims] == [4, 3]
+        assert guard.shed_count == 2
+
+    def test_low_priority_sheds_first(self, vital, compiled_small):
+        guard = _guarded(vital, shed_queue_limit=2,
+                         capacity_loss_threshold=0.25,
+                         failure_threshold=99)
+        vital.fail_board(0, now=1.0)
+        queue = self._queue(compiled_small.spec, 4,
+                            priorities=[0, -1, 5, -1])
+        victims = guard.shed_victims(10.0, queue)
+        assert [v.request_id for v in victims] == [3, 1]
+
+    def test_shed_events_carry_reason(self, vital, compiled_small):
+        vital.tracer = Tracer()
+        guard = _guarded(vital, shed_queue_limit=0,
+                         capacity_loss_threshold=0.25,
+                         failure_threshold=99)
+        vital.fail_board(0, now=1.0)
+        guard.shed_victims(10.0, self._queue(compiled_small.spec, 1))
+        sheds = [e for e in vital.tracer.entries()
+                 if e["name"] == "ctrl.shed"]
+        assert len(sheds) == 1
+        assert sheds[0]["fields"]["reason"].startswith(
+            "capacity-loss:")
+
+    def test_counters_roll_up(self, vital):
+        guard = _guarded(vital, failure_threshold=1,
+                         quarantine_s=10.0)
+        guard.record_board_failure(1, now=0.0)
+        guard.advance(15.0)
+        assert guard.counters() == {"quarantines": 1,
+                                    "probations": 1, "shed": 0}

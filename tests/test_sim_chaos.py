@@ -1,0 +1,175 @@
+"""Chaos campaign harness: scenarios, invariants, and the guard win.
+
+Acceptance criteria under test:
+- the same seed replays a scenario trace-identically;
+- a guarded run with an empty schedule and empty domain map is
+  bit-identical to a fault-free run (the guard is free when idle);
+- on the correlated rack-flap scenario the degraded-mode guard beats
+  the PR 1 recovery-only baseline on goodput *and* interruptions;
+- invariants are checked after every event and the end-of-run goodput
+  floor is enforced;
+- the campaign covers the whole matrix deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FailureDomainMap, FaultSchedule
+from repro.obs.tracer import Tracer
+from repro.runtime.controller import SystemController
+from repro.runtime.guard import DegradedModeGuard, GuardConfig
+from repro.sim.chaos import (
+    ChaosInvariantError,
+    ChaosScenario,
+    rack_flap_events,
+    run_campaign,
+    run_scenario,
+    standard_scenarios,
+)
+from repro.sim.experiment import compile_benchmarks, run_experiment
+from repro.sim.workload import Request
+
+
+@pytest.fixture(scope="module")
+def chaos_cluster():
+    from repro.cluster.cluster import make_cluster
+    return make_cluster(num_boards=8)
+
+
+@pytest.fixture(scope="module")
+def chaos_apps(chaos_cluster):
+    return compile_benchmarks(chaos_cluster)
+
+
+def _scenario(name: str) -> ChaosScenario:
+    for scenario in standard_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise LookupError(name)
+
+
+class TestScenarios:
+    def test_matrix_names_are_unique(self):
+        names = [s.name for s in standard_scenarios()]
+        assert len(names) == len(set(names))
+        assert "rack-flap" in names and "zone-cascade" in names
+
+    def test_schedules_validate_against_their_clusters(self):
+        for scenario in standard_scenarios():
+            scenario.schedule().validate_for(scenario.num_boards)
+            scenario.domain_map().validate_for(scenario.num_boards)
+
+    def test_schedule_is_a_pure_function_of_the_scenario(self):
+        scenario = _scenario("mixed")
+        assert scenario.schedule().events \
+            == scenario.schedule().events
+
+    def test_rack_flap_events_validate_windows(self):
+        with pytest.raises(ValueError):
+            rack_flap_events((0, 1), ((10.0, 5.0),))
+
+
+class TestRunScenario:
+    def test_same_seed_is_trace_identical(self, chaos_cluster,
+                                          chaos_apps):
+        scenario = _scenario("rack-outage")
+
+        def run() -> str:
+            tracer = Tracer()
+            run_scenario(scenario, tracer=tracer, apps=chaos_apps,
+                         cluster=chaos_cluster)
+            return tracer.to_jsonl()
+
+        assert run() == run()
+
+    def test_guard_beats_recovery_only_on_rack_flap(
+            self, chaos_cluster, chaos_apps):
+        scenario = _scenario("rack-flap")
+        guarded = run_scenario(scenario, with_guard=True,
+                               apps=chaos_apps, cluster=chaos_cluster)
+        baseline = run_scenario(scenario, with_guard=False,
+                                apps=chaos_apps,
+                                cluster=chaos_cluster)
+        assert guarded.summary.goodput_fraction \
+            > baseline.summary.goodput_fraction
+        assert guarded.summary.interruptions \
+            < baseline.summary.interruptions
+        assert guarded.quarantines > 0
+        assert baseline.quarantines == 0
+
+    def test_invariants_run_on_every_event(self, chaos_cluster,
+                                           chaos_apps):
+        result = run_scenario(_scenario("rack-flap"),
+                              apps=chaos_apps, cluster=chaos_cluster)
+        assert result.invariant_checks > result.fault_events
+
+    def test_goodput_floor_is_enforced(self, chaos_cluster,
+                                       chaos_apps):
+        impossible = dataclasses.replace(_scenario("rack-flap"),
+                                         goodput_floor=1.01)
+        with pytest.raises(ChaosInvariantError, match="below floor"):
+            run_scenario(impossible, apps=chaos_apps,
+                         cluster=chaos_cluster)
+
+    def test_summary_carries_guard_counters(self, chaos_cluster,
+                                            chaos_apps):
+        result = run_scenario(_scenario("rack-flap"),
+                              apps=chaos_apps, cluster=chaos_cluster)
+        assert result.summary.quarantines == result.quarantines
+        assert result.summary.probations == result.probations
+        assert result.summary.shed_requests == result.shed
+        assert result.summary.degraded_s > 0
+        assert result.as_dict()["summary"]["goodput_fraction"] \
+            == result.summary.goodput_fraction
+
+    def test_wrong_cluster_size_rejected(self, cluster, chaos_apps):
+        with pytest.raises(ValueError, match="boards"):
+            run_scenario(_scenario("rack-flap"), apps=chaos_apps,
+                         cluster=cluster)  # session cluster has 4
+
+
+class TestGuardIsFreeWhenIdle:
+    def test_empty_schedule_and_map_bit_identical_to_fault_free(
+            self, cluster, compiled_apps, compiled_small,
+            compiled_medium, compiled_large):
+        specs = [compiled_small.spec, compiled_medium.spec,
+                 compiled_large.spec]
+        requests = [Request(request_id=i, spec=specs[i % 3],
+                            arrival_s=1.0 + 2.0 * i)
+                    for i in range(25)]
+
+        def run(guard, faults):
+            tracer = Tracer()
+            controller = SystemController(cluster)
+            controller.tracer = tracer
+            result = run_experiment(
+                controller, requests, compiled_apps, faults=faults,
+                tracer=tracer, guard=guard)
+            return tracer.to_jsonl(), result.summary
+
+        plain_trace, plain = run(None, None)
+        guarded_trace, guarded = run(
+            DegradedModeGuard(GuardConfig()), FaultSchedule.empty())
+        assert guarded_trace == plain_trace
+        assert guarded == plain
+        assert guarded.degraded_s == 0.0
+        assert guarded.quarantines == 0.0
+        # the empty domain map generates nothing to schedule at all
+        assert not FailureDomainMap.empty()
+
+
+class TestCampaign:
+    def test_campaign_covers_the_matrix(self, chaos_cluster,
+                                        chaos_apps):
+        scenarios = [_scenario("rack-flap"), _scenario("gray-icap")]
+        campaign = run_campaign(scenarios)
+        assert [r.scenario for r in campaign.results] \
+            == ["rack-flap", "gray-icap"]
+        assert campaign.by_name("gray-icap").guarded
+        with pytest.raises(KeyError):
+            campaign.by_name("nope")
+        doc = campaign.as_dict()
+        assert len(doc["scenarios"]) == 2

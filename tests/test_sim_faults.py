@@ -250,3 +250,69 @@ class TestInjectorCapabilities:
         injector = FaultInjector(SystemController(cluster))
         with pytest.raises(TypeError):
             injector.apply("not-an-event")
+
+
+BACK_TO_BACK = FaultSchedule([
+    BoardDown(time_s=15.0, board=1),
+    BoardUp(time_s=30.0, board=1),
+    BoardDown(time_s=35.0, board=1),  # refails inside recovery window
+    BoardUp(time_s=70.0, board=1),
+])
+
+
+class TestBackToBackFaults:
+    """The same board fail-stops twice in quick succession; every
+    eviction is accounted exactly once (a request sitting in the queue
+    when the second outage lands must not gain a phantom
+    interruption)."""
+
+    @pytest.mark.parametrize("recovery", ["requeue", "migrate"])
+    def test_interruptions_match_evictions_exactly(
+            self, cluster, requests, compiled_apps, recovery):
+        from repro.obs.tracer import Tracer
+        tracer = Tracer()
+        controller = SystemController(cluster)
+        controller.tracer = tracer
+        result = run_experiment(controller, requests, compiled_apps,
+                                faults=BACK_TO_BACK,
+                                recovery=recovery, tracer=tracer)
+        evict_events = [e for e in tracer.entries()
+                        if e["name"] == "sim.evict"]
+        interruptions = sum(r.interruptions
+                            for r in result.records)
+        assert interruptions == len(evict_events)
+        assert interruptions >= 1  # the schedule actually hit work
+        summary = result.summary
+        assert summary.interruptions == interruptions
+        # every request either finished or is recorded as failed
+        assert summary.num_requests + summary.permanently_failed \
+            == len(requests)
+        _assert_conserved(controller)
+
+    @pytest.mark.parametrize("recovery", ["requeue", "migrate"])
+    def test_back_to_back_is_deterministic(self, cluster, requests,
+                                           compiled_apps, recovery):
+        runs = [run_experiment(SystemController(cluster), requests,
+                               compiled_apps, faults=BACK_TO_BACK,
+                               recovery=recovery).summary
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_requeued_victim_is_not_reinterrupted_in_queue(
+            self, cluster, requests, compiled_apps):
+        """Records interrupted twice really ran twice: each extra
+        interruption implies an extra deployment (audit evidence), not
+        a double count of one eviction."""
+        controller = SystemController(cluster)
+        result = run_experiment(controller, requests, compiled_apps,
+                                faults=BACK_TO_BACK,
+                                recovery="requeue")
+        deploys_by_request: dict[int, int] = {}
+        for entry in controller.audit.entries():
+            if entry.event.value == "deploy":
+                deploys_by_request[entry.request_id] = \
+                    deploys_by_request.get(entry.request_id, 0) + 1
+        for record in result.records:
+            if record.interruptions:
+                assert deploys_by_request.get(record.request_id, 0) \
+                    >= record.interruptions
