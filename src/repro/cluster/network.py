@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["RingNetwork"]
 
 
@@ -42,16 +44,24 @@ class RingNetwork:
     _segment_scale: "dict[int, float]" = None  # type: ignore[assignment]
     #: segment id -> transient drop probability (absent == 0.0, stable)
     _segment_drop: "dict[int, float]" = None  # type: ignore[assignment]
-    #: segment id -> number of registered flows holding it
-    _segment_flows: "dict[int, int]" = field(
+    #: per-segment registered-flow counts, one preallocated int64 slot
+    #: per ring segment (the dict it replaced churned keys on every
+    #: register/release at 1024 boards)
+    _flow_counts: "np.ndarray" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
-    _dist: "list[list[int]]" = field(
+    #: pairwise ring distances as an (n, n) int64 matrix; row/fancy
+    #: indexing feeds the policy's vectorized span bounds
+    _dist: "np.ndarray" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
     _path_cache: "dict[tuple[int, int], list[int]]" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
     _span_cache: "dict[tuple[int, ...], int]" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
     _members_segments_cache: "dict[tuple[int, ...], set[int]]" = field(
+        default=None, repr=False, compare=False)  # type: ignore[assignment]
+    #: members tuple -> segment ids as an int64 array (vector gather for
+    #: contention_factor / timeline peak-flow queries)
+    _members_segments_arr: "dict[tuple[int, ...], np.ndarray]" = field(
         default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -60,20 +70,22 @@ class RingNetwork:
         self._flows = {}
         self._segment_scale = {}
         self._segment_drop = {}
-        self._segment_flows = {}
         n = self.num_nodes
-        self._dist = [[min(abs(a - b), n - abs(a - b))
-                       for b in range(n)] for a in range(n)]
+        self._flow_counts = np.zeros(n, dtype=np.int64)
+        idx = np.arange(n)
+        around = np.abs(idx[:, None] - idx[None, :])
+        self._dist = np.minimum(around, n - around)
         self._path_cache = {}
         self._span_cache = {}
         self._members_segments_cache = {}
+        self._members_segments_arr = {}
 
     # ------------------------------------------------------------------
     def distance(self, a: int, b: int) -> int:
         """Hop count along the shorter ring direction."""
         self._check(a)
         self._check(b)
-        return self._dist[a][b]
+        return int(self._dist[a, b])
 
     def path_latency_us(self, a: int, b: int) -> float:
         return self.distance(a, b) * self.hop_latency_us
@@ -99,13 +111,12 @@ class RingNetwork:
         cached = self._span_cache.get(key)
         if cached is not None:
             return cached
-        dist = self._dist
-        total = 0
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                self._check(a)
-                self._check(b)
-                total += dist[a][b]
+        for m in members:
+            self._check(m)
+        rows = np.asarray(members, dtype=np.intp)
+        # full symmetric sum, halved: one vector gather instead of the
+        # O(k^2) Python pair loop
+        total = int(self._dist[np.ix_(rows, rows)].sum()) // 2
         self._span_cache[key] = total
         return total
 
@@ -145,6 +156,16 @@ class RingNetwork:
             self._members_segments_cache[members] = cached
         return cached
 
+    def _segments_arr(self, members: "tuple[int, ...]") -> "np.ndarray":
+        """The member set's segment union as a sorted index array."""
+        cached = self._members_segments_arr.get(members)
+        if cached is None:
+            cached = np.fromiter(
+                sorted(self._segments_of_members(members)),
+                dtype=np.intp)
+            self._members_segments_arr[members] = cached
+        return cached
+
     def register_flow(self, flow_id: object, boards: "list[int]") -> None:
         """Claim the segments a deployment's traffic traverses.
 
@@ -154,25 +175,25 @@ class RingNetwork:
         if flow_id in self._flows:
             raise ValueError(f"flow {flow_id} already registered")
         members = tuple(sorted(set(boards)))
-        segments = sorted(self._segments_of_members(members))
+        segments = self._segments_arr(members)
         self._flows[flow_id] = segments
-        for segment in segments:
-            self._segment_flows[segment] = \
-                self._segment_flows.get(segment, 0) + 1
+        # segment ids within one flow are unique, so fancy-index
+        # increment touches each slot exactly once
+        self._flow_counts[segments] += 1
 
     def release_flow(self, flow_id: object) -> None:
         segments = self._flows.pop(flow_id, None)
-        if not segments:
+        if segments is None or not len(segments):
             return
-        for segment in segments:
-            remaining = self._segment_flows.get(segment, 0) - 1
-            if remaining > 0:
-                self._segment_flows[segment] = remaining
-            else:
-                self._segment_flows.pop(segment, None)
+        self._flow_counts[segments] -= 1
 
     def flows_on_segment(self, segment: int) -> int:
-        return self._segment_flows.get(segment, 0)
+        return int(self._flow_counts[segment])
+
+    def peak_segment_flows(self) -> int:
+        """Registered-flow count of the busiest segment (O(segments)
+        as one vector max; the timeline samples this per bucket)."""
+        return int(self._flow_counts.max())
 
     def contention_factor(self, boards: "list[int]") -> float:
         """Effective oversubscription of the busiest segment a
@@ -186,13 +207,13 @@ class RingNetwork:
         result feeds the service model unchanged.
         """
         members = tuple(sorted(set(boards)))
-        segments = self._segments_of_members(members)
-        if not segments:
+        segments = self._segments_arr(members)
+        if not len(segments):
             return 1
         if not self._segment_scale and not self._segment_drop:
             # healthy-ring fast path: identical to the pre-fault model
-            return 1 + max(self.flows_on_segment(s) for s in segments)
-        return max((1 + self.flows_on_segment(s))
+            return 1 + int(self._flow_counts[segments].max())
+        return max((1 + int(self._flow_counts[s]))
                    / self._effective_scale(s) for s in segments)
 
     # ------------------------------------------------------------------

@@ -38,7 +38,10 @@ rate.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
+
+import numpy as np
 
 from repro.cluster.network import RingNetwork
 from repro.obs.stats import fragmentation_index
@@ -82,6 +85,13 @@ class TimelineAggregator:
         # ---- tracked state (current values) --------------------------
         self._allocated = 0
         self._queue = 0
+        #: per-board occupancy: a preallocated int64 vector when the
+        #: board count is known (the hot path -- bucket closes read it
+        #: wholesale), else a sparse dict (trace replays of unknown
+        #: clusters)
+        self._occ_arr: "np.ndarray | None" = (
+            np.zeros(num_boards, dtype=np.int64) if num_boards
+            else None)
         self._board_occ: dict[int, int] = {}
         self._tenant_blocks: dict[str, int] = {}
         self._failed_boards: set[int] = set()
@@ -117,6 +127,7 @@ class TimelineAggregator:
         if num_boards is not None:
             self.num_boards = int(num_boards)
             self._ring = RingNetwork(self.num_boards)
+            self._occ_arr = np.zeros(self.num_boards, dtype=np.int64)
         if board_capacity is not None:
             self.board_capacity = int(board_capacity)
         elif self.num_boards:
@@ -174,7 +185,7 @@ class TimelineAggregator:
         """Close every bucket through the one containing ``t_end``."""
         if self.finished:
             return
-        target = int(t_end // self.interval_s) + 1
+        target = self._bucket_of(t_end) + 1
         while self._bucket < target:
             self._close_bucket()
         self.finished = True
@@ -182,8 +193,24 @@ class TimelineAggregator:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _bucket_of(self, t: float) -> int:
+        """Index of the bucket containing ``t`` (float-robust).
+
+        ``int(t // interval)`` misbuckets times that sit one ulp below
+        a boundary: ``0.3 // 0.1 == 2.0`` because ``0.3 / 0.1`` is
+        ``2.9999...96``, so an event *at* a boundary could close one
+        bucket too few and land in the previous interval.  Snap
+        quotients within a relative epsilon of the next integer up to
+        it -- boundary events then bucket as if computed exactly.
+        """
+        q = t / self.interval_s
+        k = math.floor(q)
+        if (k + 1) - q <= 1e-9 * max(1.0, abs(q)):
+            return k + 1
+        return k
+
     def _advance(self, t: float) -> None:
-        target = int(t // self.interval_s)
+        target = self._bucket_of(t)
         while self._bucket < target:
             self._close_bucket()
 
@@ -221,24 +248,26 @@ class TimelineAggregator:
             "completions": self._completions,
         }
         if self.num_boards:
-            sample["board_occupancy"] = [
-                self._board_occ.get(b, 0)
-                for b in range(self.num_boards)]
+            sample["board_occupancy"] = self._occ_arr.tolist()
         return sample
 
     def _fragmentation(self) -> float:
         if not self.num_boards or not self.board_capacity:
             return 0.0
-        free = [self.board_capacity - self._board_occ.get(b, 0)
-                for b in range(self.num_boards)
-                if b not in self._failed_boards]
-        return fragmentation_index(free)
+        free = self.board_capacity - self._occ_arr
+        if self._failed_boards:
+            keep = np.ones(self.num_boards, dtype=bool)
+            keep[sorted(self._failed_boards)] = False
+            free = free[keep]
+        # .tolist() hands fragmentation_index python ints, keeping the
+        # division bit-identical to the scalar path it shares with
+        # analysis/occupancy
+        return fragmentation_index(free.tolist())
 
     def _ring_max_flows(self) -> int:
         if self._ring is None:
             return 0
-        return max((self._ring.flows_on_segment(s)
-                    for s in range(self._ring.num_nodes)), default=0)
+        return self._ring.peak_segment_flows()
 
     # ---- per-event state transitions ---------------------------------
     def _apply(self, name: str, fields: dict) -> None:
@@ -291,9 +320,13 @@ class TimelineAggregator:
             # a redeploy without a matching release would double-count
             self._release({"request": request})
         self._allocated += blocks
-        for board, count in per_board:
-            self._board_occ[board] = \
-                self._board_occ.get(board, 0) + count
+        if self._occ_arr is not None:
+            for board, count in per_board:
+                self._occ_arr[board] += count
+        else:
+            for board, count in per_board:
+                self._board_occ[board] = \
+                    self._board_occ.get(board, 0) + count
         self._tenant_blocks[tenant] = \
             self._tenant_blocks.get(tenant, 0) + blocks
         if spans and self._ring is not None:
@@ -307,12 +340,16 @@ class TimelineAggregator:
             return  # e.g. a trace that starts mid-run
         blocks, per_board, tenant, spans = held
         self._allocated -= blocks
-        for board, count in per_board:
-            remaining = self._board_occ.get(board, 0) - count
-            if remaining > 0:
-                self._board_occ[board] = remaining
-            else:
-                self._board_occ.pop(board, None)
+        if self._occ_arr is not None:
+            for board, count in per_board:
+                self._occ_arr[board] -= count
+        else:
+            for board, count in per_board:
+                remaining = self._board_occ.get(board, 0) - count
+                if remaining > 0:
+                    self._board_occ[board] = remaining
+                else:
+                    self._board_occ.pop(board, None)
         remaining = self._tenant_blocks.get(tenant, 0) - blocks
         if remaining > 0:
             self._tenant_blocks[tenant] = remaining
@@ -368,6 +405,14 @@ class TimelineAggregator:
             path.write_text(self.to_json() + "\n")
         return len(self.buckets)
 
+    def _board_occ_dict(self) -> dict[str, int]:
+        """Occupancy as a sparse str-keyed dict (the snapshot format,
+        shared by the array and dict representations)."""
+        if self._occ_arr is not None:
+            nz = np.nonzero(self._occ_arr)[0]
+            return {str(int(b)): int(self._occ_arr[b]) for b in nz}
+        return {str(b): n for b, n in sorted(self._board_occ.items())}
+
     # ------------------------------------------------------------------
     # snapshot / restore (warm-restart support)
     # ------------------------------------------------------------------
@@ -385,8 +430,7 @@ class TimelineAggregator:
             "buckets": [dict(b) for b in self.buckets],
             "allocated": self._allocated,
             "queue": self._queue,
-            "board_occ": {str(b): n
-                          for b, n in sorted(self._board_occ.items())},
+            "board_occ": self._board_occ_dict(),
             "tenant_blocks": dict(sorted(
                 self._tenant_blocks.items())),
             "failed_boards": sorted(self._failed_boards),
@@ -411,8 +455,12 @@ class TimelineAggregator:
         timeline.buckets = [dict(b) for b in state["buckets"]]
         timeline._allocated = state["allocated"]
         timeline._queue = state["queue"]
-        timeline._board_occ = {int(b): n for b, n
-                               in state["board_occ"].items()}
+        if timeline._occ_arr is not None:
+            for b, n in state["board_occ"].items():
+                timeline._occ_arr[int(b)] = int(n)
+        else:
+            timeline._board_occ = {int(b): n for b, n
+                                   in state["board_occ"].items()}
         timeline._tenant_blocks = dict(state["tenant_blocks"])
         timeline._failed_boards = set(state["failed_boards"])
         # pre-guard snapshots have no quarantine set

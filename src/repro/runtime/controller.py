@@ -31,6 +31,7 @@ from repro.peripherals.bandwidth import BandwidthArbiter
 from repro.peripherals.dram import VirtualMemory
 from repro.runtime.audit import AuditEvent, AuditLog
 from repro.runtime.bitstream_db import BitstreamDB
+from repro.runtime.guard import DegradedModeGuard
 from repro.runtime.policy import AllocationPolicy, CommunicationAwarePolicy
 from repro.runtime.resource_db import ResourceDB
 from repro.runtime.types import Deployment, Placement
@@ -186,6 +187,27 @@ class SystemController:
                     needed=app.num_blocks)
             return None
 
+        policy = self.policy
+        if (not tracer and type(policy) is CommunicationAwarePolicy
+                and policy.prune and policy.kernel == "array"
+                and not policy.tracer
+                and type(self.resource_db) is ResourceDB):
+            # untraced hot path: the policy searches the resource DB's
+            # flat arrays directly instead of a per-board candidate map
+            # built fresh on every attempt.  Gated to the exact default
+            # types so oracle policies/databases keep their semantics,
+            # and to untraced runs so golden traces stay byte-identical.
+            placement = policy.allocate_fast(
+                app, self.resource_db, self.cluster.network,
+                self._fast_excluded(app))
+            if placement is None:
+                self.audit.record(now, AuditEvent.REJECT, request_id,
+                                  tenant, app=app_name,
+                                  reason="no-free-blocks")
+                return None
+            return self._finalize_deploy(app, request_id, now, tenant,
+                                         placement)
+
         candidates = self._allocatable_blocks(app)
         placement = self.policy.allocate(
             app, candidates, self.cluster.network)
@@ -240,6 +262,20 @@ class SystemController:
             "config_port_free_at": {
                 str(board): t
                 for board, t in self._config_port_free_at.items()},
+            # gray-ICAP multipliers and armed transient faults are live
+            # degradation the restarted controller must keep charging --
+            # omitting them made a restart silently "heal" gray boards
+            "icap_multipliers": {
+                str(board): m
+                for board, m in sorted(self._icap_multiplier.items())},
+            "armed_reconfig_faults": {
+                str(board): n
+                for board, n in sorted(
+                    self._armed_reconfig_faults.items())},
+            # the degraded-mode guard's breaker state: without it a
+            # warm restart re-admitted quarantined boards immediately
+            "guard": self.guard.snapshot()
+            if self.guard is not None else None,
             "failed_boards": sorted(
                 b for b, h in self.board_health.items()
                 if h is BoardHealth.FAILED),
@@ -276,6 +312,16 @@ class SystemController:
         for board, t in snapshot.get("config_port_free_at",
                                      {}).items():
             controller._config_port_free_at[int(board)] = t
+        for board, mult in snapshot.get("icap_multipliers",
+                                        {}).items():
+            controller._icap_multiplier[int(board)] = float(mult)
+        for board, n in snapshot.get("armed_reconfig_faults",
+                                     {}).items():
+            controller._armed_reconfig_faults[int(board)] = int(n)
+        guard_state = snapshot.get("guard")
+        if guard_state is not None:
+            controller.attach_guard(
+                DegradedModeGuard.restore(guard_state))
         for entry in snapshot["deployments"]:
             app = bitstream_db.lookup(entry["app"])
             placement = Placement(mapping={
@@ -354,6 +400,15 @@ class SystemController:
         and their request-id spaces overlap.  A monotonic instance id is
         used rather than ``id(self)``, which CPython reuses after GC."""
         return (self._instance_id, request_id)
+
+    def _fast_excluded(self, app: CompiledApp) -> tuple:
+        """Boards the array fast path must mask out of the free-count
+        vector.  Failed boards already read zero free blocks there, so
+        only guard quarantines need explicit masking; the heterogeneous
+        subclass adds boards outside the app's footprint group."""
+        if self.guard is not None:
+            return tuple(self.guard.excluded_boards())
+        return ()
 
     def _allocatable_blocks(self, app: CompiledApp,
                             ) -> dict[int, list[int]]:

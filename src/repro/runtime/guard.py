@@ -30,7 +30,7 @@ without a guard attached pays a single ``None``-check per hot path.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from enum import Enum
 
 __all__ = ["BreakerState", "GuardConfig", "DegradedModeGuard"]
@@ -299,6 +299,57 @@ class DegradedModeGuard:
             failed = set(controller.failed_boards())
             lost += blocks_per_board * len(quarantined - failed)
         return lost / total
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (warm-restart support)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able breaker state for a controller warm restart.
+
+        Everything a resurrected guard needs to keep making the *same*
+        decisions the dead one would have: per-board breaker states and
+        deadlines, the rolling failure windows, the decision counters,
+        and -- so backoff jitter stays replay-identical -- the exact
+        position of the seeded RNG stream.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "config": asdict(self.config),
+            "state": {str(b): s.value
+                      for b, s in sorted(self._state.items())},
+            "failures": {str(b): list(ts)
+                         for b, ts in sorted(self._failures.items())
+                         if ts},
+            "until": {str(b): t
+                      for b, t in sorted(self._until.items())},
+            "counters": self.counters(),
+            "rng_state": [version, list(internal), gauss_next],
+        }
+
+    def load_snapshot(self, state: dict) -> None:
+        """Adopt a snapshot in place (the controller binding and SLO
+        hook survive -- only the breaker state is replaced)."""
+        self._state = {int(b): BreakerState(s)
+                       for b, s in state["state"].items()}
+        self._failures = {int(b): [float(t) for t in ts]
+                          for b, ts in state["failures"].items()}
+        self._until = {int(b): float(t)
+                       for b, t in state["until"].items()}
+        counters = state["counters"]
+        self.quarantine_count = int(counters["quarantines"])
+        self.probation_count = int(counters["probations"])
+        self.shed_count = int(counters["shed"])
+        version, internal, gauss_next = state["rng_state"]
+        # the JSON round-trip turns the internal tuple into a list
+        self._rng.setstate((version, tuple(internal), gauss_next))
+
+    @classmethod
+    def restore(cls, state: dict) -> "DegradedModeGuard":
+        """A fresh guard carrying a snapshot's state (bind it to the
+        restored controller via ``attach_guard``)."""
+        guard = cls(GuardConfig(**state["config"]))
+        guard.load_snapshot(state)
+        return guard
 
     # ------------------------------------------------------------------
     # status

@@ -40,6 +40,14 @@ class HeterogeneousController(SystemController):
         # one bitstream database per footprint group
         self._databases = {fp: BitstreamDB(fp)
                            for fp in cluster.footprints()}
+        # footprint -> boards *outside* that group (fast-path mask);
+        # the topology is immutable, so compute once
+        all_boards = {b.board_id for b in cluster.boards}
+        self._outside_group = {
+            fp: tuple(sorted(all_boards - {
+                b.board_id
+                for b in cluster.boards_with_footprint(fp)}))
+            for fp in cluster.footprints()}
 
     # ------------------------------------------------------------------
     def register(self, app: CompiledApp) -> None:
@@ -71,6 +79,13 @@ class HeterogeneousController(SystemController):
              for board, blocks in
              self.resource_db.free_by_board().items()
              if board in group})
+
+    def _fast_excluded(self, app: CompiledApp) -> tuple:
+        """Fast-path mask: out-of-group boards plus any quarantines."""
+        outside = self._outside_group.get(app.footprint, ())
+        excluded = super()._fast_excluded(app)
+        return outside + tuple(b for b in excluded
+                               if b not in outside)
 
 
 class HeterogeneousStack:

@@ -37,6 +37,8 @@ from __future__ import annotations
 import itertools
 from typing import Protocol
 
+import numpy as np
+
 from repro.cluster.network import RingNetwork
 from repro.compiler.bitstream import CompiledApp
 from repro.runtime.types import BlockAddress, Placement
@@ -149,14 +151,33 @@ def _build_placement(app: CompiledApp,
 
 
 class CommunicationAwarePolicy:
-    """The paper's multi-round, span-minimizing policy."""
+    """The paper's multi-round, span-minimizing policy.
+
+    Two interchangeable kernels drive the pruned branch-and-bound:
+
+    - ``kernel="array"`` (default) precomputes each search node's
+      capacity-prune mask and added-span vector with numpy over the
+      candidate range -- both are independent of the incumbent, so the
+      sequential candidate scan that follows takes exactly the same
+      prune decisions (and visited/pruned counts) as the scalar code;
+    - ``kernel="scalar"`` is the original per-board Python loop, kept
+      as the differential oracle the equivalence tests replay.
+
+    Both kernels return identical keys, so placements, traces, and
+    summaries are identical by construction; the randomized equivalence
+    tests assert it anyway.
+    """
 
     name = "communication-aware"
 
-    def __init__(self, prune: bool = True) -> None:
+    def __init__(self, prune: bool = True,
+                 kernel: str = "array") -> None:
         #: ``False`` restores the exhaustive per-round subset
         #: enumeration (the differential oracle / "before" path)
         self.prune = prune
+        if kernel not in ("array", "scalar"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = kernel
         #: optional :class:`repro.obs.tracer.Tracer`; when set (and
         #: enabled) each successful ``allocate`` records rounds
         #: attempted and subsets visited vs. pruned -- the
@@ -188,9 +209,17 @@ class CommunicationAwarePolicy:
             return None
         # [visited, pruned] node counters, collected only when tracing
         stats = [0, 0] if self.tracer else None
+        if self.kernel == "array":
+            free_arr = np.asarray([free[b] for b in present],
+                                  dtype=np.int64)
         for round_k in range(1, len(present) + 1):
-            best = self._best_subset(present, free, needed, round_k,
-                                     network, stats=stats)
+            if self.kernel == "array":
+                best = self._best_subset_array(
+                    present, free_arr, needed, round_k, network,
+                    stats=stats)
+            else:
+                best = self._best_subset(present, free, needed,
+                                         round_k, network, stats=stats)
             if best is None:
                 continue
             _, _, subset = best
@@ -237,7 +266,10 @@ class CommunicationAwarePolicy:
             if remaining == 0:
                 if capacity < needed:
                     return
-                key = (span, capacity - needed, tuple(chosen))
+                # int() keeps the tie-break key type identical to the
+                # exhaustive search's (and JSON-safe): the distance
+                # matrix hands out numpy scalars
+                key = (int(span), int(capacity - needed), tuple(chosen))
                 if best is None or key < best:
                     best = key
                 return
@@ -254,7 +286,7 @@ class CommunicationAwarePolicy:
                     continue
                 added = span
                 for member in chosen:
-                    added += dist[member][board]
+                    added += int(dist[member, board])
                 if best is not None:
                     # span bound: each of the remaining boards adds at
                     # least one hop to every board already chosen and to
@@ -275,6 +307,135 @@ class CommunicationAwarePolicy:
         extend(0, 0, 0)
         return best
 
+    @staticmethod
+    def _best_subset_array(present: list[int], free_arr: "np.ndarray",
+                           needed: int, k: int, network: RingNetwork,
+                           stats: list[int] | None = None,
+                           ) -> tuple[int, int, tuple[int, ...]] | None:
+        """:meth:`_best_subset` on flat arrays, counter-exact.
+
+        ``free_arr`` is the free-block count of each ``present`` board
+        (same order).  Per search node the capacity-prune mask and the
+        added-span vector are computed for the whole candidate range in
+        one shot -- both depend only on the fixed inputs and the chosen
+        prefix, never on the incumbent -- and the candidate scan then
+        walks them sequentially, comparing span floors against the live
+        incumbent at the same points the scalar loop does.  Visited and
+        pruned counts are therefore identical by construction.
+        """
+        n = len(present)
+        if k > n:
+            return None
+        if k == 1:
+            # single-board round: the common case, fully vectorized.
+            # The scalar scan never span-prunes here (the floor is 0),
+            # so pruned == boards that fail the fit test, and the best
+            # key is the smallest leftover with the lowest board id --
+            # exactly the first minimum ``argmin`` returns.
+            fits = free_arr >= needed
+            if stats is not None:
+                stats[0] += n
+                stats[1] += int(n - int(fits.sum()))
+            if not fits.any():
+                return None
+            leftovers = np.where(fits, free_arr - needed,
+                                 np.iinfo(np.int64).max)
+            j = int(np.argmin(leftovers))
+            return (0, int(free_arr[j] - needed), (present[j],))
+        # suffix_max[i]: most free blocks on any of present[i:]
+        suffix_max = np.zeros(n + 1, dtype=np.int64)
+        suffix_max[:n] = np.maximum.accumulate(free_arr[::-1])[::-1]
+        free_list = free_arr.tolist()
+        present_arr = np.asarray(present, dtype=np.intp)
+        dist = network._dist
+        best: tuple[int, int, tuple[int, ...]] | None = None
+        chosen: list[int] = []
+
+        def extend(start: int, capacity: int, span: int) -> None:
+            nonlocal best
+            remaining = k - len(chosen)
+            if remaining == 0:
+                if capacity < needed:
+                    return
+                key = (span, capacity - needed, tuple(chosen))
+                if best is None or key < best:
+                    best = key
+                return
+            end = n - remaining + 1
+            if start >= end:
+                return
+            seg = slice(start, end)
+            cap_bad = (capacity + free_arr[seg]
+                       + (remaining - 1)
+                       * suffix_max[start + 1:end + 1]
+                       < needed).tolist()
+            if chosen:
+                added_all = (span
+                             + dist[chosen][:, present_arr[seg]]
+                             .sum(axis=0)).tolist()
+            else:
+                added_all = [span] * (end - start)
+            tail = (remaining - 1) * (len(chosen) + 1) \
+                + (remaining - 1) * (remaining - 2) // 2
+            for j in range(end - start):
+                if stats is not None:
+                    stats[0] += 1
+                if cap_bad[j]:
+                    if stats is not None:
+                        stats[1] += 1
+                    continue
+                added = added_all[j]
+                if best is not None and added + tail > best[0]:
+                    if stats is not None:
+                        stats[1] += 1
+                    continue
+                i = start + j
+                chosen.append(present[i])
+                extend(i + 1, capacity + free_list[i], added)
+                chosen.pop()
+
+        extend(0, 0, 0)
+        return best
+
+    def allocate_fast(self, app: CompiledApp, db, network: RingNetwork,
+                      excluded=()) -> Placement | None:
+        """Untraced hot path straight over the ResourceDB's flat arrays.
+
+        Skips building the per-board free-list candidate map entirely:
+        the round search runs on the database's live free-count vector
+        (with ``excluded`` boards masked out), and the concrete free
+        lists are materialized only for the boards the winning quotas
+        actually use.  Produces exactly the placement :meth:`allocate`
+        would on the equivalent candidate map -- the controller only
+        takes this path when no tracer is attached, so the traced
+        telemetry (and golden traces) are untouched.
+        """
+        needed = app.num_blocks
+        counts = db.free_counts_vector()
+        if excluded:
+            counts = counts.copy()
+            for board in excluded:
+                counts[db.board_row(board)] = 0
+        elif db.total_free_blocks() < needed:
+            return None
+        present_rows = np.nonzero(counts)[0]
+        free_arr = counts[present_rows]
+        if int(free_arr.sum()) < needed:
+            return None
+        present = db.board_ids_array()[present_rows].tolist()
+        for round_k in range(1, len(present) + 1):
+            best = self._best_subset_array(present, free_arr, needed,
+                                           round_k, network)
+            if best is None:
+                continue
+            _, _, subset = best
+            free = dict(zip(present, free_arr.tolist()))
+            quotas = self._quotas(subset, free, needed)
+            free_by_board = {board: db.free_by_board_one(board)
+                             for board, _ in quotas}
+            return _build_placement(app, quotas, free_by_board)
+        return None
+
     def _allocate_exhaustive(self, app: CompiledApp,
                              free_by_board: dict[int, list[int]],
                              free: dict[int, int], boards: list[int],
@@ -284,7 +445,7 @@ class CommunicationAwarePolicy:
         round); kept as the reference the pruned search must match."""
         visited = 0
         for round_k in range(1, len(boards) + 1):
-            best: tuple[float, float, tuple[int, ...]] | None = None
+            best: tuple[int, int, tuple[int, ...]] | None = None
             for subset in itertools.combinations(boards, round_k):
                 visited += 1
                 capacity = sum(free[b] for b in subset)
@@ -294,8 +455,12 @@ class CommunicationAwarePolicy:
                 # the same placement exists in an earlier round
                 if round_k > 1 and any(free[b] == 0 for b in subset):
                     continue
-                span = network.span_cost(list(subset))
-                leftover = capacity - needed
+                # int-typed key, matching the pruned search exactly:
+                # mixed int/float keys compare equal on equal spans but
+                # serialize differently, and a future non-integral cost
+                # model would silently break tie-break parity
+                span = int(network.span_cost(list(subset)))
+                leftover = int(capacity - needed)
                 key = (span, leftover, subset)
                 if best is None or key < best:
                     best = key

@@ -27,6 +27,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cluster.cluster import FPGACluster
 from repro.runtime.types import BlockAddress
 
@@ -75,6 +77,37 @@ class ResourceDB:
         self._allocated = 0
         self._failed = 0
         self._failed_boards: set[int] = set()
+        # ---- flat-array mirrors (vectorized policy queries) ----------
+        #: board id -> row in the arrays below (ids are usually the
+        #: contiguous 0..n-1, but the mapping is kept explicit)
+        self._row_of: dict[int, int] = {
+            b: row for row, b in enumerate(self._board_ids)}
+        self._ids_arr = np.asarray(self._board_ids, dtype=np.int64)
+        self._capacity_arr = np.asarray(
+            [b.num_blocks for b in cluster.boards], dtype=np.int64)
+        #: per-board free-block counts as one int64 vector -- the batched
+        #: fit test the communication-aware policy's array kernel runs is
+        #: a comparison against this vector instead of a dict walk
+        self._free_counts = self._capacity_arr.copy()
+        #: per-footprint-class free-block bitmap rows: class name ->
+        #: rows of the boards in that class (one entry on homogeneous
+        #: clusters); lets heterogeneous fit tests gather one slice
+        self._class_rows: dict[str, np.ndarray] = {}
+        by_class: dict[str, list[int]] = {}
+        for row, board in enumerate(cluster.boards):
+            by_class.setdefault(
+                board.partition.blocks[0].footprint, []).append(row)
+        for footprint, rows in by_class.items():
+            self._class_rows[footprint] = np.asarray(rows,
+                                                     dtype=np.intp)
+        #: (boards, max blocks/board) free-block bitmap; padding columns
+        #: of short boards stay False forever
+        max_blocks = int(self._capacity_arr.max())
+        self._free_mask = np.zeros(
+            (len(self._board_ids), max_blocks), dtype=bool)
+        for row, board in enumerate(cluster.boards):
+            self._free_mask[row, :board.num_blocks] = True
+        self._total_free = int(self._free_counts.sum())
 
     # ------------------------------------------------------------------
     # queries
@@ -103,6 +136,15 @@ class ResourceDB:
         """Board id -> free physical-block indices (policy input)."""
         return {board: self._free_sorted(board)
                 for board in self._board_ids}
+
+    def free_by_board_one(self, board: int) -> list[int]:
+        """One board's sorted free-block indices (snapshot view).
+
+        The policy's array fast path resolves concrete block indices
+        only for the boards a winning allocation actually uses, instead
+        of materializing the whole candidate map up front.
+        """
+        return self._free_sorted(board)
 
     def free_counts_by_board(self) -> dict[int, int]:
         """Healthy board id -> free-block count (fragmentation input).
@@ -133,6 +175,54 @@ class ResourceDB:
         return sorted(self._owned.get(request_id, ()))
 
     # ------------------------------------------------------------------
+    # flat-array queries (the policy's array kernel reads these)
+    # ------------------------------------------------------------------
+    def free_counts_vector(self) -> "np.ndarray":
+        """Per-board free-block counts, row order = board order.
+
+        Returns the live vector (no copy): callers must treat it as
+        read-only and copy before masking boards out.  Failed boards
+        read zero (their free sets are cleared on failure).
+        """
+        return self._free_counts
+
+    def board_ids_array(self) -> "np.ndarray":
+        """Board id of each row of :meth:`free_counts_vector`."""
+        return self._ids_arr
+
+    def board_row(self, board_id: int) -> int:
+        return self._row_of[board_id]
+
+    def class_rows(self, footprint: str) -> "np.ndarray":
+        """Rows of the boards whose blocks carry ``footprint``."""
+        return self._class_rows[footprint]
+
+    def free_mask(self) -> "np.ndarray":
+        """The (boards, max blocks) free-block bitmap (read-only)."""
+        return self._free_mask
+
+    def fit_mask(self, needed: int,
+                 footprint: "str | None" = None) -> "np.ndarray":
+        """Batched fit test: per-board ``free >= needed`` booleans.
+
+        With ``footprint``, boards outside that class read False -- the
+        heterogeneous controller's per-class candidate filter as one
+        vector compare instead of a per-board dict walk.
+        """
+        fits = self._free_counts >= needed
+        if footprint is not None:
+            class_fits = np.zeros(len(self._board_ids), dtype=bool)
+            rows = self._class_rows.get(footprint)
+            if rows is not None:
+                class_fits[rows] = fits[rows]
+            return class_fits
+        return fits
+
+    def total_free_blocks(self) -> int:
+        """Cluster-wide free blocks, O(1) (failed blocks excluded)."""
+        return self._total_free
+
+    # ------------------------------------------------------------------
     # transitions
     # ------------------------------------------------------------------
     def allocate(self, request_id: int,
@@ -151,6 +241,7 @@ class ResourceDB:
             raise RuntimeError(
                 f"request {request_id} lists a block twice")
         owned = self._owned.setdefault(request_id, set())
+        row_of = self._row_of
         for address in addresses:
             entry = self._entries[address]
             entry.state = BlockState.ALLOCATED
@@ -158,8 +249,12 @@ class ResourceDB:
             board, block = address
             self._free[board].remove(block)
             self._free_view[board] = None
+            row = row_of[board]
+            self._free_mask[row, block] = False
+            self._free_counts[row] -= 1
             owned.add(address)
         self._allocated += len(addresses)
+        self._total_free -= len(addresses)
 
     def release(self, request_id: int) -> list[BlockAddress]:
         """Free every block of ``request_id``; error if it owns none."""
@@ -168,6 +263,7 @@ class ResourceDB:
             raise RuntimeError(
                 f"request {request_id} owns no blocks to release")
         freed = sorted(owned)
+        row_of = self._row_of
         for address in freed:
             entry = self._entries[address]
             entry.state = BlockState.FREE
@@ -175,7 +271,11 @@ class ResourceDB:
             board, block = address
             self._free[board].add(block)
             self._free_view[board] = None
+            row = row_of[board]
+            self._free_mask[row, block] = True
+            self._free_counts[row] += 1
         self._allocated -= len(freed)
+        self._total_free += len(freed)
         return freed
 
     def set_board_failed(self, board_id: int) -> None:
@@ -204,9 +304,14 @@ class ResourceDB:
         self._free[board_id].clear()
         self._free_view[board_id] = None
         self._failed_boards.add(board_id)
+        row = self._row_of[board_id]
+        self._total_free -= int(self._free_counts[row])
+        self._free_counts[row] = 0
+        self._free_mask[row, :] = False
 
     def set_board_repaired(self, board_id: int) -> None:
         """Return a failed board's blocks to the free pool."""
+        row = self._row_of.get(board_id)
         for address in self._board_blocks.get(board_id, ()):
             entry = self._entries[address]
             if entry.state is BlockState.FAILED:
@@ -214,6 +319,9 @@ class ResourceDB:
                 entry.owner = None
                 self._failed -= 1
                 self._free[board_id].add(address[1])
+                self._free_mask[row, address[1]] = True
+                self._free_counts[row] += 1
+                self._total_free += 1
         self._free_view[board_id] = None
         self._failed_boards.discard(board_id)
 
@@ -270,6 +378,22 @@ class ResourceDB:
             if view is not None and view != sorted(self._free[board]):
                 raise RuntimeError(
                     f"stale free view on board {board}")
+        # ---- flat-array mirrors vs. the same rescan ------------------
+        for board, row in self._row_of.items():
+            count = int(self._free_counts[row])
+            if count != len(free[board]):
+                raise RuntimeError(
+                    f"free-count vector says {count} on board "
+                    f"{board}, rescan {len(free[board])}")
+            mask_blocks = set(np.nonzero(self._free_mask[row])[0]
+                              .tolist())
+            if mask_blocks != free[board]:
+                raise RuntimeError(
+                    f"free-mask bitmap diverges on board {board}")
+        if self._total_free != sum(len(s) for s in free.values()):
+            raise RuntimeError(
+                f"total-free counter {self._total_free} != rescan "
+                f"{sum(len(s) for s in free.values())}")
 
 
 class RescanResourceDB(ResourceDB):

@@ -27,6 +27,7 @@ trace-identical.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass, field
 
 from repro.cluster.cluster import make_cluster
@@ -54,6 +55,7 @@ __all__ = [
     "standard_scenarios",
     "rack_flap_events",
     "make_invariant_probe",
+    "simulate_warm_restart",
     "run_scenario",
     "run_campaign",
 ]
@@ -113,6 +115,9 @@ class ChaosScenario:
     drop_probability: float = 0.2
     #: explicit events appended to the generated ones (flap sequences)
     explicit_events: "tuple[FaultEvent, ...]" = ()
+    #: simulated time of a mid-run controller warm restart (snapshot,
+    #: tear down, restore onto running hardware); ``None`` disables
+    restart_at: "float | None" = None
 
     def domain_map(self) -> FailureDomainMap:
         return FailureDomainMap.grid(self.num_boards,
@@ -192,7 +197,60 @@ def standard_scenarios() -> list[ChaosScenario]:
             description="correlated outages and gray faults together",
             rack_mtbf_s=200.0, rack_mttr_s=20.0, icap_mtbf_s=120.0,
             flaky_mtbf_s=120.0, seed=23, goodput_floor=0.4),
+        ChaosScenario(
+            name="warm-restart",
+            description="controller warm-restarts while a flapping "
+                        "rack sits quarantined; placements and "
+                        "breaker state must survive the restart",
+            explicit_events=rack_flap_events(rack1, RACK_FLAPS),
+            restart_at=90.0),
     ]
+
+
+# ----------------------------------------------------------------------
+# warm restart
+# ----------------------------------------------------------------------
+#: Controller state transplanted onto the original object after a warm
+#: restart.  The experiment loop and the invariant probes close over the
+#: controller *object*, so the restored state must move in place; the
+#: audit log, tracer, policy, guard, and bitstream database survive the
+#: restart by design (they are the persisted / re-attached parts).
+_RESTART_ATTRS = (
+    "resource_db", "memories", "dram_arbiters",
+    "_config_port_free_at", "board_health", "_armed_reconfig_faults",
+    "_icap_multiplier", "_segments_of", "deployments",
+    "_tenant_blocks", "quotas", "model_dram_contention",
+    "_instance_id",
+)
+
+
+def simulate_warm_restart(controller: SystemController) -> None:
+    """Kill and resurrect the controller in place, mid-run.
+
+    Round-trips the snapshot through JSON (as a real restart would hit
+    disk), releases the dead instance's ring flows, rebuilds a fresh
+    controller from the snapshot over the same (still running) cluster,
+    and transplants the rebuilt state onto the original object -- the
+    simulator and the invariant probes hold its identity.  The guard's
+    breaker state is restored onto the original guard object for the
+    same reason.
+    """
+    state = json.loads(json.dumps(controller.snapshot()))
+    # the dead instance's spanning flows are still registered on the
+    # ring; restore() re-registers them under the new instance id
+    for deployment in controller.deployments.values():
+        if deployment.placement.spans_boards:
+            controller.cluster.network.release_flow(
+                controller._flow_key(deployment.request_id))
+    restored = SystemController.restore(
+        controller.cluster, state, controller.bitstream_db,
+        policy=controller.policy)
+    for attr in _RESTART_ATTRS:
+        setattr(controller, attr, getattr(restored, attr))
+    if controller.guard is not None \
+            and state.get("guard") is not None:
+        controller.guard.load_snapshot(state["guard"])
+    controller._refresh_fragmentation()
 
 
 # ----------------------------------------------------------------------
@@ -249,6 +307,26 @@ def make_invariant_probe(controller: SystemController,
             prev_excluded = guard.excluded_boards()
 
     return probe, state
+
+
+def _with_restart(controller: SystemController, restart_at: float,
+                  inner_probe):
+    """Wrap ``inner_probe`` to fire one warm restart at ``restart_at``.
+
+    The restart happens at the first simulator event at or past the
+    deadline, *before* the invariants run -- so the probe vets the
+    restored state, not the pre-restart state.
+    """
+    fired = [False]
+
+    def probe(now: float, manager) -> None:
+        if not fired[0] and now >= restart_at:
+            fired[0] = True
+            simulate_warm_restart(controller)
+        if inner_probe is not None:
+            inner_probe(now, manager)
+
+    return probe
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +407,8 @@ def run_scenario(scenario: ChaosScenario,
     if check_invariants:
         probe, probe_state = make_invariant_probe(
             controller, guard, scenario.name)
+    if scenario.restart_at is not None:
+        probe = _with_restart(controller, scenario.restart_at, probe)
 
     result = run_experiment(
         controller, scenario.workload(), apps,

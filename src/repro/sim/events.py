@@ -41,6 +41,27 @@ class EventQueue:
         self._seq += 1
         return event
 
+    def push_many(self, items) -> None:
+        """Bulk-load ``(time, kind, payload)`` triples.
+
+        One heapify over the appended tail instead of a sift per push:
+        O(n) against O(n log n), which matters when the experiment loop
+        front-loads a 100k-request arrival schedule.  Pop order is
+        identical to sequential pushes -- both orders are exactly
+        (time, insertion order).
+        """
+        heap = self._heap
+        seq = self._seq
+        for time, kind, payload in items:
+            if time < 0:
+                raise ValueError("event time must be non-negative")
+            heap.append(
+                (time, seq, Event(time=time, kind=kind,
+                                  payload=payload)))
+            seq += 1
+        self._seq = seq
+        heapq.heapify(heap)
+
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from empty event queue")

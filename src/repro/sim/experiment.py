@@ -239,8 +239,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         else None
 
     events = EventQueue()
-    for request in requests:
-        events.push(request.arrival_s, "arrival", request)
+    events.push_many((request.arrival_s, "arrival", request)
+                     for request in requests)
 
     fault_schedule = faults if faults else None
     injector: FaultInjector | None = None
@@ -248,8 +248,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     if fault_schedule is not None:
         injector = FaultInjector(manager)
         recovery_policy = resolve_recovery_policy(recovery)
-        for fault in fault_schedule:
-            events.push(fault.time_s, "fault", fault)
+        events.push_many((fault.time_s, "fault", fault)
+                         for fault in fault_schedule)
 
     collector = MetricsCollector(manager.name, manager.capacity_blocks())
     queue: deque[Request] = deque()

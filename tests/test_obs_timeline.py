@@ -67,6 +67,51 @@ class TestBucketing:
         tl.on_record("event", "sim.arrival", 99.0, None, {})
         assert len(tl.buckets) == 4  # finished: intake ignored
 
+    def test_boundary_events_bucket_robustly(self):
+        """PR 7 (satellite): ``int(t // interval)`` misbuckets times
+        one ulp below a boundary -- ``0.3 // 0.1 == 2.0``.  An event at
+        a float-dirty boundary must land in the same bucket as one at
+        the exact boundary."""
+        for k in (3, 7, 49):
+            exact = TimelineAggregator(interval_s=0.1,
+                                       capacity_blocks=40)
+            dirty = TimelineAggregator(interval_s=0.1,
+                                       capacity_blocks=40)
+            # same instant, two float spellings: 0.1*k accumulates
+            # representation error relative to k/10 computed once
+            t_dirty = 0.1 * k
+            t_exact = k / 10
+            exact.on_record("event", "sim.arrival", t_exact, None, {})
+            dirty.on_record("event", "sim.arrival", t_dirty, None, {})
+            assert len(exact.buckets) == len(dirty.buckets) == k, \
+                f"k={k}: {len(exact.buckets)} vs {len(dirty.buckets)}"
+
+    def test_bucket_of_snaps_only_near_boundaries(self):
+        tl = TimelineAggregator(interval_s=10.0, capacity_blocks=40)
+        assert tl._bucket_of(0.0) == 0
+        assert tl._bucket_of(9.999) == 0       # genuinely inside
+        assert tl._bucket_of(10.0) == 1        # exact boundary
+        assert tl._bucket_of(10.0 - 1e-12) == 1  # one ulp shy: snaps
+        assert tl._bucket_of(10.0 + 1e-12) == 1
+        assert tl._bucket_of(15.0) == 1
+        # mid-interval times never snap upward
+        assert tl._bucket_of(14.999999) == 1
+
+    def test_dirty_boundary_closes_match_exact(self):
+        """A stream whose timestamps are accumulated floats produces
+        the same bucket count as the analytically exact stream."""
+        interval = 0.1
+        tl = TimelineAggregator(interval_s=interval,
+                                capacity_blocks=40)
+        t, n = 0.0, 200
+        for _ in range(n):
+            t += interval  # accumulates error vs i * interval
+            tl.on_record("event", "sim.arrival", t, None, {})
+        tl.finish(t)
+        # every event sat exactly on a boundary, so each opened a new
+        # bucket; finish closes the one the last event opened
+        assert len(tl.buckets) == n + 1
+
 
 class TestStateTracking:
     def test_occupancy_and_release(self):

@@ -237,3 +237,67 @@ class TestShedding:
         guard.advance(15.0)
         assert guard.counters() == {"quarantines": 1,
                                     "probations": 1, "shed": 0}
+
+
+class TestSnapshot:
+    """PR 7: breaker state survives a controller warm restart."""
+
+    def _tripped(self, controller) -> DegradedModeGuard:
+        guard = _guarded(controller, failure_threshold=2,
+                         quarantine_s=40.0)
+        guard.record_board_failure(0, now=10.0)
+        guard.record_board_failure(0, now=11.0)  # trips the breaker
+        guard.record_board_failure(1, now=12.0)  # one strike, armed
+        return guard
+
+    def _restored(self, vital, state) -> DegradedModeGuard:
+        clone = DegradedModeGuard.restore(state)
+        clone.bind(vital)  # as attach_guard would on the new controller
+        return clone
+
+    def test_roundtrip_preserves_breakers(self, vital):
+        import json
+        guard = self._tripped(vital)
+        state = json.loads(json.dumps(guard.snapshot()))
+        clone = self._restored(vital, state)
+        assert clone.config == guard.config
+        assert clone.excluded_boards() == guard.excluded_boards() \
+            == frozenset({0})
+        assert clone.counters() == guard.counters()
+
+    def test_quarantine_clock_survives(self, vital):
+        guard = self._tripped(vital)
+        clone = self._restored(vital, guard.snapshot())
+        # both expire into probation at the same simulated instant
+        guard.advance(52.0)
+        clone.advance(52.0)
+        assert clone.excluded_boards() == guard.excluded_boards() \
+            == frozenset()
+        assert clone.board_state(0) == guard.board_state(0) \
+            == BreakerState.PROBATION
+        assert clone.counters() == guard.counters()
+
+    def test_failure_window_survives(self, vital):
+        guard = self._tripped(vital)
+        clone = self._restored(vital, guard.snapshot())
+        # board 1 already has one strike; the next one must trip the
+        # restored guard exactly like the original
+        guard.record_board_failure(1, now=13.0)
+        clone.record_board_failure(1, now=13.0)
+        assert clone.excluded_boards() == guard.excluded_boards()
+        assert 1 in clone.excluded_boards()
+
+    def test_load_snapshot_restores_in_place(self, vital):
+        guard = self._tripped(vital)
+        state = guard.snapshot()
+        # load_snapshot replaces breaker state only -- the config (and
+        # controller binding) belong to the surviving guard object
+        other = DegradedModeGuard(guard.config)
+        other.load_snapshot(state)
+        assert other.snapshot() == state
+
+    def test_rng_position_survives(self, vital):
+        guard = self._tripped(vital)
+        guard.retry_backoff(0)  # consume one jitter draw
+        clone = self._restored(vital, guard.snapshot())
+        assert guard.retry_backoff(1) == clone.retry_backoff(1)

@@ -79,3 +79,54 @@ class TestWarmRestart:
         restored = SystemController.restore(cluster,
                                             controller.snapshot(), db)
         assert restored.busy_blocks() == 0
+
+
+class TestDegradationSurvivesRestart:
+    """PR 7: the snapshot must carry live degradation -- gray-ICAP
+    multipliers, armed transient reconfig faults, and the guard's
+    breaker state.  Omitting them made a restart silently heal
+    degraded boards and re-admit quarantined ones."""
+
+    def test_icap_multipliers_survive(self, cluster, loaded):
+        controller, db, _ = loaded
+        controller.degrade_icap(2, latency_multiplier=6.0)
+        snapshot = json.loads(json.dumps(controller.snapshot()))
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.degraded_icaps() == {2: 6.0}
+
+    def test_armed_reconfig_faults_survive(self, cluster, loaded):
+        controller, db, _ = loaded
+        controller.inject_reconfig_fault(3, attempts=2)
+        snapshot = json.loads(json.dumps(controller.snapshot()))
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored._armed_reconfig_faults == {3: 2}
+
+    def test_guard_state_survives(self, cluster, loaded):
+        from repro.runtime.guard import DegradedModeGuard, GuardConfig
+        controller, db, _ = loaded
+        guard = DegradedModeGuard(GuardConfig(failure_threshold=2))
+        controller.attach_guard(guard)
+        guard.record_board_failure(1, now=5.0)
+        guard.record_board_failure(1, now=6.0)  # trips the breaker
+        assert 1 in guard.excluded_boards()
+        snapshot = json.loads(json.dumps(controller.snapshot()))
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.guard is not None
+        assert restored.guard is not guard
+        assert restored.guard.excluded_boards() \
+            == guard.excluded_boards()
+        assert restored.guard.counters() == guard.counters()
+        # breaker clocks carried too: the quarantine expires at the
+        # same simulated time on both sides
+        guard.advance(1e9)
+        restored.guard.advance(1e9)
+        assert restored.guard.excluded_boards() \
+            == guard.excluded_boards() == frozenset()
+
+    def test_no_guard_snapshot_restores_no_guard(self, cluster,
+                                                 loaded):
+        controller, db, _ = loaded
+        snapshot = controller.snapshot()
+        assert snapshot["guard"] is None
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.guard is None

@@ -161,6 +161,49 @@ class TestGuardIsFreeWhenIdle:
         assert not FailureDomainMap.empty()
 
 
+class TestWarmRestart:
+    """PR 7 regression: a controller warm restart mid-chaos must be
+    invisible -- same placements, same quarantine decisions, same trace
+    as the uninterrupted run.  Before the snapshot carried the guard's
+    breaker state and the gray-ICAP multipliers, a restart silently
+    healed quarantined and degraded boards."""
+
+    def test_restart_mid_quarantine_is_trace_identical(
+            self, chaos_cluster, chaos_apps):
+        scenario = _scenario("warm-restart")
+        assert scenario.restart_at is not None
+
+        def run(s) -> tuple:
+            tracer = Tracer()
+            result = run_scenario(s, tracer=tracer, apps=chaos_apps,
+                                  cluster=chaos_cluster)
+            return tracer.to_jsonl(), result
+
+        restarted_trace, restarted = run(scenario)
+        plain_trace, plain = run(
+            dataclasses.replace(scenario, restart_at=None))
+        assert restarted_trace == plain_trace
+        assert restarted.summary == plain.summary
+        # the restart happens while the flapping rack is quarantined,
+        # so the breaker state is genuinely load-bearing here
+        assert restarted.quarantines == plain.quarantines > 0
+
+    def test_simulate_warm_restart_preserves_degradation(
+            self, chaos_cluster, chaos_apps):
+        from repro.sim.chaos import simulate_warm_restart
+        controller = SystemController(chaos_cluster)
+        guard = DegradedModeGuard(GuardConfig())
+        controller.attach_guard(guard)
+        controller.degrade_icap(3, latency_multiplier=6.0)
+        before = controller.snapshot()
+        simulate_warm_restart(controller)
+        assert controller.guard is guard  # identity survives
+        assert controller.degraded_icaps() == {3: 6.0}
+        assert controller.snapshot() == before
+        # leave the shared module cluster clean
+        controller.restore_icap(3)
+
+
 class TestCampaign:
     def test_campaign_covers_the_matrix(self, chaos_cluster,
                                         chaos_apps):

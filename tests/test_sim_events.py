@@ -55,6 +55,35 @@ class TestEventQueue:
         popped = [q.pop().time for _ in times]
         assert popped == sorted(popped)
 
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), max_size=60))
+    def test_push_many_pops_like_sequential_pushes(self, times):
+        """The bulk heapify load is indistinguishable from one push
+        per event -- same (time, insertion order) pop sequence."""
+        one_by_one = EventQueue()
+        for i, t in enumerate(times):
+            one_by_one.push(t, f"e{i}")
+        bulk = EventQueue()
+        bulk.push_many((t, f"e{i}", None)
+                       for i, t in enumerate(times))
+        for _ in times:
+            a, b = one_by_one.pop(), bulk.pop()
+            assert (a.time, a.kind) == (b.time, b.kind)
+        assert not bulk
+
+    def test_push_many_interleaves_with_push(self):
+        q = EventQueue()
+        q.push(2.0, "mid")
+        q.push_many([(1.0, "early", None), (2.0, "mid-later", None),
+                     (3.0, "late", None)])
+        assert [q.pop().kind for _ in range(4)] \
+            == ["early", "mid", "mid-later", "late"]
+
+    def test_push_many_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push_many([(0.0, "ok", None),
+                                    (-1.0, "bad", None)])
+
 
 class TestTimeWeightedValue:
     def test_constant_average(self):
