@@ -137,13 +137,13 @@ def test_guard_is_free_when_fault_free(cluster, compiled_apps):
 
 
 def test_chaos_campaign_wall_time(emit):
-    """The whole seven-scenario campaign in one number for the
+    """The whole eight-scenario campaign in one number for the
     trajectory file (and a sanity ceiling so CI notices blowups)."""
     from repro.sim.chaos import run_campaign
     t0 = time.perf_counter()
     campaign = run_campaign()
     wall = time.perf_counter() - t0
-    assert len(campaign.results) == 7
+    assert len(campaign.results) == 8
     print(f"\nchaos campaign: {wall:.2f}s wall, "
           f"{sum(r.invariant_checks for r in campaign.results)} "
           "invariant checks")

@@ -46,6 +46,8 @@ REPORT_ORDER: tuple[tuple[str, str], ...] = (
     ("sensitivity_fairness", "Sensitivity — fairness"),
     ("hetero_cluster", "§7 — heterogeneous cluster"),
     ("fault_tolerance", "Availability — board failures & recovery"),
+    ("defrag_recovery",
+     "Live migration — rejected-request recovery vs static allocation"),
     ("scalability", "§6 — System-Layer hot path at scale"),
     ("scalability_smoke", "§6 — scalability smoke (CI budget)"),
     ("observability_determinism", "Observability — trace determinism"),

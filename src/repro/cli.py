@@ -135,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--recovery", default="requeue",
                    choices=["requeue", "migrate-on-failure"],
                    help="recovery policy for evicted deployments")
+    p.add_argument("--defrag", action="store_true",
+                   help="attach the background defragmenter (live "
+                        "migration consolidates fragmented boards; "
+                        "only managers that support migrate)")
 
     p = sub.add_parser(
         "status",
@@ -368,7 +372,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                  apps, faults=faults,
                                  recovery=args.recovery,
                                  tracer=tracer, metrics=metrics,
-                                 timeline=timeline, slo=slo).summary
+                                 timeline=timeline, slo=slo,
+                                 defrag=args.defrag or None).summary
         rows.append([name, f"{summary.mean_response_s:.1f}",
                      f"{summary.mean_wait_s:.1f}",
                      f"{summary.mean_concurrency:.1f}",

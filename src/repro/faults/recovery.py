@@ -59,17 +59,33 @@ class FailRequeuePolicy:
 class MigrateOnFailurePolicy:
     """Re-place evicted deployments on surviving blocks immediately.
 
-    Uses the manager's ``redeploy_evicted`` relocation path when it has
-    one (ViTAL's controllers do; per-device baselines cannot relocate a
-    bitstream compiled for one board onto another without recompiling,
-    so they fall back to re-queueing -- which is exactly the comparison
-    the availability benchmark draws).
+    Two paths, in preference order:
+
+    - the deployment is *still live* on the manager (proactive recovery
+      ahead of an announced failure, e.g. a drill draining a board):
+      use the manager's first-class ``migrate`` operation -- the state
+      checkpoint moves with it and progress survives by construction;
+    - the deployment was already evicted (the fail-stop wiped its
+      board): use the manager's ``redeploy_evicted`` relocation path
+      (ViTAL's controllers have one; per-device baselines cannot
+      relocate a bitstream compiled for one board onto another without
+      recompiling, so they fall back to re-queueing -- which is exactly
+      the comparison the availability benchmark draws).
     """
 
     name = "migrate-on-failure"
 
     def recover(self, manager, deployment: Deployment,
                 now: float) -> Deployment | None:
+        migrate = getattr(manager, "migrate", None)
+        live = getattr(manager, "deployments", None)
+        if (migrate is not None and live is not None
+                and deployment.request_id in live):
+            pause = migrate(deployment.request_id, now=now,
+                            reason="proactive-recovery")
+            if pause is not None:
+                return live[deployment.request_id]
+            return None
         redeploy = getattr(manager, "redeploy_evicted", None)
         if redeploy is None:
             return None

@@ -54,7 +54,7 @@ BUCKET_FIELDS: tuple[str, ...] = (
     "t", "utilization", "allocated_blocks", "queue_depth",
     "fragmentation", "ring_max_flows", "failed_boards",
     "quarantined_boards", "active_tenants", "max_tenant_share",
-    "arrivals", "deploys", "completions")
+    "arrivals", "deploys", "completions", "migrations")
 
 
 class TimelineAggregator:
@@ -101,6 +101,7 @@ class TimelineAggregator:
         self._arrivals = 0        # per-bucket rate counters
         self._deploys = 0
         self._completions = 0
+        self._migrations = 0
         self._ring: RingNetwork | None = None
         if num_boards:
             self._ring = RingNetwork(num_boards)
@@ -222,6 +223,7 @@ class TimelineAggregator:
             self.buckets.append(sample)
             self._bucket += 1
             self._arrivals = self._deploys = self._completions = 0
+            self._migrations = 0
             for listener in self._listeners:
                 listener(sample["t"], sample)
         finally:
@@ -246,6 +248,7 @@ class TimelineAggregator:
             "arrivals": self._arrivals,
             "deploys": self._deploys,
             "completions": self._completions,
+            "migrations": self._migrations,
         }
         if self.num_boards:
             sample["board_occupancy"] = self._occ_arr.tolist()
@@ -286,6 +289,14 @@ class TimelineAggregator:
             self._queue -= 1
         elif name == "ctrl.deploy":
             self._deploy(fields)
+        elif name == "ctrl.migrate":
+            self._migrations += 1
+            if fields.get("blocks_by_board") is not None:
+                # re-key the holding onto its new boards (release +
+                # deploy keeps occupancy/tenant/ring math incremental);
+                # legacy events without per-board counts only bump the
+                # rate counter
+                self._deploy(fields)
         elif name in ("ctrl.release", "ctrl.evict"):
             self._release(fields)
         elif name == "ctrl.board_fail":
@@ -389,7 +400,9 @@ class TimelineAggregator:
                                         for b in range(boards)]
         lines = [",".join(header)]
         for bucket in self.buckets:
-            row = [_csv_cell(bucket[f]) for f in BUCKET_FIELDS]
+            # .get: buckets restored from pre-migration snapshots lack
+            # the newest columns
+            row = [_csv_cell(bucket.get(f, 0)) for f in BUCKET_FIELDS]
             occ = bucket.get("board_occupancy", [])
             row.extend(str(occ[b]) if b < len(occ) else "0"
                        for b in range(boards))
@@ -441,7 +454,7 @@ class TimelineAggregator:
                 for rid, (blocks, per_board, tenant, spans)
                 in sorted(self._holdings.items())],
             "rates": [self._arrivals, self._deploys,
-                      self._completions],
+                      self._completions, self._migrations],
         }
 
     @classmethod
@@ -471,8 +484,11 @@ class TimelineAggregator:
             if spans and timeline._ring is not None:
                 timeline._ring.register_flow(
                     rid, [b for b, _ in pairs])
+        rates = state["rates"]
         timeline._arrivals, timeline._deploys, \
-            timeline._completions = state["rates"]
+            timeline._completions = rates[:3]
+        # pre-migration snapshots carry three rate counters
+        timeline._migrations = rates[3] if len(rates) > 3 else 0
         return timeline
 
 

@@ -34,7 +34,7 @@ from repro.runtime.bitstream_db import BitstreamDB
 from repro.runtime.guard import DegradedModeGuard
 from repro.runtime.policy import AllocationPolicy, CommunicationAwarePolicy
 from repro.runtime.resource_db import ResourceDB
-from repro.runtime.types import Deployment, Placement
+from repro.runtime.types import Deployment, Placement, StateCheckpoint
 
 __all__ = ["SystemController"]
 
@@ -48,6 +48,11 @@ DRAM_BYTES_PER_BLOCK = 2 << 30
 #: traffic; weights live in BRAM).  15 fully loaded blocks approach the
 #: two-DIMM bandwidth of a board, so packed boards contend mildly.
 DRAM_DEMAND_GBPS_PER_BLOCK = 18.0
+#: Streaming bandwidth of the checkpoint/restore DMA path (shell DMA
+#: over PCIe into host staging memory, then back out): the rate at
+#: which a migrating deployment's DRAM segments move off the source
+#: boards and onto the destination.
+MIGRATION_DMA_BYTES_PER_S = 12e9
 
 
 @dataclass(slots=True)
@@ -121,6 +126,11 @@ class SystemController:
         #: with ``deployments`` so quota admission is O(1) instead of a
         #: scan over every live deployment
         self._tenant_blocks: dict[str, int] = {}
+        #: live migrations executed over this controller's lifetime
+        #: (defrag consolidation, operator moves); snapshot/restore
+        #: carries both so warm restarts keep the accounting
+        self.migrations_performed = 0
+        self.migration_pause_s = 0.0
 
     # ------------------------------------------------------------------
     # public API (what the hypervisor calls)
@@ -279,6 +289,10 @@ class SystemController:
             "failed_boards": sorted(
                 b for b, h in self.board_health.items()
                 if h is BoardHealth.FAILED),
+            # migration accounting: a warm restart must not zero the
+            # defragmenter's counters or a deployment's move history
+            "migrations_performed": self.migrations_performed,
+            "migration_pause_s": self.migration_pause_s,
             "deployments": [
                 {
                     "request_id": d.request_id,
@@ -289,6 +303,8 @@ class SystemController:
                     "deployed_at": d.deployed_at,
                     "reconfig_time_s": d.reconfig_time_s,
                     "service_time_s": d.service_time_s,
+                    "migrations": d.migrations,
+                    "migration_pause_s": d.migration_pause_s,
                 }
                 for d in self.deployments.values()
             ],
@@ -346,7 +362,14 @@ class SystemController:
                 deployed_at=entry["deployed_at"],
                 reconfig_time_s=entry["reconfig_time_s"],
                 service_time_s=entry["service_time_s"],
+                migrations=int(entry.get("migrations", 0)),
+                migration_pause_s=float(
+                    entry.get("migration_pause_s", 0.0)),
             ))
+        controller.migrations_performed = int(
+            snapshot.get("migrations_performed", 0))
+        controller.migration_pause_s = float(
+            snapshot.get("migration_pause_s", 0.0))
         # failed boards last: a valid snapshot has no deployments on
         # them, and set_board_failed fails loudly if one does
         for board_id in snapshot.get("failed_boards", []):
@@ -657,6 +680,155 @@ class SystemController:
                     app=deployment.app.name, reason="migrated",
                     boards=replacement.placement.boards)
         return replacement
+
+    # ------------------------------------------------------------------
+    # live migration (checkpoint / transplant / resume)
+    # ------------------------------------------------------------------
+    def checkpoint(self, request_id: int) -> StateCheckpoint:
+        """Cost model of capturing one live deployment's state.
+
+        Two components, per the PR 1 snapshot model: the mapped DRAM
+        segments (copied out over the shell DMA path) and the
+        latency-insensitive interface's FIFO horizon (every channel
+        must drain at the application clock before the source blocks
+        may be reprogrammed, and refill on the destination).  Restore
+        is symmetric: write-back plus pipeline refill.
+        """
+        deployment = self.deployments.get(request_id)
+        if deployment is None:
+            raise KeyError(f"request {request_id} is not deployed")
+        dram_bytes = sum(
+            segment.length
+            for _, segment in self._segments_of.get(request_id, ()))
+        app = deployment.app
+        fifo_beats = sum(ch.fifo_depth + ch.init_tokens
+                         for ch in app.interface.channels)
+        fmax_hz = app.fmax_mhz * 1e6
+        drain_s = fifo_beats / fmax_hz if fmax_hz > 0 else 0.0
+        copy_s = dram_bytes / MIGRATION_DMA_BYTES_PER_S
+        return StateCheckpoint(
+            request_id=request_id,
+            dram_bytes=dram_bytes,
+            fifo_beats=fifo_beats,
+            capture_s=drain_s + copy_s,
+            restore_s=copy_s + drain_s,
+        )
+
+    def migrate(self, request_id: int,
+                to_boards: "list[int] | None" = None,
+                now: float = 0.0,
+                reason: str = "operator-move") -> float | None:
+        """Live-migrate one deployment to freshly allocated blocks.
+
+        The relocation primitive makes this a first-class runtime
+        operation: checkpoint the app's state (:meth:`checkpoint`),
+        rebind its images onto new physical blocks, reprogram them
+        through the ICAP (paying the same port-queue / gray-multiplier
+        model as a deploy), move the DRAM segments and demand, re-key
+        the ring flows, and resume.  Candidate boards go through
+        :meth:`_allocatable_blocks` -- failed, quarantined, and
+        (for heterogeneous clusters) out-of-footprint boards are never
+        migration targets -- optionally narrowed to ``to_boards``.
+
+        Returns the pause charged to the request (capture + rewrite +
+        reconfiguration + restore seconds), or ``None`` when no
+        admissible placement exists or destination DRAM is exhausted;
+        on ``None`` the deployment keeps running where it was, fully
+        intact.  The defragmenter and the faults layer's proactive
+        migrate-on-failure path both call this.
+        """
+        deployment = self.deployments.get(request_id)
+        if deployment is None:
+            raise KeyError(f"request {request_id} is not deployed")
+        if self.guard is not None:
+            self.guard.advance(now)
+        candidates = self._allocatable_blocks(deployment.app)
+        if to_boards is not None:
+            allowed = set(to_boards)
+            candidates = {b: blocks
+                          for b, blocks in candidates.items()
+                          if b in allowed}
+        # the internal search must not clobber the policy's failed-
+        # search telemetry: a later ctrl.reject reports last_search,
+        # and a migration probe is not that request's search
+        policy = self.policy
+        had_search = hasattr(policy, "last_search")
+        saved_search = policy.last_search if had_search else None
+        placement = policy.allocate(deployment.app, candidates,
+                                    self.cluster.network)
+        if had_search:
+            policy.last_search = saved_search
+        if placement is None:
+            return None
+        state = self.checkpoint(request_id)
+        # runtime relocation: rebind every image to its new block
+        rewrite_s = 0.0
+        for vb, address in placement.mapping.items():
+            bound = self.relocator.relocate(
+                deployment.app.images[vb],
+                self.cluster.block_at(address))
+            rewrite_s += bound.rewrite_time_s
+        old_placement = deployment.placement
+        # move the DRAM state: free the source segments first so a
+        # same-board consolidation can reuse their space, then map the
+        # destination; on exhaustion re-map the source (its space was
+        # just freed, so re-allocation cannot fail) and abort the move
+        old_segments = self._segments_of.pop(request_id, [])
+        for board, segment in old_segments:
+            self.memories[board].release_segment(segment)
+        try:
+            new_segments = self._map_memory(deployment.tenant,
+                                            placement)
+        except MemoryError:
+            self._segments_of[request_id] = [
+                (board, self.memories[board].allocate(
+                    deployment.tenant, segment.length))
+                for board, segment in old_segments]
+            return None
+        self._segments_of[request_id] = new_segments
+        # blocks, bandwidth demand, and ring flows follow the move
+        self.resource_db.release(request_id)
+        self.resource_db.allocate(request_id, placement.addresses)
+        self._detach_dram_demand(deployment.tenant, old_placement)
+        self._attach_dram_demand(deployment.tenant, placement)
+        self.cluster.network.release_flow(self._flow_key(request_id))
+        deployment.placement = placement
+        if placement.spans_boards:
+            self.cluster.network.register_flow(
+                self._flow_key(request_id), placement.boards)
+        reconfig = self._reconfig_time(deployment.app, placement, now,
+                                       request_id=request_id,
+                                       tenant=deployment.tenant)
+        pause = state.pause_s + rewrite_s + reconfig
+        deployment.migrations += 1
+        deployment.migration_pause_s += pause
+        self.migrations_performed += 1
+        self.migration_pause_s += pause
+        self._refresh_fragmentation()
+        from_boards = old_placement.boards
+        self.audit.record(now, AuditEvent.MIGRATE, request_id,
+                          deployment.tenant,
+                          app=deployment.app.name, reason=reason,
+                          from_boards=from_boards,
+                          to_boards=placement.boards,
+                          pause_s=round(pause, 6))
+        if self.tracer:
+            by_board: dict[int, int] = {}
+            for board, _ in placement.mapping.values():
+                by_board[board] = by_board.get(board, 0) + 1
+            self.tracer.event(
+                "ctrl.migrate", t=now, request=request_id,
+                tenant=deployment.tenant, app=deployment.app.name,
+                reason=reason, from_boards=from_boards,
+                boards=placement.boards,
+                to_boards=placement.boards,
+                blocks=len(placement.mapping),
+                blocks_by_board=sorted(by_board.items()),
+                spans=placement.spans_boards,
+                dram_bytes=state.dram_bytes,
+                fifo_beats=state.fifo_beats,
+                pause_s=pause)
+        return pause
 
     def inject_reconfig_fault(self, board_id: int,
                               attempts: int = 1) -> None:

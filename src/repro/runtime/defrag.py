@@ -9,10 +9,22 @@ block accepts every image, a fragmented cluster can instead be
 *consolidated*: migrate small running deployments off one board until the
 incoming application fits there whole.
 
-Each migrated deployment pays one partial reconfiguration per moved block
-plus the relocation rewrite (returned as ``corunner_penalties`` so the
-simulator charges the pause), which is why the planner moves as little as
-possible and gives up beyond ``max_moved_blocks``.
+Two consumers share :meth:`SystemController.migrate` (the checkpoint /
+transplant / resume primitive):
+
+- :class:`DefragmentingController` consolidates *at deploy time*, when
+  the placement probe for an incoming request would span boards (or find
+  nothing at all) while enough total free space exists;
+- :class:`Defragmenter` runs *in the background* of an experiment,
+  watching the live ``fragmentation_index`` gauge and the reject stream,
+  and consolidating under a migration budget so pause time never
+  monopolizes the cluster.
+
+Each migrated deployment pays the full checkpoint/restore pause (DRAM
+copy + FIFO drain/refill, see ``StateCheckpoint``) plus relocation
+rewrite and partial reconfiguration (returned as ``corunner_penalties``
+so the simulator charges the pause), which is why both planners move as
+little as possible.
 """
 
 from __future__ import annotations
@@ -20,13 +32,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import FPGACluster
-from repro.runtime.audit import AuditEvent
 from repro.compiler.bitstream import CompiledApp
+from repro.obs.stats import fragmentation_index
 from repro.runtime.controller import SystemController
+from repro.runtime.isolation import verify_isolation
 from repro.runtime.policy import AllocationPolicy
 from repro.runtime.types import Deployment
 
-__all__ = ["MigrationPlan", "DefragmentingController"]
+__all__ = ["MigrationPlan", "DefragmentingController",
+           "DefragConfig", "Defragmenter"]
 
 
 @dataclass(slots=True)
@@ -46,11 +60,12 @@ class DefragmentingController(SystemController):
     """A system controller that consolidates before spanning.
 
     ``try_deploy`` probes the normal communication-aware placement; when
-    the probe would span boards, the controller looks for a cheap
-    consolidation (migrating whole single-board deployments off one
-    board), executes it, and places the request on a single board.  If no
-    cheap-enough plan exists it falls back to the spanning placement --
-    behavior is never worse than the base controller's.
+    the probe would span boards (or fail outright on a fragmented
+    cluster), the controller looks for a cheap consolidation (migrating
+    whole single-board deployments off one board), executes it through
+    :meth:`SystemController.migrate`, and places the request on a single
+    board.  If no cheap-enough plan exists it falls back to the spanning
+    placement -- behavior is never worse than the base controller's.
     """
 
     name = "vital-defrag"
@@ -60,18 +75,44 @@ class DefragmentingController(SystemController):
                  max_moved_blocks: int = 8) -> None:
         super().__init__(cluster, policy=policy)
         self.max_moved_blocks = max_moved_blocks
-        self.migrations_performed = 0
 
     # ------------------------------------------------------------------
     def try_deploy(self, app: CompiledApp, request_id: int, now: float,
                    tenant: str | None = None) -> Deployment | None:
-        probe = self.policy.allocate(
-            app, self.resource_db.free_by_board(), self.cluster.network)
+        self._register_if_needed(app)
+        actual_tenant = tenant or f"tenant-{request_id}"
+        if self.guard is not None:
+            self.guard.advance(now)
+        if not self._within_quota(actual_tenant, app.num_blocks):
+            # over quota: no probe (it would clobber the policy's
+            # failed-search telemetry for a request that was never
+            # going to search); the base class records the reject
+            return super().try_deploy(app, request_id, now,
+                                      tenant=tenant)
+
+        # probe through the shared availability filter -- failed and
+        # quarantined boards must not look placeable -- and shield the
+        # policy's last_search tuple: this probe is not the request's
+        # real search, and a later ctrl.reject must not report it
+        candidates = self._allocatable_blocks(app)
+        policy = self.policy
+        had_search = hasattr(policy, "last_search")
+        saved_search = policy.last_search if had_search else None
+        probe = policy.allocate(app, candidates, self.cluster.network)
+        if had_search:
+            policy.last_search = saved_search
+
+        if probe is not None and not probe.spans_boards:
+            # single-board probe: that IS the placement -- finalize it
+            # directly instead of searching a second time
+            return self._finalize_deploy(app, request_id, now,
+                                         actual_tenant, probe,
+                                         candidates=candidates)
+
         penalties: dict[int, float] = {}
-        if probe is not None and probe.spans_boards:
-            plan = self.plan_migration(app)
-            if plan is not None:
-                penalties = self.execute_migration(plan, now)
+        plan = self.plan_migration(app)
+        if plan is not None:
+            penalties = self.execute_migration(plan, now)
         deployment = super().try_deploy(app, request_id, now,
                                         tenant=tenant)
         if deployment is not None and penalties:
@@ -81,11 +122,17 @@ class DefragmentingController(SystemController):
     # ------------------------------------------------------------------
     def plan_migration(self, app: CompiledApp) -> MigrationPlan | None:
         """Cheapest set of whole-deployment moves that frees enough
-        blocks on one board, or ``None`` when none clears a board within
-        ``max_moved_blocks``."""
+        blocks on one *available* board, or ``None`` when none clears a
+        board within ``max_moved_blocks``.
+
+        Candidate targets and donor destinations both come from
+        :meth:`_allocatable_blocks`, so failed, quarantined, and (for
+        heterogeneous clusters) out-of-footprint boards are neither
+        consolidated onto nor counted as destination space.
+        """
         needed = app.num_blocks
         free = {b: len(v)
-                for b, v in self.resource_db.free_by_board().items()}
+                for b, v in self._allocatable_blocks(app).items()}
         total_free = sum(free.values())
         if total_free < needed:
             return None  # not fragmentation -- genuinely out of space
@@ -96,7 +143,7 @@ class DefragmentingController(SystemController):
             if deficit <= 0:
                 continue  # this board already fits the app
             # donors: single-board deployments on this board, smallest
-            # first, that fit in OTHER boards' free space
+            # first, that fit in OTHER available boards' free space
             movable = sorted(
                 (d for d in self.deployments.values()
                  if d.placement.boards == [board]),
@@ -124,62 +171,226 @@ class DefragmentingController(SystemController):
                           now: float) -> dict[int, float]:
         """Move each planned deployment off the target board.
 
-        Returns per-request pause penalties.  A move that can no longer
-        be placed (space raced away) is skipped; the caller's subsequent
-        placement attempt simply sees less consolidation.
+        Every move goes through :meth:`SystemController.migrate`, so the
+        destination set is availability-filtered, the pause includes the
+        full checkpoint/restore cost, and the move is audited/traced.
+        A move that can no longer be placed (space raced away) is
+        skipped; the caller's subsequent placement attempt simply sees
+        less consolidation.
         """
         penalties: dict[int, float] = {}
         for deployment in plan.moves:
-            free = self.resource_db.free_by_board()
-            free.pop(plan.target_board, None)
-            new_placement = self.policy.allocate(
-                deployment.app, free, self.cluster.network)
-            if new_placement is None:
+            allowed = [b for b in self._allocatable_blocks(
+                           deployment.app)
+                       if b != plan.target_board]
+            pause = self.migrate(deployment.request_id,
+                                 to_boards=allowed, now=now,
+                                 reason="defrag-consolidation")
+            if pause is None:
                 continue
-            rewrite_s = 0.0
-            for vb, address in new_placement.mapping.items():
-                bound = self.relocator.relocate(
-                    deployment.app.images[vb],
-                    self.cluster.block_at(address))
-                rewrite_s += bound.rewrite_time_s
-            self.resource_db.release(deployment.request_id)
-            self.resource_db.allocate(deployment.request_id,
-                                      new_placement.addresses)
-            # memory and bandwidth follow the deployment
-            self._release_memory(deployment.request_id)
-            self._detach_dram_demand(deployment.tenant,
-                                     deployment.placement)
-            self.cluster.network.release_flow(
-                self._flow_key(deployment.request_id))
-            deployment.placement = new_placement
-            self._segments_of[deployment.request_id] = \
-                self._map_memory(deployment.tenant, new_placement)
-            self._attach_dram_demand(deployment.tenant, new_placement)
-            if new_placement.spans_boards:
-                self.cluster.network.register_flow(
-                    self._flow_key(deployment.request_id),
-                    new_placement.boards)
-            pause = rewrite_s \
-                + self.cluster.reconfigurer.partial_time_for_blocks(
-                    deployment.app.images[0].size_mb,
-                    len(new_placement.mapping))
             penalties[deployment.request_id] = penalties.get(
                 deployment.request_id, 0.0) + pause
-            self.migrations_performed += 1
-            self.audit.record(now, AuditEvent.MIGRATE,
-                              deployment.request_id,
-                              deployment.tenant,
-                              app=deployment.app.name,
-                              to_boards=new_placement.boards,
-                              pause_s=round(pause, 6))
-            if self.tracer:
-                self.tracer.event(
-                    "ctrl.migrate", t=now,
-                    request=deployment.request_id,
-                    tenant=deployment.tenant,
-                    app=deployment.app.name,
-                    reason="defrag-consolidation",
-                    from_board=plan.target_board,
-                    to_boards=new_placement.boards,
-                    pause_s=pause)
         return penalties
+
+
+@dataclass(slots=True)
+class DefragConfig:
+    """Tuning for the background :class:`Defragmenter`."""
+
+    #: run a consolidation pass once the live ``fragmentation_index``
+    #: (1 - largest single-board free pool / total free) crosses this
+    frag_threshold: float = 0.5
+    #: sustained migration budget: blocks moved per sim-second ...
+    budget_blocks_per_s: float = 4.0
+    #: ... with this much burst headroom (token-bucket capacity)
+    budget_burst_blocks: int = 8
+    #: minimum spacing between threshold-triggered passes; a
+    #: rejection-triggered pass (a request just failed for
+    #: spanning-only reasons) bypasses this, budget permitting
+    min_interval_s: float = 5.0
+    #: per-pass ceiling on blocks moved (also the planner's bound)
+    max_moved_blocks: int = 8
+    #: re-verify tenant isolation after every executed move (chaos
+    #: harness turns this on; costs a full cluster walk per move)
+    verify: bool = False
+
+
+class Defragmenter:
+    """Background consolidation driven by the fragmentation gauge.
+
+    The experiment driver calls :meth:`maybe_pass` after its drain step:
+    with ``needed_blocks`` (the queue head's size) when a request is
+    waiting, without when idle.  A pass triggers on either signal --
+
+    - **rejection**: the waiting request fits total free space but no
+      single board, i.e. it is (or will be) rejected for spanning-only
+      reasons under a span cap, or placed wide otherwise;
+    - **threshold**: the live ``fragmentation_index`` crossed
+      ``frag_threshold`` (rate-limited by ``min_interval_s``);
+
+    then plans the cheapest consolidation and executes it through
+    :meth:`SystemController.migrate`, spending the token-bucket budget
+    (``budget_blocks_per_s`` / ``budget_burst_blocks``) one moved block
+    per token.  Works against any :class:`SystemController`; it does
+    not require the defragmenting subclass.
+    """
+
+    def __init__(self, controller: SystemController,
+                 config: DefragConfig | None = None) -> None:
+        self.controller = controller
+        self.config = config or DefragConfig()
+        self._tokens = float(self.config.budget_burst_blocks)
+        self._token_t = 0.0
+        self._last_pass_t: float | None = None
+        self.passes = 0
+        self.moves = 0
+        self.moved_blocks = 0
+
+    # ------------------------------------------------------------------
+    def _refill(self, now: float) -> None:
+        if now > self._token_t:
+            self._tokens = min(
+                float(self.config.budget_burst_blocks),
+                self._tokens + (now - self._token_t)
+                * self.config.budget_blocks_per_s)
+            self._token_t = now
+
+    def _fragmentation(self) -> float:
+        return fragmentation_index(
+            self.controller.resource_db.free_counts_by_board())
+
+    def maybe_pass(self, now: float,
+                   needed_blocks: int | None = None,
+                   ) -> dict[int, float]:
+        """Run one consolidation pass if a trigger fires; returns the
+        per-request pause penalties of any executed moves (empty when
+        nothing triggered, nothing was movable, or the budget is dry).
+        """
+        ctrl = self.controller
+        self._refill(now)
+        if self._tokens < 1.0:
+            return {}
+
+        trigger = None
+        target_blocks = needed_blocks
+        if needed_blocks is not None:
+            free = ctrl._filter_unavailable(
+                ctrl.resource_db.free_by_board())
+            counts = [len(v) for v in free.values()]
+            if sum(counts) >= needed_blocks \
+                    and not any(c >= needed_blocks for c in counts):
+                trigger = "rejection"
+        if trigger is None:
+            if self._last_pass_t is not None \
+                    and now - self._last_pass_t \
+                    < self.config.min_interval_s:
+                return {}
+            if self._fragmentation() >= self.config.frag_threshold:
+                trigger = "threshold"
+                target_blocks = None
+        if trigger is None:
+            return {}
+
+        frag_before = self._fragmentation()
+        budget = int(min(self._tokens, self.config.max_moved_blocks))
+        plan = self._plan(target_blocks, budget)
+        if plan is None or not plan.moves:
+            return {}
+
+        penalties: dict[int, float] = {}
+        executed = 0
+        moved_blocks = 0
+        pause_total = 0.0
+        for deployment in plan.moves:
+            if moved_blocks + deployment.num_blocks > budget:
+                continue
+            allowed = [
+                b for b in ctrl._filter_unavailable(
+                    ctrl.resource_db.free_by_board())
+                if b != plan.target_board]
+            pause = ctrl.migrate(deployment.request_id,
+                                 to_boards=allowed, now=now,
+                                 reason=f"defrag-{trigger}")
+            if pause is None:
+                continue
+            executed += 1
+            moved_blocks += deployment.num_blocks
+            pause_total += pause
+            penalties[deployment.request_id] = penalties.get(
+                deployment.request_id, 0.0) + pause
+            if self.config.verify:
+                verify_isolation(ctrl)
+        if not executed:
+            return {}
+
+        self._tokens -= moved_blocks
+        self._last_pass_t = now
+        self.passes += 1
+        self.moves += executed
+        self.moved_blocks += moved_blocks
+        if ctrl.tracer:
+            ctrl.tracer.event(
+                "defrag.pass", t=now, trigger=trigger,
+                moves=executed, moved_blocks=moved_blocks,
+                pause_s=pause_total,
+                frag_before=frag_before,
+                frag_after=self._fragmentation(),
+                budget_left=self._tokens)
+        return penalties
+
+    # ------------------------------------------------------------------
+    def _plan(self, needed_blocks: int | None,
+              budget: int) -> MigrationPlan | None:
+        """Cheapest consolidation within ``budget`` moved blocks.
+
+        With ``needed_blocks``, target the board requiring the fewest
+        moved blocks to host that many; without (threshold trigger),
+        consolidate toward the board with the most free blocks --
+        shrinking the fragmentation index directly.
+        """
+        ctrl = self.controller
+        free_map = ctrl._filter_unavailable(
+            ctrl.resource_db.free_by_board())
+        free = {b: len(v) for b, v in free_map.items()}
+        if not free:
+            return None
+        total_free = sum(free.values())
+        if needed_blocks is not None and total_free < needed_blocks:
+            return None
+
+        best: MigrationPlan | None = None
+        for board in sorted(free, key=lambda b: (-free[b], b)):
+            if needed_blocks is not None:
+                deficit = needed_blocks - free[board]
+                if deficit <= 0:
+                    continue
+            else:
+                # threshold mode: top up the emptiest-loaded target
+                # with whatever small donors the budget allows
+                deficit = 1
+            movable = sorted(
+                (d for d in ctrl.deployments.values()
+                 if d.placement.boards == [board]),
+                key=lambda d: d.num_blocks)
+            other_free = total_free - free[board]
+            plan = MigrationPlan(
+                target_board=board,
+                needed_blocks=needed_blocks or free[board])
+            freed = 0
+            for deployment in movable:
+                if freed >= deficit:
+                    break
+                if deployment.num_blocks > other_free:
+                    continue
+                if plan.moved_blocks + deployment.num_blocks > budget:
+                    continue
+                plan.moves.append(deployment)
+                freed += deployment.num_blocks
+                other_free -= deployment.num_blocks
+            if freed < deficit or not plan.moves:
+                continue
+            if best is None or plan.moved_blocks < best.moved_blocks:
+                best = plan
+            if needed_blocks is None:
+                break  # threshold mode: first (fullest) target wins
+        return best

@@ -171,13 +171,24 @@ class CommunicationAwarePolicy:
     name = "communication-aware"
 
     def __init__(self, prune: bool = True,
-                 kernel: str = "array") -> None:
+                 kernel: str = "array",
+                 max_boards: int | None = None) -> None:
         #: ``False`` restores the exhaustive per-round subset
         #: enumeration (the differential oracle / "before" path)
         self.prune = prune
         if kernel not in ("array", "scalar"):
             raise ValueError(f"unknown kernel {kernel!r}")
         self.kernel = kernel
+        #: optional cap on placement span (boards per deployment).
+        #: ``None`` -- the paper's unbounded multi-round search -- is
+        #: byte-identical to the pre-cap policy.  A finite cap models
+        #: operators who bound ring-crossing latency: requests whose
+        #: blocks would have to scatter wider than ``max_boards`` are
+        #: rejected instead, which is exactly the fragmentation
+        #: pressure the defragmenter relieves.
+        if max_boards is not None and max_boards < 1:
+            raise ValueError("max_boards must be >= 1")
+        self.max_boards = max_boards
         #: optional :class:`repro.obs.tracer.Tracer`; when set (and
         #: enabled) each successful ``allocate`` records rounds
         #: attempted and subsets visited vs. pruned -- the
@@ -212,7 +223,9 @@ class CommunicationAwarePolicy:
         if self.kernel == "array":
             free_arr = np.asarray([free[b] for b in present],
                                   dtype=np.int64)
-        for round_k in range(1, len(present) + 1):
+        limit = len(present) if self.max_boards is None \
+            else min(len(present), self.max_boards)
+        for round_k in range(1, limit + 1):
             if self.kernel == "array":
                 best = self._best_subset_array(
                     present, free_arr, needed, round_k, network,
@@ -423,7 +436,9 @@ class CommunicationAwarePolicy:
         if int(free_arr.sum()) < needed:
             return None
         present = db.board_ids_array()[present_rows].tolist()
-        for round_k in range(1, len(present) + 1):
+        limit = len(present) if self.max_boards is None \
+            else min(len(present), self.max_boards)
+        for round_k in range(1, limit + 1):
             best = self._best_subset_array(present, free_arr, needed,
                                            round_k, network)
             if best is None:
@@ -444,7 +459,9 @@ class CommunicationAwarePolicy:
         """The original brute-force enumeration (every subset, every
         round); kept as the reference the pruned search must match."""
         visited = 0
-        for round_k in range(1, len(boards) + 1):
+        limit = len(boards) if self.max_boards is None \
+            else min(len(boards), self.max_boards)
+        for round_k in range(1, limit + 1):
             best: tuple[int, int, tuple[int, ...]] | None = None
             for subset in itertools.combinations(boards, round_k):
                 visited += 1

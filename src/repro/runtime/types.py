@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.compiler.bitstream import CompiledApp
 
-__all__ = ["BlockAddress", "Placement", "Deployment"]
+__all__ = ["BlockAddress", "Placement", "Deployment",
+           "StateCheckpoint"]
 
 #: (board id, physical block index) -- the cluster-global block address.
 BlockAddress = tuple[int, int]
@@ -59,6 +60,36 @@ class Placement:
             raise ValueError("placement reuses a physical block")
 
 
+@dataclass(frozen=True, slots=True)
+class StateCheckpoint:
+    """Captured run state of one live deployment (the migration unit).
+
+    The PR 1 snapshot model records *which* blocks a request holds; a
+    live migration additionally has to move *what is in them*: the
+    DRAM segments the tenant mapped (weight shards and activations)
+    and the in-flight horizon of the latency-insensitive interface --
+    every channel FIFO must drain before the source blocks can be
+    reprogrammed, and refill after the destination blocks come up.
+    Both costs are charged to the migrating request as pause time.
+    """
+
+    request_id: int
+    #: bytes of mapped DRAM that must be copied to the destination
+    dram_bytes: int
+    #: total FIFO occupancy horizon (beats) across the interface's
+    #: latency-insensitive channels: depth + initialization tokens
+    fifo_beats: int
+    #: quiesce + DRAM read-out time on the source board(s)
+    capture_s: float
+    #: DRAM write-back + pipeline refill time on the destination
+    restore_s: float
+
+    @property
+    def pause_s(self) -> float:
+        """State-transfer pause excluding reconfiguration/rewrite."""
+        return self.capture_s + self.restore_s
+
+
 @dataclass(slots=True)
 class Deployment:
     """One running application instance."""
@@ -76,6 +107,11 @@ class Deployment:
     #: deployment mechanics (AmorphOS full-device reconfig); the simulator
     #: applies these to the named running requests.
     corunner_penalties: dict[int, float] = field(default_factory=dict)
+    #: live migrations this deployment has undergone (placement moves
+    #: after the original deploy; ``deployed_at`` never changes)
+    migrations: int = 0
+    #: cumulative pause seconds those migrations charged
+    migration_pause_s: float = 0.0
 
     # ------------------------------------------------------------------
     @property

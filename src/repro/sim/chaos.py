@@ -41,7 +41,9 @@ from repro.faults.schedule import BoardDown, BoardUp, FaultEvent, \
 from repro.obs.slo import SLOEngine
 from repro.obs.timeline import TimelineAggregator
 from repro.obs.tracer import Tracer
+from repro.cluster.board import BoardHealth
 from repro.runtime.controller import SystemController
+from repro.runtime.defrag import DefragConfig
 from repro.runtime.guard import DegradedModeGuard, GuardConfig
 from repro.sim.experiment import compile_benchmarks, run_experiment
 from repro.sim.metrics import SummaryMetrics
@@ -118,6 +120,10 @@ class ChaosScenario:
     #: simulated time of a mid-run controller warm restart (snapshot,
     #: tear down, restore onto running hardware); ``None`` disables
     restart_at: "float | None" = None
+    #: attach the background defragmenter (isolation-verified moves);
+    #: the invariant probe then also vets every migration's landing
+    #: boards against the failed/quarantined sets
+    defrag: bool = False
 
     def domain_map(self) -> FailureDomainMap:
         return FailureDomainMap.grid(self.num_boards,
@@ -204,6 +210,14 @@ def standard_scenarios() -> list[ChaosScenario]:
                         "breaker state must survive the restart",
             explicit_events=rack_flap_events(rack1, RACK_FLAPS),
             restart_at=90.0),
+        ChaosScenario(
+            name="rack-outage-defrag",
+            description="whole-rack outages with the background "
+                        "defragmenter consolidating between them; "
+                        "no migration may land on a failed or "
+                        "quarantined board",
+            rack_mtbf_s=160.0, rack_mttr_s=25.0, seed=29,
+            goodput_floor=0.4, defrag=True),
     ]
 
 
@@ -220,7 +234,7 @@ _RESTART_ATTRS = (
     "_config_port_free_at", "board_health", "_armed_reconfig_faults",
     "_icap_multiplier", "_segments_of", "deployments",
     "_tenant_blocks", "quotas", "model_dram_contention",
-    "_instance_id",
+    "_instance_id", "migrations_performed", "migration_pause_s",
 )
 
 
@@ -265,8 +279,11 @@ def make_invariant_probe(controller: SystemController,
     so callers can assert the probe actually ran.
     """
     state = {"checks": 0}
-    #: request id -> deployed_at of placements already vetted
-    vetted: dict[int, float] = {}
+    #: request id -> (deployed_at, migrations) of placements already
+    #: vetted -- a live migration re-places a request *without*
+    #: changing ``deployed_at``, so the move count must be part of the
+    #: key or migrated placements would never be re-vetted
+    vetted: dict[int, tuple[float, int]] = {}
     #: quarantine set as of the *previous* event -- a deployment may
     #: legitimately sit on a board whose breaker its own programming
     #: faults tripped (quarantined now, open before), or on a board
@@ -279,17 +296,26 @@ def make_invariant_probe(controller: SystemController,
         state["checks"] += 1
         still_excluded = (prev_excluded & guard.excluded_boards()
                           if guard is not None else frozenset())
+        failed = {b for b, h in controller.board_health.items()
+                  if h is BoardHealth.FAILED}
         live_blocks = 0
         for rid, deployment in controller.deployments.items():
             live_blocks += deployment.num_blocks
-            if vetted.get(rid) == deployment.deployed_at:
+            key = (deployment.deployed_at, deployment.migrations)
+            if vetted.get(rid) == key:
                 continue
-            vetted[rid] = deployment.deployed_at
-            bad = still_excluded & set(deployment.placement.boards)
+            vetted[rid] = key
+            boards = set(deployment.placement.boards)
+            bad = still_excluded & boards
             if bad:
                 raise ChaosInvariantError(
                     f"[{scenario_name}] t={now:g}: request {rid} "
                     f"placed on quarantined board(s) {sorted(bad)}")
+            dead = failed & boards
+            if dead:
+                raise ChaosInvariantError(
+                    f"[{scenario_name}] t={now:g}: request {rid} "
+                    f"placed on failed board(s) {sorted(dead)}")
         allocated = controller.resource_db.allocated_count()
         if allocated != live_blocks:
             raise ChaosInvariantError(
@@ -414,7 +440,10 @@ def run_scenario(scenario: ChaosScenario,
         controller, scenario.workload(), apps,
         faults=schedule, recovery=scenario.recovery,
         tracer=tracer, timeline=timeline, slo=slo,
-        guard=guard, probe=probe)
+        guard=guard, probe=probe,
+        # verify=True: tenant isolation re-checked after every move
+        defrag=DefragConfig(verify=True) if scenario.defrag
+        else None)
 
     # end-of-run invariants: nothing leaked, goodput above the floor
     if controller.deployments:

@@ -50,6 +50,7 @@ from repro.obs.slo import SLOEngine
 from repro.obs.timeline import TimelineAggregator
 from repro.obs.tracer import Tracer
 from repro.runtime.controller import SystemController
+from repro.runtime.defrag import DefragConfig, Defragmenter
 from repro.sim.events import EventQueue
 from repro.sim.metrics import MetricsCollector, RequestRecord, \
     SummaryMetrics
@@ -149,6 +150,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                    guard=None,
                    probe: "Callable[[float, ClusterManager], None] | None"
                    = None,
+                   defrag: "Defragmenter | DefragConfig | bool | None"
+                   = None,
                    ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
@@ -193,6 +196,17 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     violations become a shedding trigger.  ``probe(now, manager)``
     is called after every processed event -- the chaos harness uses it
     to assert invariants mid-run; it must not mutate anything.
+
+    ``defrag`` attaches a background
+    :class:`~repro.runtime.defrag.Defragmenter` when the manager
+    supports live migration (``migrate``; baselines ignore it): after
+    each drain the defragmenter may consolidate the cluster toward the
+    queue head's footprint, its migration pauses land on the moved
+    requests as rescheduled completions, and a request that deploys
+    right after a pass is counted in ``readmitted_requests``.  Pass
+    ``True`` for defaults, a :class:`DefragConfig` to tune, or a
+    prebuilt :class:`Defragmenter`.  ``None`` (default) leaves the run
+    bit-identical to a defrag-free build.
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
@@ -235,6 +249,14 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 guard.bind_slo(slo)
         else:
             guard = None  # managers without guard hooks ignore it
+    defragmenter: Defragmenter | None = None
+    if defrag is not None and defrag is not False:
+        if isinstance(defrag, Defragmenter):
+            defragmenter = defrag
+        elif hasattr(manager, "migrate"):
+            config = defrag if isinstance(defrag, DefragConfig) \
+                else None
+            defragmenter = Defragmenter(manager, config)
     mx = _ExperimentMetrics(metrics, manager.name) if metrics is not None \
         else None
 
@@ -257,6 +279,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     completion_at: dict[int, float] = {}  # authoritative completion time
     request_of: dict[int, Request] = {}   # for re-queueing evictions
     evicted_at: dict[int, float] = {}     # open recoveries (for MTTR)
+    pending_readmit: set[int] = set()     # defrag just cleared a path
 
     def state_snapshot(now: float) -> None:
         collector.record_state(now, manager.busy_blocks(), len(live),
@@ -303,6 +326,11 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 del queue[i]
                 live[request.request_id] = deployment
                 record = collector.records[request.request_id]
+                if request.request_id in pending_readmit:
+                    # a defrag pass consolidated right before this
+                    # deploy: the stock controller had just declined it
+                    record.readmitted = True
+                    pending_readmit.discard(request.request_id)
                 record.deployed_s = now
                 record.num_blocks = deployment.num_blocks
                 record.boards = deployment.placement.num_boards
@@ -350,6 +378,34 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 break
             if not progressed:
                 return
+
+    def run_defrag(now: float) -> None:
+        """One background consolidation opportunity, queue permitting.
+
+        The drain loop just stalled on the queue head (or the queue is
+        empty and only the threshold trigger applies); the defragmenter
+        decides whether a pass is warranted and affordable.  Migration
+        pauses reschedule the moved requests' completions exactly like
+        ``corunner_penalties``, then the head gets one more chance.
+        """
+        if defragmenter is None:
+            return
+        head = queue[0] if queue else None
+        needed = apps[head.spec.name].num_blocks \
+            if head is not None else None
+        penalties = defragmenter.maybe_pass(now, needed_blocks=needed)
+        if not penalties:
+            return
+        for rid, penalty in penalties.items():
+            if rid in completion_at:
+                schedule_completion(rid, completion_at[rid] + penalty)
+        if head is not None:
+            pending_readmit.add(head.request_id)
+        try_drain(now)
+        if head is not None and head.request_id not in live:
+            # the pass didn't get it on silicon; a later natural deploy
+            # is not a readmission
+            pending_readmit.discard(head.request_id)
 
     def on_fault(fault, now: float) -> None:
         if tracer:
@@ -422,6 +478,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             queue.clear()
             queue.extend(merged)
         try_drain(now)
+        run_defrag(now)
         maybe_shed(now)
 
     # degraded-time integral: simulated seconds with any fault live on
@@ -462,6 +519,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                 if mx is not None:
                     mx.arrivals.inc()
                 try_drain(now)
+                run_defrag(now)
                 maybe_shed(now)
             elif event.kind == "completion":
                 request_id: int = event.payload
@@ -482,6 +540,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                     mx.response_s.observe(
                         collector.records[request_id].response_s)
                 try_drain(now)
+                run_defrag(now)
             elif event.kind == "fault":
                 on_fault(event.payload, now)
             state_snapshot(now)
@@ -542,6 +601,13 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             summary,
             quarantines=float(guard.quarantine_count),
             probations=float(guard.probation_count))
+    migrations = float(getattr(manager, "migrations_performed", 0) or 0)
+    if migrations or defragmenter is not None:
+        summary = replace(
+            summary,
+            migrations=migrations,
+            migration_pause_s=float(
+                getattr(manager, "migration_pause_s", 0.0) or 0.0))
     result = ExperimentResult(manager_name=manager.name,
                               summary=summary,
                               records=list(collector.records.values()))
@@ -633,4 +699,7 @@ def _average_summaries(summaries: list[SummaryMetrics]) -> SummaryMetrics:
         quarantines=mean("quarantines"),
         probations=mean("probations"),
         degraded_s=mean("degraded_s"),
+        migrations=mean("migrations"),
+        migration_pause_s=mean("migration_pause_s"),
+        readmitted_requests=mean("readmitted_requests"),
     )

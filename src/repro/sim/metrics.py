@@ -83,6 +83,10 @@ class RequestRecord:
     #: shed from the queue by the degraded-mode guard (never deployed
     #: in this run; no progress was lost because none existed)
     shed: bool = False
+    #: admitted only because a defragmenter pass consolidated the
+    #: cluster right before this request deployed (rejected-request
+    #: recovery: the stock controller had just declined it)
+    readmitted: bool = False
 
     @property
     def wait_s(self) -> float:
@@ -148,6 +152,16 @@ class SummaryMetrics:
     #: simulated seconds the substrate spent degraded (failed boards,
     #: degraded/flaky segments, slow ICAPs, or open breakers)
     degraded_s: float = 0.0
+    # live migration / defragmentation (zero unless the controller
+    # migrated or run_experiment(defrag=...) ran; the defaults
+    # describe a migration-free run exactly)
+    #: live migrations executed (defrag passes + proactive recovery)
+    migrations: float = 0.0
+    #: total pause seconds charged to migrated requests
+    migration_pause_s: float = 0.0
+    #: requests admitted right after a defrag pass consolidated the
+    #: cluster (rejected-request recovery vs. static allocation)
+    readmitted_requests: float = 0.0
 
     def normalized_response(self, baseline: "SummaryMetrics") -> float:
         if baseline.mean_response_s == 0:
@@ -288,4 +302,6 @@ class MetricsCollector:
             mean_time_to_recovery_s=mttr,
             goodput_fraction=goodput,
             shed_requests=float(sum(1 for r in every if r.shed)),
+            readmitted_requests=float(
+                sum(1 for r in every if r.readmitted)),
         )

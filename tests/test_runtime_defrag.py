@@ -98,3 +98,142 @@ class TestDefrag:
         for d in controller.running():
             for board in d.placement.boards:
                 assert d.tenant in controller.memories[board].tenants()
+
+
+class TestControllerRegressions:
+    """Pinned fixes for the defrag controller's accounting bugs."""
+
+    def test_over_quota_probe_leaves_no_telemetry(self, cluster,
+                                                  compiled_small):
+        """The spanning probe must not run (or leak search telemetry)
+        for a request the quota check is about to reject."""
+        from repro.obs.tracer import Tracer
+        controller = DefragmentingController(cluster)
+        tracer = Tracer()
+        controller.attach_tracer(tracer)
+        controller.set_quota("locked", 0)
+        d = controller.try_deploy(compiled_small, 1, 0.0,
+                                  tenant="locked")
+        assert d is None
+        events = list(tracer.entries())
+        assert [e["name"] for e in events] == ["ctrl.reject"]
+        assert events[0]["fields"]["reason"] == "quota-exceeded"
+        # the probe ran under save/restore, so no stale search stats
+        assert controller.policy.last_search is None
+
+    def test_fast_path_searches_exactly_once(self, cluster,
+                                             compiled_small):
+        """A non-spanning deploy must reuse the probe's placement, not
+        re-run the allocator a second time."""
+        controller = DefragmentingController(cluster)
+        policy = controller.policy
+        calls = {"n": 0}
+        real_allocate = policy.allocate
+        real_fast = policy.allocate_fast
+
+        def spy_allocate(*a, **k):
+            calls["n"] += 1
+            return real_allocate(*a, **k)
+
+        def spy_fast(*a, **k):
+            calls["n"] += 1
+            return real_fast(*a, **k)
+
+        policy.allocate = spy_allocate
+        policy.allocate_fast = spy_fast
+        d = controller.try_deploy(compiled_small, 1, 0.0)
+        assert d is not None and not d.spans_boards
+        assert calls["n"] == 1
+
+    def test_defrag_never_targets_unavailable_boards(
+            self, cluster, compiled_medium, compiled_large):
+        """plan/execute_migration must honor the shared availability
+        filter: no migration may land on a failed or quarantined
+        board."""
+        from repro.runtime.guard import DegradedModeGuard, GuardConfig
+        controller = DefragmentingController(cluster)
+        boards = [b.board_id for b in cluster.boards]
+        controller.fail_board(boards[-1], now=0.0)
+        guard = DegradedModeGuard(GuardConfig(failure_threshold=1))
+        controller.attach_guard(guard)
+        guard.record_board_failure(boards[-2], now=0.0)
+        assert boards[-2] in guard.excluded_boards()
+        allowed = set(boards[:-2])
+        fragment(controller, compiled_medium, compiled_large)
+        controller.try_deploy(compiled_large, 500, 0.0)
+        for d in controller.running():
+            assert set(d.placement.boards) <= allowed, \
+                f"request {d.request_id} placed on unavailable board"
+        verify_isolation(controller)
+
+
+class TestDefragmenter:
+    """The background pass driven by the fragmentation gauge."""
+
+    def test_rejection_trigger_bypasses_min_interval(
+            self, cluster, compiled_medium, compiled_large):
+        from repro.runtime.controller import SystemController
+        from repro.runtime.defrag import DefragConfig, Defragmenter
+        controller = SystemController(cluster)
+        fragment(controller, compiled_medium, compiled_large)
+        free = controller.resource_db.free_by_board()
+        needed = compiled_large.num_blocks
+        if sum(len(v) for v in free.values()) < needed \
+                or any(len(v) >= needed for v in free.values()):
+            pytest.skip("fragmentation setup did not scatter space")
+        defrag = Defragmenter(controller, DefragConfig(
+            frag_threshold=2.0,  # threshold trigger can never fire
+            min_interval_s=1e9,  # nor a rate-limited pass
+            budget_burst_blocks=16, max_moved_blocks=16))
+        penalties = defrag.maybe_pass(0.0, needed_blocks=needed)
+        assert penalties
+        assert defrag.passes == 1
+        assert controller.migrations_performed == defrag.moves > 0
+        # consolidation opened a single-board home for the request
+        free = controller.resource_db.free_by_board()
+        assert any(len(v) >= needed for v in free.values())
+        verify_isolation(controller)
+
+    def test_budget_gates_every_pass(self, cluster, compiled_medium,
+                                     compiled_large):
+        from repro.runtime.controller import SystemController
+        from repro.runtime.defrag import DefragConfig, Defragmenter
+        controller = SystemController(cluster)
+        fragment(controller, compiled_medium, compiled_large)
+        defrag = Defragmenter(controller, DefragConfig(
+            budget_burst_blocks=0, budget_blocks_per_s=0.5,
+            frag_threshold=0.0, min_interval_s=0.0))
+        assert defrag.maybe_pass(
+            0.0, needed_blocks=compiled_large.num_blocks) == {}
+        assert defrag.passes == 0
+        assert controller.migrations_performed == 0
+        # tokens refill with sim time, so later the pass can run
+        penalties = defrag.maybe_pass(
+            60.0, needed_blocks=compiled_large.num_blocks)
+        if penalties:
+            assert controller.migrations_performed > 0
+
+    def test_pass_emits_trace_event(self, cluster, compiled_medium,
+                                    compiled_large):
+        from repro.obs.tracer import Tracer
+        from repro.runtime.controller import SystemController
+        from repro.runtime.defrag import DefragConfig, Defragmenter
+        controller = SystemController(cluster)
+        tracer = Tracer()
+        controller.attach_tracer(tracer)
+        fragment(controller, compiled_medium, compiled_large)
+        defrag = Defragmenter(controller, DefragConfig(
+            budget_burst_blocks=16, max_moved_blocks=16))
+        penalties = defrag.maybe_pass(
+            1.0, needed_blocks=compiled_large.num_blocks)
+        if not penalties:
+            pytest.skip("no pass executed on this layout")
+        events = [e for e in tracer.entries()
+                  if e["name"] == "defrag.pass"]
+        assert len(events) == 1
+        fields = events[0]["fields"]
+        assert fields["trigger"] == "rejection"
+        assert fields["moves"] == defrag.moves
+        assert fields["moved_blocks"] == defrag.moved_blocks
+        assert fields["pause_s"] == pytest.approx(
+            sum(penalties.values()))

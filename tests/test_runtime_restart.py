@@ -130,3 +130,41 @@ class TestDegradationSurvivesRestart:
         assert snapshot["guard"] is None
         restored = SystemController.restore(cluster, snapshot, db)
         assert restored.guard is None
+
+
+class TestMigrationStateSurvivesRestart:
+    def test_migration_accounting_survives(self, cluster, loaded):
+        controller, db, deployments = loaded
+        pause = controller.migrate(2, now=5.0, reason="pre-restart")
+        assert pause is not None
+        snapshot = json.loads(json.dumps(controller.snapshot()))
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.migrations_performed == 1
+        assert restored.migration_pause_s == pytest.approx(pause)
+        moved = restored.deployments[2]
+        assert moved.migrations == 1
+        assert moved.migration_pause_s == pytest.approx(pause)
+        # placement carried over post-move, and the restored replica
+        # can keep migrating from where the original left off
+        assert sorted(moved.placement.addresses) == sorted(
+            controller.deployments[2].placement.addresses)
+        verify_isolation(restored)
+        second = restored.migrate(2, now=9.0)
+        if second is not None:
+            assert restored.migrations_performed == 2
+
+    def test_legacy_snapshot_defaults_to_zero(self, cluster, loaded):
+        """Snapshots written before migration existed restore with
+        zeroed counters instead of KeyError."""
+        controller, db, _ = loaded
+        snapshot = controller.snapshot()
+        snapshot.pop("migrations_performed", None)
+        snapshot.pop("migration_pause_s", None)
+        for entry in snapshot["deployments"]:
+            entry.pop("migrations", None)
+            entry.pop("migration_pause_s", None)
+        restored = SystemController.restore(cluster, snapshot, db)
+        assert restored.migrations_performed == 0
+        assert restored.migration_pause_s == 0.0
+        assert all(d.migrations == 0
+                   for d in restored.deployments.values())

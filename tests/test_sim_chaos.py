@@ -216,3 +216,58 @@ class TestCampaign:
             campaign.by_name("nope")
         doc = campaign.as_dict()
         assert len(doc["scenarios"]) == 2
+
+
+class TestDefragScenario:
+    def test_rack_outage_defrag_migrates_safely(self, chaos_cluster,
+                                                chaos_apps):
+        result = run_scenario(_scenario("rack-outage-defrag"),
+                              apps=chaos_apps, cluster=chaos_cluster)
+        # the defragmenter actually moved things mid-chaos, and the
+        # per-event probe (which rejects any migration landing on a
+        # failed or quarantined board) vetted every one of them
+        assert result.summary.migrations > 0
+        assert result.summary.migration_pause_s > 0
+        assert result.invariant_checks > result.fault_events
+        assert result.summary.goodput_fraction \
+            >= _scenario("rack-outage-defrag").goodput_floor
+
+    def test_defrag_scenario_is_trace_identical(self, chaos_cluster,
+                                                chaos_apps):
+        scenario = _scenario("rack-outage-defrag")
+
+        def run() -> str:
+            tracer = Tracer()
+            run_scenario(scenario, tracer=tracer, apps=chaos_apps,
+                         cluster=chaos_cluster)
+            return tracer.to_jsonl()
+
+        assert run() == run()
+
+    def test_defrag_off_bit_identical_to_stock_runs(
+            self, cluster, compiled_apps, compiled_small,
+            compiled_medium, compiled_large):
+        """``defrag=None`` must be byte-identical to a run that never
+        heard of defragmentation -- trace and summary both."""
+        specs = [compiled_small.spec, compiled_medium.spec,
+                 compiled_large.spec]
+        requests = [Request(request_id=i, spec=specs[i % 3],
+                            arrival_s=1.0 + 2.0 * i)
+                    for i in range(25)]
+
+        def run(**kwargs):
+            tracer = Tracer()
+            controller = SystemController(cluster)
+            controller.tracer = tracer
+            result = run_experiment(controller, requests,
+                                    compiled_apps, tracer=tracer,
+                                    **kwargs)
+            return tracer.to_jsonl(), result.summary
+
+        stock_trace, stock = run()
+        off_trace, off = run(defrag=None)
+        false_trace, false_summary = run(defrag=False)
+        assert off_trace == stock_trace
+        assert false_trace == stock_trace
+        assert off == stock == false_summary
+        assert stock.migrations == 0.0
