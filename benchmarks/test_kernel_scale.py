@@ -23,7 +23,6 @@ Results land in ``benchmarks/results/kernel_scale.txt`` and the
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -75,30 +74,25 @@ def _drive(num_boards: int, num_requests: int,
     return result, controller, wall
 
 
-def _load_trajectory() -> dict:
-    if BENCH_FILE.exists():
-        try:
-            return json.loads(BENCH_FILE.read_text())
-        except ValueError:
-            pass
-    return {"bench": "perf", "entries": []}
-
-
-def _entry(doc: dict) -> dict:
-    for entry in doc["entries"]:
-        if entry.get("anchor") == ANCHOR:
-            return entry
-    entry = {"anchor": ANCHOR}
-    doc["entries"].append(entry)
-    return entry
-
-
 def _record_trajectory(**fields) -> None:
     """Merge ``fields`` into this PR's entry of the trajectory file."""
-    doc = _load_trajectory()
-    _entry(doc).update(fields)
-    BENCH_FILE.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    from repro.analysis.bench import merge_metrics
+    merge_metrics(BENCH_FILE, ANCHOR, fields)
+
+
+def _baseline_metric(name: str):
+    """Read one committed metric of this PR's anchor (None if unset)."""
+    from repro.analysis.bench import BenchSchemaError, load_bench
+    if not BENCH_FILE.exists():
+        return None
+    try:
+        doc = load_bench(BENCH_FILE)
+    except BenchSchemaError:
+        return None
+    for entry in doc["entries"]:
+        if entry["anchor"] == ANCHOR:
+            return entry["metrics"].get(name)
+    return None
 
 
 def test_full_scale_1024_boards(emit):
@@ -133,13 +127,9 @@ def test_reduced_scale_regression():
     trajectory file); never overwrites a committed one."""
     _, _, wall = _drive(num_boards=256, num_requests=20_000,
                         mean_interarrival_s=0.05)
-    doc = _load_trajectory()
-    entry = _entry(doc)
-    baseline = entry.get("reduced_wall_baseline_s")
+    baseline = _baseline_metric("reduced_wall_baseline_s")
     if baseline is None:
-        entry["reduced_wall_baseline_s"] = round(wall, 2)
-        BENCH_FILE.write_text(
-            json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        _record_trajectory(reduced_wall_baseline_s=round(wall, 2))
         pytest.skip(f"seeded reduced-scale baseline: {wall:.2f}s")
     assert wall < baseline * REDUCED_TOLERANCE, (
         f"reduced-scale run took {wall:.2f}s against a "

@@ -19,7 +19,6 @@ first entry of the roadmap's perf history; later PRs append).
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -156,20 +155,7 @@ def _record_trajectory(**fields) -> None:
     """Merge ``fields`` into this PR's entry of the trajectory file.
 
     The file keeps one entry per anchor; re-running a bench overwrites
-    that entry's fields, never history.
+    that entry's metrics, never history.
     """
-    doc = {"bench": "robustness", "entries": []}
-    if BENCH_FILE.exists():
-        try:
-            doc = json.loads(BENCH_FILE.read_text())
-        except ValueError:
-            pass
-    anchor = "pr6-degraded-mode"
-    for entry in doc["entries"]:
-        if entry.get("anchor") == anchor:
-            entry.update(fields)
-            break
-    else:
-        doc["entries"].append({"anchor": anchor, **fields})
-    BENCH_FILE.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    from repro.analysis.bench import merge_metrics
+    merge_metrics(BENCH_FILE, "pr6-degraded-mode", fields)

@@ -1,5 +1,11 @@
 """Reporting helpers used by the benchmark harness."""
 
+from repro.analysis.bench import (BENCH_SCHEMA_VERSION,
+                                  BenchSchemaError, append_entry,
+                                  flatten_metrics, format_trajectory,
+                                  load_bench, merge_metrics,
+                                  metric_direction, trajectory_gate,
+                                  validate_doc, validate_entry)
 from repro.analysis.diff import (diff_metrics, diff_profiles,
                                  diff_traces, find_regressions,
                                  format_diff, trace_profile)
@@ -12,4 +18,8 @@ __all__ = ["format_table", "format_bar_series", "build_report",
            "write_report", "load_trace_events", "span_summary",
            "decision_summary", "format_trace_summary", "trace_profile",
            "diff_profiles", "diff_traces", "diff_metrics",
-           "find_regressions", "format_diff"]
+           "find_regressions", "format_diff",
+           "BENCH_SCHEMA_VERSION", "BenchSchemaError", "append_entry",
+           "flatten_metrics", "format_trajectory", "load_bench",
+           "merge_metrics", "metric_direction", "trajectory_gate",
+           "validate_doc", "validate_entry"]

@@ -54,6 +54,12 @@ REPORT_ORDER: tuple[tuple[str, str], ...] = (
     ("observability", "Observability — tracer overhead"),
     ("health_slo", "Health — SLO rules under the demo outage"),
     ("health_overhead", "Health — timeline/SLO engine overhead"),
+    ("compile_cache", "Compile service — warm-cache economics"),
+    ("compile_parallel", "Compile service — parallel cold compile"),
+    ("kernel_scale", "Scale — array runtime kernel (1024 boards)"),
+    ("robustness", "Robustness — degraded-mode vs recovery-only"),
+    ("campaign_matrix", "Campaigns — standard scenario grid"),
+    ("perf_trajectory", "Perf trajectory — BENCH_*.json history"),
 )
 
 

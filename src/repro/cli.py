@@ -139,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the background defragmenter (live "
                         "migration consolidates fragmented boards; "
                         "only managers that support migrate)")
+    p.add_argument("--profile", action="store_true",
+                   help="break the wall clock into phases (compile / "
+                        "simulate, plus the event loop's nested "
+                        "sections) with op counters")
+    p.add_argument("--profile-out", dest="profile_out", default=None,
+                   help="write the phase profile as diff-consumable "
+                        "JSON (implies --profile)")
 
     p = sub.add_parser(
         "status",
@@ -175,6 +182,69 @@ def build_parser() -> argparse.ArgumentParser:
                         "requires --scenario")
     p.add_argument("--format", dest="format", default="text",
                    choices=["text", "json"])
+    p.add_argument("--profile", action="store_true",
+                   help="break the campaign wall into phases "
+                        "(compile / per-scenario) with op counters")
+    p.add_argument("--profile-out", dest="profile_out", default=None,
+                   help="write the phase profile as diff-consumable "
+                        "JSON (implies --profile)")
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative scenario grid through the cached "
+             "campaign service")
+    p.add_argument("--grid", default="smoke",
+                   choices=["smoke", "standard", "extended"],
+                   help="which declarative config grid to run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for cache misses "
+                        "(1 = inline)")
+    p.add_argument("--requests", type=int, default=None,
+                   help="requests per scenario (default: the grid's)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent campaign cache directory; results "
+                        "found there are reused instead of re-run")
+    p.add_argument("--format", dest="format", default="text",
+                   choices=["text", "json"])
+    p.add_argument("--profile", action="store_true",
+                   help="print the phase profiler's breakdown of the "
+                        "campaign wall")
+    p.add_argument("--profile-out", dest="profile_out", default=None,
+                   help="write the phase profile as diff-consumable "
+                        "JSON (implies --profile)")
+    p.add_argument("--bench-out", dest="bench_out", default=None,
+                   help="append a schema-valid trajectory entry "
+                        "(wall, cache, throughput) to this "
+                        "BENCH_*.json file")
+    p.add_argument("--anchor", default="campaign",
+                   help="trajectory anchor name for --bench-out")
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-trajectory files: validate / append / gate")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "validate", help="check BENCH_*.json files against the schema")
+    b.add_argument("paths", nargs="+")
+    b = bench_sub.add_parser(
+        "append", help="append one schema-valid trajectory entry")
+    b.add_argument("path")
+    b.add_argument("--anchor", required=True)
+    b.add_argument("--date", default=None,
+                   help="ISO date of the measurement (default: today)")
+    b.add_argument("--fingerprint", default=None,
+                   help="config content address the numbers came from")
+    b.add_argument("--metric", dest="metrics", action="append",
+                   required=True, metavar="NAME=VALUE",
+                   help="metric leaf (repeatable; dots nest, e.g. "
+                        "rack_flap.goodput=0.98)")
+    b = bench_sub.add_parser(
+        "gate", help="fail on out-of-band same-anchor regressions")
+    b.add_argument("paths", nargs="+")
+    b.add_argument("--band", type=float, default=4.0,
+                   help="tolerated ratio between consecutive "
+                        "same-anchor measurements")
 
     p = sub.add_parser(
         "export-db",
@@ -318,8 +388,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"unknown managers: {', '.join(unknown)} "
               f"(choose from {', '.join(_MANAGERS)})")
         return 2
+    profiler = None
+    if args.profile or args.profile_out:
+        from repro.obs.profile import PhaseProfiler
+        profiler = PhaseProfiler()
     cluster = make_cluster(num_boards=args.boards)
-    apps = compile_benchmarks(cluster)
+    if profiler is not None:
+        with profiler.phase("compile"):
+            apps = compile_benchmarks(cluster)
+    else:
+        apps = compile_benchmarks(cluster)
     if args.from_trace:
         from repro.sim.trace import load_trace
         try:
@@ -368,12 +446,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             from repro.obs import SLOEngine, TimelineAggregator
             timeline = TimelineAggregator(interval_s=args.bucket_s)
             slo = SLOEngine(args.slo_rules)
-        summary = run_experiment(_MANAGERS[name](cluster), requests,
-                                 apps, faults=faults,
-                                 recovery=args.recovery,
-                                 tracer=tracer, metrics=metrics,
-                                 timeline=timeline, slo=slo,
-                                 defrag=args.defrag or None).summary
+        from contextlib import nullcontext
+        with (profiler.phase("simulate") if profiler is not None
+              else nullcontext()):
+            summary = run_experiment(_MANAGERS[name](cluster),
+                                     requests, apps, faults=faults,
+                                     recovery=args.recovery,
+                                     tracer=tracer, metrics=metrics,
+                                     timeline=timeline, slo=slo,
+                                     defrag=args.defrag or None,
+                                     profile=profiler).summary
         rows.append([name, f"{summary.mean_response_s:.1f}",
                      f"{summary.mean_wait_s:.1f}",
                      f"{summary.mean_concurrency:.1f}",
@@ -425,7 +507,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else:
             out.write_text(metrics.as_json() + "\n")
         print(f"wrote metrics to {out}")
+    _emit_profile(profiler, args.profile_out)
     return 0
+
+
+def _emit_profile(profiler, out: "str | None") -> None:
+    """Print or dump a CLI run's phase profile (no-op without one)."""
+    if profiler is None:
+        return
+    if out:
+        path = profiler.dump(out)
+        print(f"wrote phase profile to {path}")
+    else:
+        print()
+        print(profiler.format())
 
 
 def _load_state(path: "str | None") -> dict:
@@ -602,19 +697,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.trace_out:
         from repro.obs import Tracer
         tracer = Tracer()
+    from contextlib import nullcontext
+    profiler = None
+    if args.profile or args.profile_out:
+        from repro.obs.profile import PhaseProfiler
+        profiler = PhaseProfiler()
     results = []
     clusters: dict[int, tuple] = {}
     for scenario in scenarios:
         cached = clusters.get(scenario.num_boards)
         if cached is None:
             cluster = make_cluster(num_boards=scenario.num_boards)
-            cached = (cluster, compile_benchmarks(cluster))
+            if profiler is not None:
+                with profiler.phase("compile"):
+                    cached = (cluster, compile_benchmarks(cluster))
+            else:
+                cached = (cluster, compile_benchmarks(cluster))
             clusters[scenario.num_boards] = cached
         cluster, apps = cached
         try:
-            results.append(run_scenario(
-                scenario, with_guard=not args.no_guard,
-                tracer=tracer, apps=apps, cluster=cluster))
+            with (profiler.phase(f"scenario.{scenario.name}")
+                  if profiler is not None else nullcontext()):
+                results.append(run_scenario(
+                    scenario, with_guard=not args.no_guard,
+                    tracer=tracer, apps=apps, cluster=cluster))
         except ChaosInvariantError as exc:
             print(f"invariant violated: {exc}")
             return 1
@@ -637,7 +743,161 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if tracer and args.trace_out:
         count = tracer.dump(args.trace_out)
         print(f"wrote {count} trace entries to {args.trace_out}")
+    _emit_profile(profiler, args.profile_out)
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+    import time
+
+    from repro.sim.campaign import (CampaignCache, CampaignRunner,
+                                    canonical_json, extended_grid,
+                                    smoke_grid, standard_grid)
+    grids = {"smoke": smoke_grid, "standard": standard_grid,
+             "extended": extended_grid}
+    grid_kwargs = {"seed": args.seed}
+    if args.requests is not None:
+        grid_kwargs["num_requests"] = args.requests
+    configs = grids[args.grid](**grid_kwargs)
+    profiler = None
+    if args.profile or args.profile_out:
+        from repro.obs.profile import PhaseProfiler
+        profiler = PhaseProfiler()
+    cache = CampaignCache(cache_dir=args.cache_dir)
+    runner = CampaignRunner(cache=cache, profile=profiler)
+    t0 = time.perf_counter()
+    results = runner.run_many(configs, jobs=args.jobs)
+    wall = time.perf_counter() - t0
+    stats = cache.stats()
+    # content address of the whole grid: the hash of its members'
+    # fingerprints, in input order
+    grid_fp = hashlib.sha256(canonical_json(
+        [r["fingerprint"] for r in results]).encode()).hexdigest()
+
+    if args.format == "json":
+        print(json.dumps({"grid": args.grid, "wall_s": wall,
+                          "fingerprint": grid_fp, "cache": stats,
+                          "results": results},
+                         sort_keys=True, indent=2))
+    else:
+        rows = []
+        for result in results:
+            summary = result["summary"]
+            rows.append([
+                result["name"], result["manager"],
+                f"{summary['num_requests']:g}",
+                f"{summary['p95_response_s']:.1f}",
+                f"{summary['goodput_fraction']:.1%}",
+                f"{summary['migrations']:g}",
+                f"{runner.last_walls.get(result['name'], 0.0):.3f}",
+            ])
+        print(format_table(
+            ["scenario", "manager", "requests", "p95 resp (s)",
+             "goodput", "migrations", "run wall (s)"], rows,
+            title=f"campaign grid '{args.grid}' "
+                  f"({len(results)} configs, jobs={args.jobs})"))
+        print(f"wall {wall:.2f} s; cache: {stats['hits']} hits "
+              f"({stats['disk_hits']} from disk), {stats['misses']} "
+              f"misses, {stats['stores']} stored"
+              + (f" at {args.cache_dir}" if args.cache_dir else ""))
+        print(f"grid fingerprint {grid_fp[:12]}")
+
+    if args.bench_out:
+        from datetime import date
+
+        from repro.analysis.bench import BenchSchemaError, append_entry
+        entry = {
+            "anchor": args.anchor,
+            "date": date.today().isoformat(),
+            "fingerprint": grid_fp,
+            "metrics": {
+                "cache_hits": stats["hits"],
+                "cache_misses": stats["misses"],
+                "configs": len(results),
+                "configs_per_s": len(results) / wall if wall > 0
+                else 0.0,
+                "jobs": args.jobs,
+                "wall_s": wall,
+            },
+        }
+        try:
+            append_entry(args.bench_out, entry)
+        except BenchSchemaError as exc:
+            print(f"cannot append trajectory entry: {exc}")
+            return 1
+        print(f"appended trajectory entry '{args.anchor}' "
+              f"to {args.bench_out}")
+    _emit_profile(profiler, args.profile_out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import (BenchSchemaError, append_entry,
+                                      load_bench, trajectory_gate)
+    if args.bench_command == "validate":
+        failed = False
+        for path in args.paths:
+            try:
+                doc = load_bench(path)
+            except (OSError, BenchSchemaError) as exc:
+                print(f"INVALID {path}: {exc}")
+                failed = True
+            else:
+                print(f"ok {path}: {len(doc['entries'])} entries")
+        return 1 if failed else 0
+    if args.bench_command == "append":
+        from datetime import date
+        metrics: dict = {}
+        for item in args.metrics:
+            name, sep, raw = item.partition("=")
+            if not sep or not name:
+                print(f"bad --metric {item!r} (want NAME=VALUE)")
+                return 2
+            try:
+                value = float(raw)
+            except ValueError:
+                print(f"bad --metric value {raw!r} (want a number)")
+                return 2
+            node = metrics
+            *groups, leaf = name.split(".")
+            for group in groups:
+                node = node.setdefault(group, {})
+                if not isinstance(node, dict):
+                    print(f"--metric {name!r} nests under a leaf")
+                    return 2
+            node[leaf] = value
+        entry = {"anchor": args.anchor,
+                 "date": args.date or date.today().isoformat(),
+                 "fingerprint": args.fingerprint,
+                 "metrics": metrics}
+        try:
+            doc = append_entry(args.path, entry)
+        except (OSError, BenchSchemaError) as exc:
+            print(f"cannot append: {exc}")
+            return 1
+        print(f"appended '{args.anchor}' to {args.path} "
+              f"({len(doc['entries'])} entries)")
+        return 0
+    # gate
+    failed = False
+    for path in args.paths:
+        try:
+            doc = load_bench(path)
+        except (OSError, BenchSchemaError) as exc:
+            print(f"INVALID {path}: {exc}")
+            failed = True
+            continue
+        problems = trajectory_gate(doc, band=args.band)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"REGRESSION {path}: {problem}")
+        else:
+            print(f"ok {path}: {len(doc['entries'])} entries within "
+                  f"x{args.band:g} band")
+    return 1 if failed else 0
 
 
 def _cmd_export_db(args: argparse.Namespace) -> int:
@@ -807,6 +1067,8 @@ _COMMANDS = {
     "fail-board": _cmd_fail_board,
     "repair-board": _cmd_repair_board,
     "chaos": _cmd_chaos,
+    "campaign": _cmd_campaign,
+    "bench": _cmd_bench,
     "export-db": _cmd_export_db,
     "trace": _cmd_trace,
     "diff": _cmd_diff,

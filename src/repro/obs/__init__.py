@@ -17,6 +17,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import PhaseProfiler
 from repro.obs.slo import SLOEngine, SLORule, parse_slo
 from repro.obs.stats import (fragmentation_index, percentile,
                              quantile_from_cumulative)
@@ -33,6 +34,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_TIME_BUCKETS",
     "TimelineAggregator",
+    "PhaseProfiler",
     "SLOEngine",
     "SLORule",
     "parse_slo",

@@ -1,0 +1,265 @@
+"""Phase profiler: where did the experiment wall clock go?
+
+A campaign that runs dozens of scenario configurations needs more than
+one ``time.perf_counter()`` around the whole run -- regressions hide
+inside phases (compile vs. policy search vs. migration vs. timeline
+folding), and the ROADMAP's surviving hot spots were only found by
+breaking the wall down.  :class:`PhaseProfiler` accumulates named
+*phases* (wall-clock seconds + invocation counts + the last simulated
+time each phase saw) and *op counters* (policy subsets visited, blocks
+moved, events popped), and exports the result as the same sorted-key
+JSON profile document ``repro report --trace --format json`` emits --
+so the existing ``repro diff`` tool compares two profiles and
+``find_regressions`` classifies phase p95 shifts with no new plumbing.
+
+Determinism contract: wall-clock durations are measurements and differ
+between runs by nature, but everything else in the export -- the phase
+names, invocation counts, op counters, and sim-time fields -- is a pure
+function of the simulated run, so two same-seed profiles differ only in
+their ``*_s`` duration values.  The profiler is passive: attaching one
+never changes simulation results (the instrumented loops only read
+clocks around calls they were making anyway).
+
+Two accumulation styles:
+
+- ``with profiler.phase("compile"):`` -- a context manager around a
+  contiguous phase (the CLI drivers wrap compile / simulate / report
+  this way; their spans tile the run, so the top-level total matches
+  the measured wall to within the clock-read overhead);
+- ``profiler.add("admit", dt, nested=True)`` -- explicit accumulation
+  for phases that recur thousands of times inside another phase (the
+  event loop's per-event sections).  ``nested`` phases are excluded
+  from :meth:`top_wall_s` so the coverage identity "top-level phases
+  sum to the measured wall" survives nesting.
+
+Op counters arrive either directly (:meth:`count`) or by subscribing to
+a :class:`~repro.obs.tracer.Tracer` (:meth:`attach_tracer`): the sink
+folds ``policy.allocate`` search effort, migrations, defrag passes and
+blocks moved out of the event stream the instrumentation already emits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs.stats import percentile as _percentile
+
+__all__ = ["PhaseProfiler"]
+
+
+class _PhaseRecord:
+    """Accumulated state of one named phase."""
+
+    __slots__ = ("count", "total_s", "durations", "nested", "sim_t")
+
+    def __init__(self, nested: bool) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        #: individual samples (for p50/p95); bounded by the run length
+        self.durations: list[float] = []
+        self.nested = nested
+        #: last simulated time this phase was charged at (-1: never)
+        self.sim_t = -1.0
+
+
+class PhaseProfiler:
+    """Accumulating wall/sim-time phase breakdown with op counters."""
+
+    def __init__(self, clock=time.perf_counter,
+                 keep_samples: bool = True) -> None:
+        self._clock = clock
+        self.keep_samples = keep_samples
+        self._phases: dict[str, _PhaseRecord] = {}
+        self._counters: dict[str, int] = {}
+        #: strong refs, identity-scanned: a dead tracer's recycled id
+        #: must never make a fresh tracer look already-attached
+        self._attached: list = []
+        #: highest simulated time any phase reported (run makespan)
+        self.sim_makespan_s = 0.0
+        self._t0 = clock()
+
+    def __bool__(self) -> bool:  # mirrors the tracer's guard idiom
+        return True
+
+    # ------------------------------------------------------------------
+    def _record(self, name: str, nested: bool) -> _PhaseRecord:
+        record = self._phases.get(name)
+        if record is None:
+            record = self._phases[name] = _PhaseRecord(nested)
+        return record
+
+    @contextmanager
+    def phase(self, name: str, nested: bool = False,
+              sim_t: "float | None" = None):
+        """Time one contiguous phase invocation (wall clock)."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self._clock() - start, nested=nested,
+                     sim_t=sim_t)
+
+    def add(self, name: str, wall_s: float, nested: bool = False,
+            sim_t: "float | None" = None) -> None:
+        """Accumulate ``wall_s`` seconds into phase ``name``."""
+        record = self._record(name, nested)
+        record.count += 1
+        record.total_s += wall_s
+        if self.keep_samples:
+            record.durations.append(wall_s)
+        if sim_t is not None:
+            record.sim_t = sim_t
+            if sim_t > self.sim_makespan_s:
+                self.sim_makespan_s = sim_t
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump op counter ``name`` by ``n``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def mark_sim(self, t: float) -> None:
+        """Advance the observed simulated makespan."""
+        if t > self.sim_makespan_s:
+            self.sim_makespan_s = t
+
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Fold op counters out of a tracer's event stream.
+
+        Subscribes a sink that accumulates the search-effort and
+        migration telemetry the instrumentation already emits:
+        ``policy.allocate`` rounds/visited/pruned, ``ctrl.migrate``
+        moves, ``defrag.pass`` blocks moved, and deploy/reject counts.
+        Idempotent per tracer: re-attaching (e.g. one profiler across
+        a multi-manager loop sharing one tracer) never double-counts.
+        """
+        if any(t is tracer for t in self._attached):
+            return
+        self._attached.append(tracer)
+        def sink(kind, name, t, duration_s, fields) -> None:
+            if name == "policy.allocate":
+                self.count("policy_searches")
+                self.count("policy_rounds",
+                           int(fields.get("rounds", 0)))
+                self.count("policy_visited",
+                           int(fields.get("visited", 0)))
+                self.count("policy_pruned",
+                           int(fields.get("pruned", 0)))
+            elif name == "ctrl.reject":
+                search = fields.get("search")
+                if search:
+                    self.count("policy_searches")
+                    self.count("policy_visited", int(search[2]))
+                    self.count("policy_pruned", int(search[3]))
+            elif name == "ctrl.migrate":
+                self.count("migrations")
+                self.count("blocks_moved",
+                           int(fields.get("blocks", 0)))
+            elif name == "defrag.pass":
+                # moved blocks are counted by the per-move
+                # ``ctrl.migrate`` events; counting ``moved_blocks``
+                # here too would double-charge each pass
+                self.count("defrag_passes")
+            elif name == "ctrl.deploy":
+                self.count("deploys")
+
+        tracer.add_sink(sink)
+
+    # ------------------------------------------------------------------
+    def total_wall_s(self) -> float:
+        """Wall seconds since the profiler was created."""
+        return self._clock() - self._t0
+
+    def top_wall_s(self) -> float:
+        """Sum of the non-nested phase totals (the coverage check)."""
+        return sum(r.total_s for r in self._phases.values()
+                   if not r.nested)
+
+    def counters(self) -> dict[str, int]:
+        return dict(sorted(self._counters.items()))
+
+    # ------------------------------------------------------------------
+    def as_profile(self) -> dict:
+        """The diff-consumable profile document.
+
+        Shape-compatible with :func:`repro.analysis.diff.trace_profile`
+        (``spans`` + ``decisions``), so ``repro diff`` compares two
+        phase profiles directly: phase p95 shifts show up as span
+        regressions, counter drifts as decision deltas.
+        """
+        spans: dict[str, dict] = {}
+        entries = 0
+        for name in sorted(self._phases):
+            record = self._phases[name]
+            entries += record.count
+            row: dict = {
+                "kind": "phase",
+                "count": record.count,
+                "nested": record.nested,
+                "total_s": record.total_s,
+                "mean_s": record.total_s / record.count
+                if record.count else 0.0,
+            }
+            if record.durations:
+                durations = sorted(record.durations)
+                row["p95_s"] = _percentile(durations, 0.95)
+            if record.sim_t >= 0:
+                row["sim_t"] = record.sim_t
+            spans[name] = row
+        decisions = {
+            **self.counters(),
+            "rejects": {},
+            "evictions": {},
+        }
+        return {
+            "entries": entries,
+            "spans": spans,
+            "decisions": decisions,
+            "slo": {"violations": {}, "recovered": {}},
+            "sim_makespan_s": self.sim_makespan_s,
+            "top_wall_s": self.top_wall_s(),
+        }
+
+    def to_json(self) -> str:
+        """Key-sorted, indented JSON of :meth:`as_profile`."""
+        return json.dumps(self.as_profile(), sort_keys=True, indent=2)
+
+    def dump(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def format(self) -> str:
+        """Human-readable phase table (the CLI ``--profile`` output)."""
+        from repro.analysis.report import format_table
+        top = self.top_wall_s()
+        rows = []
+        for name in sorted(self._phases,
+                           key=lambda n: -self._phases[n].total_s):
+            record = self._phases[name]
+            share = record.total_s / top if top > 0 else 0.0
+            rows.append([
+                name + ("*" if record.nested else ""),
+                record.count,
+                f"{record.total_s:.4f}",
+                f"{record.total_s / record.count:.6f}"
+                if record.count else "-",
+                f"{share:.1%}" if not record.nested else "-",
+            ])
+        parts = [format_table(
+            ["phase", "count", "total_s", "mean_s", "share"], rows,
+            title="phase profile (* = nested, excluded from share)")]
+        if self._counters:
+            parts.append("")
+            parts.append(format_table(
+                ["counter", "value"],
+                [[k, v] for k, v in sorted(self._counters.items())],
+                title="op counters"))
+        parts.append("")
+        parts.append(
+            f"top-level phases {top:.4f} s of "
+            f"{self.total_wall_s():.4f} s measured wall; "
+            f"sim makespan {self.sim_makespan_s:.1f} s")
+        return "\n".join(parts)

@@ -35,6 +35,7 @@ scatters blocks round-robin across boards (maximum communication).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Protocol
 
 import numpy as np
@@ -65,6 +66,54 @@ class AllocationPolicy(Protocol):
         ...
 
 
+#: memoized flow-adjacency per CompiledApp instance.  The profiler put
+#: ``split_virtual_blocks`` at the top of the surviving hot-path
+#: profile, and most of its time was rebuilding the same adjacency:
+#: every deploy attempt of every queued request re-splits the same few
+#: artifacts.  The adjacency (and the seed scores derived from it) is a
+#: pure function of ``app.flows``, so it is built once per app object.
+#: Keyed by ``id()`` with the app held strongly and identity-checked on
+#: lookup, so a recycled id can never alias a different artifact; the
+#: LRU bound keeps long campaigns from pinning dead apps.
+_ADJACENCY_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_ADJACENCY_CACHE_MAX = 64
+#: cold constructions, ever (the equivalence test pins cache reuse)
+_adjacency_builds = 0
+
+
+def _flow_adjacency(app: CompiledApp):
+    """``(adjacency, base_flow)`` for ``app``, memoized per instance."""
+    global _adjacency_builds
+    key = id(app)
+    entry = _ADJACENCY_CACHE.get(key)
+    if entry is not None and entry[0] is app:
+        _ADJACENCY_CACHE.move_to_end(key)
+        return entry[1], entry[2]
+    _adjacency_builds += 1
+    n = app.num_blocks
+    # symmetric flow-adjacency list between virtual blocks (self-flows
+    # never contribute to a cut, so they are dropped)
+    adjacency: dict[int, list[tuple[int, float]]] = {
+        vb: [] for vb in range(n)}
+    weight: dict[tuple[int, int], float] = {}
+    for (src, dst), bits in app.flows.items():
+        if src == dst:
+            continue
+        pair = (min(src, dst), max(src, dst))
+        weight[pair] = weight.get(pair, 0.0) + bits
+    for (a, b), w in weight.items():
+        adjacency[a].append((b, w))
+        adjacency[b].append((a, w))
+    # flow from each block into the all-unassigned set (seed scores;
+    # callers copy before mutating)
+    base_flow = {vb: sum(w for _, w in adjacency[vb])
+                 for vb in range(n)}
+    _ADJACENCY_CACHE[key] = (app, adjacency, base_flow)
+    while len(_ADJACENCY_CACHE) > _ADJACENCY_CACHE_MAX:
+        _ADJACENCY_CACHE.popitem(last=False)
+    return adjacency, base_flow
+
+
 def split_virtual_blocks(app: CompiledApp,
                          quotas: list[tuple[int, int]],
                          ) -> dict[int, int]:
@@ -76,32 +125,19 @@ def split_virtual_blocks(app: CompiledApp,
     with the strongest connection to the group, so heavy channels stay
     board-local.
 
-    Scores are maintained incrementally over a precomputed flow-adjacency
-    list: assigning a block updates only its neighbors' scores, instead of
-    re-summing the whole flow dict for every candidate of every pick.
+    Scores are maintained incrementally over a memoized flow-adjacency
+    list (:func:`_flow_adjacency`): assigning a block updates only its
+    neighbors' scores, and repeated splits of the same artifact skip
+    the adjacency construction entirely.
     """
     total_quota = sum(q for _, q in quotas)
     n = app.num_blocks
     if total_quota < n:
         raise ValueError("quotas cannot hold the application")
 
-    # symmetric flow-adjacency list between virtual blocks (self-flows
-    # never contribute to a cut, so they are dropped)
-    adjacency: dict[int, list[tuple[int, float]]] = {
-        vb: [] for vb in range(n)}
-    weight: dict[tuple[int, int], float] = {}
-    for (src, dst), bits in app.flows.items():
-        if src == dst:
-            continue
-        key = (min(src, dst), max(src, dst))
-        weight[key] = weight.get(key, 0.0) + bits
-    for (a, b), w in weight.items():
-        adjacency[a].append((b, w))
-        adjacency[b].append((a, w))
-
+    adjacency, base_flow = _flow_adjacency(app)
     #: flow from each block into the still-unassigned set (seed score)
-    unassigned_flow = {
-        vb: sum(w for _, w in adjacency[vb]) for vb in range(n)}
+    unassigned_flow = dict(base_flow)
     #: flow from each unassigned block into the group being grown
     group_flow = {vb: 0.0 for vb in range(n)}
 

@@ -12,7 +12,9 @@ latency overhead.
 - :mod:`repro.sim.experiment` -- the event loop and multi-manager
   comparison drivers;
 - :mod:`repro.sim.chaos` -- chaos campaign harness (correlated/gray
-  scenario matrix with per-event invariants).
+  scenario matrix with per-event invariants);
+- :mod:`repro.sim.campaign` -- content-addressed, cached, parallel
+  scenario-campaign service over declarative config grids.
 """
 
 from repro.sim.events import EventQueue, TimeWeightedValue
@@ -28,6 +30,17 @@ from repro.sim.experiment import (
     compile_benchmarks,
     compare_managers,
     MANAGER_FACTORIES,
+)
+from repro.sim.campaign import (
+    CAMPAIGN_VERSION,
+    CampaignCache,
+    CampaignConfig,
+    CampaignRunner,
+    campaign_fingerprint,
+    extended_grid,
+    run_config,
+    smoke_grid,
+    standard_grid,
 )
 from repro.sim.chaos import (
     CampaignResult,
@@ -53,6 +66,15 @@ __all__ = [
     "compile_benchmarks",
     "compare_managers",
     "MANAGER_FACTORIES",
+    "CAMPAIGN_VERSION",
+    "CampaignCache",
+    "CampaignConfig",
+    "CampaignRunner",
+    "campaign_fingerprint",
+    "extended_grid",
+    "run_config",
+    "smoke_grid",
+    "standard_grid",
     "CampaignResult",
     "ChaosInvariantError",
     "ChaosScenario",

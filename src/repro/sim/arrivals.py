@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Protocol
 
 __all__ = ["ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
-           "DiurnalArrivals"]
+           "DiurnalArrivals", "FlashCrowdArrivals"]
 
 
 class ArrivalProcess(Protocol):
@@ -98,4 +98,44 @@ class DiurnalArrivals:
                 / self.mean_interarrival_s
             if rng.random() < rate / peak_rate:
                 out.append(now)
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class FlashCrowdArrivals:
+    """A steady Poisson baseline with one flash crowd on top.
+
+    ``crowd_fraction`` of the requests slam in within a single
+    ``crowd_window_s``-wide window placed ``crowd_at_fraction`` of the
+    way into the baseline stream -- a product launch or retry storm on
+    an otherwise ordinary day.  The baseline keeps the nominal mean
+    rate, so the crowd is pure excess load while it lasts.
+    """
+
+    mean_interarrival_s: float
+    crowd_fraction: float = 0.4
+    crowd_at_fraction: float = 0.3
+    crowd_window_s: float = 5.0
+
+    def times(self, count: int, rng: random.Random) -> list[float]:
+        if not 0 <= self.crowd_fraction <= 1:
+            raise ValueError("crowd fraction must be in [0, 1]")
+        if not 0 <= self.crowd_at_fraction <= 1:
+            raise ValueError("crowd position must be in [0, 1]")
+        if self.crowd_window_s <= 0:
+            raise ValueError("crowd window must be positive")
+        crowd = int(round(count * self.crowd_fraction))
+        baseline = count - crowd
+        now = 0.0
+        out: list[float] = []
+        for _ in range(baseline):
+            now += rng.expovariate(1.0 / self.mean_interarrival_s)
+            out.append(now)
+        # the crowd lands relative to the baseline span so the shape
+        # survives changes to count and mean rate
+        span = now if baseline else self.mean_interarrival_s * count
+        start = self.crowd_at_fraction * span
+        out.extend(start + rng.uniform(0, self.crowd_window_s)
+                   for _ in range(crowd))
+        out.sort()
         return out

@@ -152,6 +152,7 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                    = None,
                    defrag: "Defragmenter | DefragConfig | bool | None"
                    = None,
+                   profile=None,
                    ) -> ExperimentResult:
     """Replay ``requests`` against ``manager``; see module docstring.
 
@@ -207,6 +208,15 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
     ``True`` for defaults, a :class:`DefragConfig` to tune, or a
     prebuilt :class:`Defragmenter`.  ``None`` (default) leaves the run
     bit-identical to a defrag-free build.
+
+    ``profile`` attaches a :class:`~repro.obs.profile.PhaseProfiler`:
+    the drain / defrag / fault sections accumulate as nested phases
+    (``sim.admit`` / ``sim.defrag`` / ``sim.fault`` -- these overlap,
+    since faults drain and drains defrag, which is why they are nested
+    and excluded from the top-level coverage sum), every popped event
+    bumps ``events_popped`` and advances the simulated makespan, and
+    the profiler subscribes to the trace stream for op counters.  Like
+    every other observer, it never changes results.
     """
     if discipline is None:
         discipline = "backfill" if backfill else "fifo"
@@ -234,6 +244,13 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         tracer.add_sink(timeline.on_record)
         if slo is not None:
             slo.bind(timeline, tracer)
+
+    if profile is not None:
+        if tracer is None:
+            # counters only: a non-retaining stream head feeds the
+            # profiler's sink without accumulating entries
+            tracer = Tracer(retain=False)
+        profile.attach_tracer(tracer)
 
     if tracer is not None:
         if hasattr(manager, "attach_tracer"):
@@ -481,6 +498,26 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
         run_defrag(now)
         maybe_shed(now)
 
+    if profile is not None:
+        # rebind the section closures through the profiler; name
+        # lookup happens at call time, so faults that drain (and
+        # drains that defrag) charge the inner phase too -- the
+        # sections overlap by design, hence nested=True throughout
+        _drain_raw, _defrag_raw, _fault_raw = \
+            try_drain, run_defrag, on_fault
+
+        def try_drain(now: float) -> None:
+            with profile.phase("sim.admit", nested=True, sim_t=now):
+                _drain_raw(now)
+
+        def run_defrag(now: float) -> None:
+            with profile.phase("sim.defrag", nested=True, sim_t=now):
+                _defrag_raw(now)
+
+        def on_fault(fault, now: float) -> None:
+            with profile.phase("sim.fault", nested=True, sim_t=now):
+                _fault_raw(fault, now)
+
     # degraded-time integral: simulated seconds with any fault live on
     # the substrate or any breaker open.  Sampled per processed event
     # (the substrate only changes at events); zero cost when neither
@@ -496,6 +533,9 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
             now = event.time
             if tracer:
                 tracer.now = now
+            if profile is not None:
+                profile.count("events_popped")
+                profile.mark_sim(now)
             if monitor_degraded and was_degraded:
                 degraded_s += now - prev_t
             if event.kind == "arrival":
@@ -579,6 +619,10 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                              reason="capacity-never-recovered")
         queue.clear()
 
+    finalize = profile.phase("sim.finalize", nested=True) \
+        if profile is not None else None
+    if finalize is not None:
+        finalize.__enter__()
     if mx is not None:
         mx.finish(collector)
     summary = collector.summarize()
@@ -613,6 +657,8 @@ def run_experiment(manager: ClusterManager, requests: list[Request],
                               records=list(collector.records.values()))
     if isinstance(manager, AmorphOSManager):
         result.extras["combinations"] = float(manager.combination_count)
+    if finalize is not None:
+        finalize.__exit__(None, None, None)
     return result
 
 

@@ -426,3 +426,130 @@ class TestChaosCommand:
         assert doc["guarded"] is True
         assert doc["scenarios"][0]["scenario"] == "rack-flap"
         assert doc["scenarios"][0]["quarantines"] > 0
+
+
+class TestProfileFlags:
+    def test_simulate_profile_breakdown(self, capsys):
+        code = main(["simulate", "--set", "1", "--requests", "8",
+                     "--managers", "vital", "--boards", "2",
+                     "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "compile" in out and "simulate" in out
+        assert "op counters" in out and "deploys" in out
+        assert "measured wall" in out
+
+    def test_simulate_profile_out_is_diff_consumable(self, capsys,
+                                                     tmp_path):
+        from repro.analysis.diff import load_diff_input
+        out_path = tmp_path / "profile.json"
+        code = main(["simulate", "--set", "1", "--requests", "8",
+                     "--managers", "vital", "--boards", "2",
+                     "--profile-out", str(out_path)])
+        assert code == 0
+        kind, doc = load_diff_input(out_path)
+        assert kind == "profile"
+        assert "simulate" in doc["spans"]
+        assert doc["decisions"]["events_popped"] > 0
+
+    def test_chaos_profile_breakdown(self, capsys):
+        code = main(["chaos", "--scenario", "rack-flap", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario.rack-flap" in out
+        assert "compile" in out
+
+
+class TestCampaignCommand:
+    def test_smoke_grid_table(self, capsys):
+        code = main(["campaign", "--grid", "smoke",
+                     "--requests", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign grid 'smoke'" in out
+        assert "smoke/poisson" in out
+        assert "grid fingerprint" in out
+        assert "misses" in out
+
+    def test_json_format_and_warm_cache(self, capsys, tmp_path):
+        import json as _json
+        cache_dir = str(tmp_path / "cache")
+        argv = ["campaign", "--grid", "smoke", "--requests", "4",
+                "--cache-dir", cache_dir, "--format", "json"]
+        assert main(argv) == 0
+        cold = _json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = _json.loads(capsys.readouterr().out)
+        assert cold["cache"]["misses"] == len(cold["results"])
+        assert warm["cache"]["hits"] == len(warm["results"])
+        assert warm["fingerprint"] == cold["fingerprint"]
+        # byte-level determinism across cold and warm runs
+        assert _json.dumps(warm["results"], sort_keys=True) \
+            == _json.dumps(cold["results"], sort_keys=True)
+
+    def test_bench_out_appends_trajectory(self, capsys, tmp_path):
+        from repro.analysis.bench import load_bench
+        bench_path = tmp_path / "BENCH_perf.json"
+        code = main(["campaign", "--grid", "smoke",
+                     "--requests", "4",
+                     "--bench-out", str(bench_path),
+                     "--anchor", "ci-smoke"])
+        assert code == 0
+        doc = load_bench(bench_path)
+        entry = doc["entries"][-1]
+        assert entry["anchor"] == "ci-smoke"
+        assert entry["fingerprint"]
+        assert entry["metrics"]["configs"] == 4
+
+    def test_campaign_profile(self, capsys):
+        code = main(["campaign", "--grid", "smoke",
+                     "--requests", "4", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign.compile" in out
+        assert "phase profile" in out
+
+
+class TestBenchCommand:
+    def test_validate_repo_trajectories(self, capsys):
+        code = main(["bench", "validate", "BENCH_perf.json",
+                     "BENCH_robustness.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("ok ") == 2
+
+    def test_validate_rejects_broken_file(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"bench": "bad", "schema": 1, '
+                       '"entries": [{}]}')
+        assert main(["bench", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_append_then_gate(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "append", str(path),
+                     "--anchor", "x", "--date", "2026-08-08",
+                     "--metric", "wall_s=1.0",
+                     "--metric", "rack_flap.goodput=0.99"]) == 0
+        assert main(["bench", "gate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "appended 'x'" in out
+        assert "within x4 band" in out
+
+    def test_gate_fails_out_of_band(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        main(["bench", "append", str(path), "--anchor", "x",
+              "--date", "2026-08-08", "--metric", "wall_s=1.0"])
+        main(["bench", "append", str(path), "--anchor", "x",
+              "--date", "2026-08-09", "--metric", "wall_s=9.0"])
+        capsys.readouterr()
+        assert main(["bench", "gate", str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_append_rejects_bad_metric(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        assert main(["bench", "append", str(path), "--anchor", "x",
+                     "--metric", "wall_s"]) == 2
+        assert main(["bench", "append", str(path), "--anchor", "x",
+                     "--metric", "wall_s=fast"]) == 2

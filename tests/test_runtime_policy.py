@@ -103,6 +103,52 @@ class TestSplitVirtualBlocks:
         assert set(assignment) == set(range(n))
 
 
+class TestAdjacencyMemoization:
+    def test_repeat_splits_build_adjacency_once(self, compiled_large):
+        from repro.runtime import policy as policy_mod
+        policy_mod._ADJACENCY_CACHE.clear()
+        n = compiled_large.num_blocks
+        quotas = [(0, n - 2), (1, 2)]
+        before = policy_mod._adjacency_builds
+        first = split_virtual_blocks(compiled_large, quotas)
+        after_first = policy_mod._adjacency_builds
+        second = split_virtual_blocks(compiled_large, quotas)
+        third = split_virtual_blocks(compiled_large, [(2, n)])
+        # counter-exact: one cold build, then pure cache reuse --
+        # and the memoized path is byte-equivalent to the cold one
+        assert after_first == before + 1
+        assert policy_mod._adjacency_builds == after_first
+        assert first == second
+        assert set(third) == set(range(n))
+
+    def test_distinct_instances_build_separately(self, compiled_large):
+        from repro.compiler.bitstream import CompiledApp
+        from repro.runtime import policy as policy_mod
+        policy_mod._ADJACENCY_CACHE.clear()
+        clone = CompiledApp.from_dict(compiled_large.to_dict())
+        n = compiled_large.num_blocks
+        before = policy_mod._adjacency_builds
+        original = split_virtual_blocks(compiled_large, [(0, n)])
+        cloned = split_virtual_blocks(clone, [(0, n)])
+        assert policy_mod._adjacency_builds == before + 2
+        # equal artifacts split identically regardless of which
+        # instance seeded the cache
+        assert original == cloned
+
+    def test_cache_is_bounded(self, compiled_small):
+        from repro.compiler.bitstream import CompiledApp
+        from repro.runtime import policy as policy_mod
+        policy_mod._ADJACENCY_CACHE.clear()
+        n = compiled_small.num_blocks
+        keep_alive = []
+        for _ in range(policy_mod._ADJACENCY_CACHE_MAX + 8):
+            app = CompiledApp.from_dict(compiled_small.to_dict())
+            keep_alive.append(app)
+            split_virtual_blocks(app, [(0, n)])
+        assert len(policy_mod._ADJACENCY_CACHE) \
+            == policy_mod._ADJACENCY_CACHE_MAX
+
+
 class TestAblationPolicies:
     def test_first_fit_takes_lowest_addresses(self, ring,
                                               compiled_medium):
