@@ -180,6 +180,23 @@ class PhaseProfiler:
     def counters(self) -> dict[str, int]:
         return dict(sorted(self._counters.items()))
 
+    def phase_wall_s(self, name: str) -> float:
+        """Accumulated wall seconds of one phase (0.0 if never seen)."""
+        record = self._phases.get(name)
+        return record.total_s if record is not None else 0.0
+
+    def phase_share(self, name: str,
+                    of: "str | None" = None) -> float:
+        """``name``'s fraction of ``of``'s wall (default: total wall).
+
+        The perf-regression gate compares ``sim.admit``'s share across
+        engines with this -- shares, unlike raw walls, survive machine
+        speed differences.  Returns 0.0 when the denominator is empty.
+        """
+        denom = self.phase_wall_s(of) if of is not None \
+            else self.total_wall_s()
+        return self.phase_wall_s(name) / denom if denom > 0 else 0.0
+
     # ------------------------------------------------------------------
     def as_profile(self) -> dict:
         """The diff-consumable profile document.

@@ -144,8 +144,12 @@ class VirtualMemory:
     # ------------------------------------------------------------------
     def _find_gap(self, length: int) -> int | None:
         """First-fit search for a free physical range."""
-        spans = sorted((s.phys_base, s.phys_end)
-                       for segs in self._segments.values() for s in segs)
+        spans = [(s.phys_base, s.phys_end)
+                 for segs in self._segments.values() for s in segs]
+        if not spans:
+            return 0 if self.capacity_bytes >= length else None
+        if len(spans) > 1:
+            spans.sort()
         cursor = 0
         for start, end in spans:
             if start - cursor >= length:

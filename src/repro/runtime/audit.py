@@ -84,13 +84,15 @@ class AuditLog:
                     f"{self._entries[-1].time_s}")
             detail = dict(detail, reported_t=time_s)
             time_s = self._entries[-1].time_s
+        # ``detail`` is this call's own kwargs dict -- fresh per call,
+        # so storing it directly is safe and skips a copy per entry
         entry = AuditEntry(
             sequence=len(self._entries),
             time_s=time_s,
             event=event,
             request_id=request_id,
             tenant=tenant,
-            detail=dict(detail),
+            detail=detail,
         )
         self._entries.append(entry)
         return entry

@@ -88,6 +88,15 @@ class SystemController:
         self.bitstream_db = BitstreamDB(
             next(iter(cluster.footprints())))
         self.relocator = Relocator()
+        #: relocation compatibility memo: (image id, block address)
+        #: pairs already validated, storing the image itself so a
+        #: recycled ``id()`` can never alias a fresh image (the block
+        #: at a fixed address never changes -- cluster topology is
+        #: static).  Relocation checks are pure in (image, block) --
+        #: same footprint/capacity comparison every time -- so
+        #: re-validating a pair the controller has already bound is
+        #: pure overhead.
+        self._reloc_checked: dict = {}
         self.memories = {
             board.board_id: VirtualMemory(board.dram_capacity_bytes)
             for board in cluster.boards}
@@ -464,9 +473,18 @@ class SystemController:
                          candidates: dict[int, list[int]] | None = None,
                          ) -> Deployment | None:
         # runtime relocation: bind every image to its physical block
+        # (validation memoized per (image, block) -- see __init__)
+        checked = self._reloc_checked
+        images = app.images
+        block_at = self.cluster.block_at
         for vb, address in placement.mapping.items():
-            block = self.cluster.block_at(address)
-            self.relocator.relocate(app.images[vb], block)
+            image = images[vb]
+            key = (id(image), address)
+            if checked.get(key) is not image:
+                self.relocator.relocate(image, block_at(address))
+                if len(checked) >= 1 << 16:
+                    checked.clear()
+                checked[key] = image
 
         self.resource_db.allocate(request_id, placement.addresses)
         try:

@@ -222,6 +222,35 @@ class ResourceDB:
         """Cluster-wide free blocks, O(1) (failed blocks excluded)."""
         return self._total_free
 
+    def fit_capacity(self, max_boards: "int | None" = None) -> int:
+        """Most blocks any single allocation could possibly obtain.
+
+        ``None`` (no spanning limit): the cluster-wide free count.
+        With ``max_boards``, the sum of the ``max_boards`` largest
+        per-board free counts.  This is an *optimistic* bound -- it
+        ignores tenant quotas, quarantines, and adjacency -- so
+        ``needed > fit_capacity()`` proves a placement search would
+        fail, while the converse proves nothing.
+        """
+        if max_boards is None or max_boards >= len(self._board_ids):
+            return self._total_free
+        if max_boards <= 0:
+            return 0
+        top = np.partition(self._free_counts, -max_boards)[-max_boards:]
+        return int(top.sum())
+
+    def fit_mask_requests(self, needed_counts: "np.ndarray",
+                          max_boards: "int | None" = None,
+                          ) -> "np.ndarray":
+        """Batched admission prefilter over a queue of block demands.
+
+        ``needed_counts[i]`` is request *i*'s block count; the returned
+        boolean vector is False exactly where the demand exceeds
+        :meth:`fit_capacity` -- those placement searches are provably
+        futile and the experiment loop skips them.
+        """
+        return needed_counts <= self.fit_capacity(max_boards)
+
     # ------------------------------------------------------------------
     # transitions
     # ------------------------------------------------------------------
@@ -241,18 +270,25 @@ class ResourceDB:
             raise RuntimeError(
                 f"request {request_id} lists a block twice")
         owned = self._owned.setdefault(request_id, set())
-        row_of = self._row_of
+        entries = self._entries
+        # mutate per entry, but touch the numpy mirrors once per board:
+        # element-wise ndarray writes cost more than the dict walk, and
+        # a placement's addresses usually share one board
+        by_board: dict[int, list[int]] = {}
         for address in addresses:
-            entry = self._entries[address]
+            entry = entries[address]
             entry.state = BlockState.ALLOCATED
             entry.owner = request_id
             board, block = address
-            self._free[board].remove(block)
+            by_board.setdefault(board, []).append(block)
+            owned.add(address)
+        row_of = self._row_of
+        for board, blocks in by_board.items():
+            self._free[board].difference_update(blocks)
             self._free_view[board] = None
             row = row_of[board]
-            self._free_mask[row, block] = False
-            self._free_counts[row] -= 1
-            owned.add(address)
+            self._free_mask[row, blocks] = False
+            self._free_counts[row] -= len(blocks)
         self._allocated += len(addresses)
         self._total_free -= len(addresses)
 
@@ -263,17 +299,21 @@ class ResourceDB:
             raise RuntimeError(
                 f"request {request_id} owns no blocks to release")
         freed = sorted(owned)
-        row_of = self._row_of
+        entries = self._entries
+        by_board: dict[int, list[int]] = {}
         for address in freed:
-            entry = self._entries[address]
+            entry = entries[address]
             entry.state = BlockState.FREE
             entry.owner = None
             board, block = address
-            self._free[board].add(block)
+            by_board.setdefault(board, []).append(block)
+        row_of = self._row_of
+        for board, blocks in by_board.items():
+            self._free[board].update(blocks)
             self._free_view[board] = None
             row = row_of[board]
-            self._free_mask[row, block] = True
-            self._free_counts[row] += 1
+            self._free_mask[row, blocks] = True
+            self._free_counts[row] += len(blocks)
         self._allocated -= len(freed)
         self._total_free += len(freed)
         return freed

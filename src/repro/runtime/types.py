@@ -27,6 +27,14 @@ class Placement:
 
     #: virtual block id -> physical block address
     mapping: dict[int, BlockAddress]
+    #: lazy ``boards`` memo -- placements are immutable in practice
+    #: (rebuilt, never edited in place), and the controller reads the
+    #: board list many times per deployment
+    _boards: "list[int] | None" = field(default=None, repr=False,
+                                        compare=False)
+    #: lazy board -> block-index grouping backing :meth:`blocks_on`
+    _by_board: "dict[int, list[int]] | None" = field(
+        default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -35,18 +43,31 @@ class Placement:
 
     @property
     def boards(self) -> list[int]:
-        return sorted({board for board, _ in self.mapping.values()})
+        cached = self._boards
+        if cached is None:
+            cached = self._boards = sorted(
+                {board for board, _ in self.mapping.values()})
+        return list(cached)
 
     @property
     def num_boards(self) -> int:
-        return len(self.boards)
+        cached = self._boards
+        if cached is None:
+            cached = self._boards = sorted(
+                {board for board, _ in self.mapping.values()})
+        return len(cached)
 
     @property
     def spans_boards(self) -> bool:
         return self.num_boards > 1
 
     def blocks_on(self, board: int) -> list[int]:
-        return [blk for b, blk in self.mapping.values() if b == board]
+        grouped = self._by_board
+        if grouped is None:
+            grouped = self._by_board = {}
+            for b, blk in self.mapping.values():
+                grouped.setdefault(b, []).append(blk)
+        return list(grouped.get(board, ()))
 
     def board_of(self, virtual_block: int) -> int:
         return self.mapping[virtual_block][0]

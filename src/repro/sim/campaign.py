@@ -72,6 +72,7 @@ __all__ = [
     "CAMPAIGN_VERSION",
     "FAULT_PROFILES",
     "LOAD_PATTERNS",
+    "POOL_MIN_MISSES",
     "CampaignConfig",
     "campaign_fingerprint",
     "canonical_json",
@@ -442,6 +443,25 @@ def _campaign_worker_run(config_doc: dict) -> tuple[dict, float]:
     return result, time.perf_counter() - t0
 
 
+#: smallest miss count worth a process pool.  Fork/spawn + per-worker
+#: app rebuild costs tens to hundreds of milliseconds, which a handful
+#: of sub-100ms scenario runs never earns back (the pr9 bench measured
+#: jobs=4 at 0.83x of jobs=1 on the 24-config grid); below the
+#: threshold ``run_many`` runs the misses inline regardless of
+#: ``jobs``.  Results are byte-identical either way.
+POOL_MIN_MISSES = 8
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually schedule on."""
+    try:
+        import os
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        import os
+        return os.cpu_count() or 1
+
+
 class CampaignRunner:
     """Cache-first scenario executor (inline or process-parallel).
 
@@ -508,9 +528,12 @@ class CampaignRunner:
     def run_many(self, configs, jobs: int = 1) -> list[dict]:
         """Resolve every config (cache first), in input order.
 
-        ``jobs>1`` farms the cache misses across worker processes; the
-        merged result list is byte-identical to ``jobs=1`` (asserted by
-        the determinism tests, guaranteed by fresh-cluster runs and
+        ``jobs>1`` farms the cache misses across worker processes --
+        but only when there are at least :data:`POOL_MIN_MISSES` of
+        them and more than one schedulable CPU; smaller (or warm)
+        sweeps run inline to skip pool startup entirely.  The merged
+        result list is byte-identical to ``jobs=1`` (asserted by the
+        determinism tests, guaranteed by fresh-cluster runs and
         canonical payloads).
         """
         configs = list(configs)
@@ -537,13 +560,18 @@ class CampaignRunner:
             else:
                 results[i] = hit
 
-        # pass 2: run the misses (cache hits never pay a compile)
+        # pass 2: run the misses (cache hits never pay a compile).
+        # The pool spawns lazily and only when it can win: enough
+        # misses to amortize worker startup (POOL_MIN_MISSES) and more
+        # than one schedulable CPU -- tiny or warm sweeps (and 1-CPU
+        # boxes, where workers only add overhead) run inline whatever
+        # ``jobs`` says.
         if misses:
             apps = self._ensure_apps()
-            if jobs > 1 and len(misses) > 1:
+            workers = min(jobs, len(misses), _usable_cpus())
+            if workers > 1 and len(misses) >= POOL_MIN_MISSES:
                 payloads = {name: app.to_dict()
                             for name, app in apps.items()}
-                workers = min(jobs, len(misses))
                 with ProcessPoolExecutor(
                         max_workers=workers,
                         mp_context=_mp_context(),

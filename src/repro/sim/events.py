@@ -2,9 +2,13 @@
 
 :class:`EventQueue` is a stable priority queue of timestamped events --
 ties break in insertion order, so simulations are deterministic.
-:class:`TimeWeightedValue` integrates a step function over time, which is
-how the collector computes time-averaged utilization, concurrency and
-queue pressure.
+:class:`ArrayEventQueue` is the flat-array engine behind the same pop
+order: the static schedule (arrivals, faults) lives in struct-of-arrays
+form sorted once up front, only the dynamic events (completions) pay
+heap costs, and consecutive same-timestamp-range arrivals can be popped
+as one cohort.  :class:`TimeWeightedValue` integrates a step function
+over time, which is how the collector computes time-averaged
+utilization, concurrency and queue pressure.
 """
 
 from __future__ import annotations
@@ -14,7 +18,10 @@ import math
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["Event", "EventQueue", "TimeWeightedValue"]
+import numpy as np
+
+__all__ = ["Event", "EventQueue", "ArrayEventQueue",
+           "TimeWeightedValue"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +74,18 @@ class EventQueue:
             raise IndexError("pop from empty event queue")
         return heapq.heappop(self._heap)[2]
 
+    def pop3(self) -> tuple[float, str, Any]:
+        """Pop as a bare ``(time, kind, payload)`` triple.
+
+        Same order as :meth:`pop`; the experiment loop uses this shape
+        so both engines feed it without allocating :class:`Event`
+        objects on the array path.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        event = heapq.heappop(self._heap)[2]
+        return event.time, event.kind, event.payload
+
     def peek_time(self) -> float:
         if not self._heap:
             raise IndexError("peek into empty event queue")
@@ -77,6 +96,183 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class ArrayEventQueue:
+    """Struct-of-arrays event engine; pop order identical to
+    :class:`EventQueue`.
+
+    Events arrive in two phases:
+
+    - **static** -- everything known before the first pop
+      (:meth:`push_many`: the arrival schedule, then the fault
+      schedule).  Stored as parallel arrays and sorted *once* with a
+      stable argsort, so the (time, insertion order) pop key costs an
+      array read per pop instead of a heap sift;
+    - **dynamic** -- events scheduled while running
+      (:meth:`push`: completions, penalty reschedules).  These go
+      through a plain tuple heap.
+
+    Why the merged order is exactly the heapq oracle's: both queues
+    order by ``(time, seq)`` where ``seq`` is global insertion order.
+    Static events are all inserted before any dynamic event, so every
+    static seq is smaller than every dynamic seq; a time tie between
+    the static head and the dynamic head therefore always resolves to
+    the static event, which is what :meth:`pop3` implements with a
+    plain ``<=`` on times.  Within each side, the stable argsort
+    (static) and the ``(time, seq)`` heap tuples (dynamic) preserve
+    insertion order on ties.  The randomized property tests replay
+    interleaved push/pop sequences against the oracle to pin this.
+
+    :meth:`pop_arrival_run` additionally exposes the *cohort* view the
+    batched experiment loop wants: the maximal run of consecutive
+    ``"arrival"`` events that all pop before the next fault or dynamic
+    event, returned as one payload slice.
+    """
+
+    #: kind-code table (int8 in the sorted kinds array); kinds outside
+    #: the table map to OTHER and simply never batch
+    _ARRIVAL = 0
+    _OTHER = 1
+
+    def __init__(self) -> None:
+        # staged static events, (time, kind, payload) in push order
+        self._stage_t: list[float] = []
+        self._stage_kind: list[str] = []
+        self._stage_payload: list[Any] = []
+        self._sealed = False
+        # sealed static schedule (filled by _seal)
+        self._times: "np.ndarray | None" = None    # float64, sorted
+        self._kinds: list[str] = []                # same order
+        self._payloads: list[Any] = []             # same order
+        self._ptr = 0
+        #: sorted positions of non-arrival static events, for O(log n)
+        #: cohort-boundary lookups
+        self._non_arrival: "np.ndarray | None" = None
+        # dynamic (time, seq, kind, payload) heap; seqs continue after
+        # the static block so ties resolve static-first
+        self._dyn: list[tuple[float, int, str, Any]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def push_many(self, items) -> None:
+        """Bulk-load ``(time, kind, payload)`` triples.
+
+        Before the first pop these land in the static schedule (one
+        stable argsort at seal time); afterwards they fall back to
+        per-item dynamic pushes, preserving :class:`EventQueue`'s
+        semantics either way.
+        """
+        if self._sealed:
+            for time, kind, payload in items:
+                self.push(time, kind, payload)
+            return
+        for time, kind, payload in items:
+            if time < 0:
+                raise ValueError("event time must be non-negative")
+            self._stage_t.append(time)
+            self._stage_kind.append(kind)
+            self._stage_payload.append(payload)
+
+    def push(self, time: float, kind: str, payload: Any = None) -> None:
+        """Schedule one dynamic event (seals the static schedule)."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        if not self._sealed:
+            self._seal()
+        heapq.heappush(self._dyn, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def _seal(self) -> None:
+        n = len(self._stage_t)
+        times = np.asarray(self._stage_t, dtype=np.float64)
+        # stable sort == order by (time, insertion seq), the oracle key
+        order = np.argsort(times, kind="stable")
+        self._times = times[order]
+        order_list = order.tolist()
+        kinds = self._stage_kind
+        payloads = self._stage_payload
+        self._kinds = [kinds[i] for i in order_list]
+        self._payloads = [payloads[i] for i in order_list]
+        codes = np.fromiter(
+            (self._ARRIVAL if k == "arrival" else self._OTHER
+             for k in self._kinds),
+            dtype=np.int8, count=n)
+        self._non_arrival = np.nonzero(codes != self._ARRIVAL)[0]
+        self._stage_t = []
+        self._stage_kind = []
+        self._stage_payload = []
+        self._seq = n
+        self._sealed = True
+
+    # ------------------------------------------------------------------
+    def pop3(self) -> tuple[float, str, Any]:
+        """Pop the next event as ``(time, kind, payload)``."""
+        if not self._sealed:
+            self._seal()
+        ptr = self._ptr
+        have_static = ptr < len(self._kinds)
+        if self._dyn:
+            # static wins time ties: every static seq < every dyn seq
+            if have_static and self._times[ptr] <= self._dyn[0][0]:
+                self._ptr = ptr + 1
+                return (float(self._times[ptr]), self._kinds[ptr],
+                        self._payloads[ptr])
+            time, _, kind, payload = heapq.heappop(self._dyn)
+            return time, kind, payload
+        if not have_static:
+            raise IndexError("pop from empty event queue")
+        self._ptr = ptr + 1
+        return (float(self._times[ptr]), self._kinds[ptr],
+                self._payloads[ptr])
+
+    def pop_arrival_run(self) -> list:
+        """Pop the maximal pending run of ``"arrival"`` events.
+
+        Returns their payloads in pop order -- possibly empty, when the
+        next event is not an arrival.  The run ends at the first static
+        non-arrival event and at the first position whose time exceeds
+        the dynamic head's (a time *tie* with the dynamic head stays in
+        the run: the static event pops first anyway).
+        """
+        if not self._sealed:
+            self._seal()
+        ptr = self._ptr
+        n = len(self._kinds)
+        if ptr >= n or self._kinds[ptr] != "arrival":
+            return []
+        cut = np.searchsorted(self._non_arrival, ptr)
+        end = int(self._non_arrival[cut]) \
+            if cut < len(self._non_arrival) else n
+        if self._dyn:
+            end = min(end, int(np.searchsorted(
+                self._times, self._dyn[0][0], side="right")))
+        if end <= ptr:
+            return []
+        run = self._payloads[ptr:end]
+        self._ptr = end
+        return run
+
+    def peek_time(self) -> float:
+        if not self._sealed:
+            self._seal()
+        have_static = self._ptr < len(self._kinds)
+        if self._dyn:
+            if have_static:
+                return min(float(self._times[self._ptr]),
+                           self._dyn[0][0])
+            return self._dyn[0][0]
+        if not have_static:
+            raise IndexError("peek into empty event queue")
+        return float(self._times[self._ptr])
+
+    def __len__(self) -> int:
+        if not self._sealed:
+            return len(self._stage_t) + len(self._dyn)
+        return (len(self._kinds) - self._ptr) + len(self._dyn)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
 
 
 class TimeWeightedValue:
@@ -121,6 +317,19 @@ class TimeWeightedValue:
     def average(self, t0: float, t1: float) -> float:
         if t1 <= t0:
             return self.value_at(t0)
+        points = self._points
+        if len(points) > 4096:
+            # long runs accumulate one point per state change (hundreds
+            # of thousands at 1M requests); integrate the step function
+            # as three array ops instead of a Python generator sweep
+            arr = np.asarray(points)
+            starts = np.maximum(arr[:, 0], t0)
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:]
+            ends[-1] = t1
+            np.minimum(ends, t1, out=ends)
+            durations = np.maximum(ends - starts, 0.0)
+            return float(durations @ arr[:, 1]) / (t1 - t0)
         total = sum(d * v for d, v in self._segments(t0, t1))
         return total / (t1 - t0)
 

@@ -322,3 +322,97 @@ class TestRingArrayMath:
         assert type(net.span_cost([0, 2, 4])) is int
         assert type(net.flows_on_segment(0)) is int
         assert type(net.peak_segment_flows()) is int
+
+
+class TestSplitKernelEquivalence:
+    """The vectorized ``split_virtual_blocks`` vs the scalar oracle.
+
+    The array kernel must be counter-exact: identical assignments on
+    random flow graphs (self-flows included), through the memoized
+    adjacency path, and on degenerate single-block apps.
+    """
+
+    def _random_app(self, rng: random.Random, n: int,
+                    name: str) -> FakeApp:
+        flows: dict = {}
+        for _ in range(rng.randint(0, 3 * n)):
+            src, dst = rng.randrange(n), rng.randrange(n)  # self ok
+            flows[(src, dst)] = flows.get((src, dst), 0.0) \
+                + rng.choice([1.0, 2.0, 64.0, 1024.0])
+        return FakeApp(name=name, num_blocks=n, flows=flows)
+
+    def _random_quotas(self, rng: random.Random,
+                       n: int) -> list[tuple[int, int]]:
+        boards = rng.sample(range(40), rng.randint(1, min(4, n)))
+        quotas, left = [], n
+        for i, board in enumerate(boards):
+            rest = len(boards) - i - 1
+            take = left - rest if rest else left
+            cap = rng.randint(1, max(1, take)) if rest else left
+            quotas.append((board, cap + rng.randint(0, 2)))
+            left -= min(cap, left)
+        return quotas
+
+    def test_randomized_flow_graphs_match_scalar(self):
+        from repro.runtime.policy import split_virtual_blocks
+        rng = random.Random(91_000)
+        checked = 0
+        for trial in range(200):
+            n = rng.randint(1, 12)
+            app = self._random_app(rng, n, f"s{trial}")
+            quotas = self._random_quotas(rng, n)
+            if sum(c for _, c in quotas) < n:
+                continue
+            vec = split_virtual_blocks(app, quotas, kernel="array")
+            ref = split_virtual_blocks(app, quotas, kernel="scalar")
+            assert vec == ref, f"trial {trial}: {app.flows} {quotas}"
+            checked += 1
+        assert checked > 150
+
+    def test_tie_heavy_uniform_flows_match(self):
+        """All-equal weights tie every greedy pick; argmax-first must
+        reproduce the scalar max()'s first-wins tie-break."""
+        from repro.runtime.policy import split_virtual_blocks
+        rng = random.Random(92_000)
+        for trial in range(60):
+            n = rng.randint(2, 10)
+            flows = {(a, b): 8.0 for a in range(n) for b in range(n)
+                     if a != b and rng.random() < 0.5}
+            app = FakeApp(name=f"u{trial}", num_blocks=n, flows=flows)
+            quotas = self._random_quotas(rng, n)
+            if sum(c for _, c in quotas) < n:
+                continue
+            assert split_virtual_blocks(app, quotas, kernel="array") \
+                == split_virtual_blocks(app, quotas, kernel="scalar")
+
+    def test_single_block_degenerate_app(self):
+        from repro.runtime.policy import split_virtual_blocks
+        app = FakeApp(name="one", num_blocks=1,
+                      flows={(0, 0): 99.0})  # self-flow only
+        for quotas in ([(5, 1)], [(3, 4)], [(2, 1), (7, 9)]):
+            assert split_virtual_blocks(app, quotas, kernel="array") \
+                == split_virtual_blocks(app, quotas, kernel="scalar") \
+                == {0: quotas[0][0]}
+
+    def test_memoized_adjacency_path_matches_cold(self):
+        """Second call hits every cache layer; the answer must not
+        drift from the cold run's."""
+        from repro.runtime import policy as policy_mod
+        from repro.runtime.policy import split_virtual_blocks
+        rng = random.Random(93_000)
+        app = self._random_app(rng, 9, "memo")
+        quotas = [(0, 5), (1, 4)]
+        policy_mod._clear_split_caches()
+        cold = split_virtual_blocks(app, quotas, kernel="array")
+        warm = split_virtual_blocks(app, quotas, kernel="array")
+        relabeled = split_virtual_blocks(app, [(6, 5), (2, 4)],
+                                         kernel="array")
+        assert cold == warm
+        assert relabeled == {vb: {0: 6, 1: 2}[b]
+                             for vb, b in cold.items()}
+
+    def test_unknown_kernel_rejected(self):
+        from repro.runtime.policy import split_virtual_blocks
+        app = FakeApp(name="k", num_blocks=2, flows={})
+        with pytest.raises(ValueError):
+            split_virtual_blocks(app, [(0, 2)], kernel="gpu")

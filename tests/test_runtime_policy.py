@@ -106,7 +106,7 @@ class TestSplitVirtualBlocks:
 class TestAdjacencyMemoization:
     def test_repeat_splits_build_adjacency_once(self, compiled_large):
         from repro.runtime import policy as policy_mod
-        policy_mod._ADJACENCY_CACHE.clear()
+        policy_mod._clear_split_caches()
         n = compiled_large.num_blocks
         quotas = [(0, n - 2), (1, 2)]
         before = policy_mod._adjacency_builds
@@ -121,15 +121,32 @@ class TestAdjacencyMemoization:
         assert first == second
         assert set(third) == set(range(n))
 
+    def test_repeat_splits_run_the_kernel_once(self, compiled_large):
+        # the shape memo: same app + same capacity sequence -> one
+        # cold kernel run, regardless of which boards carry the quotas
+        from repro.runtime import policy as policy_mod
+        policy_mod._clear_split_caches()
+        n = compiled_large.num_blocks
+        before = policy_mod._split_kernel_runs
+        first = split_virtual_blocks(compiled_large, [(0, n - 2),
+                                                      (1, 2)])
+        second = split_virtual_blocks(compiled_large, [(3, n - 2),
+                                                       (2, 2)])
+        assert policy_mod._split_kernel_runs == before + 1
+        # same grouping, relabeled onto the new boards
+        relabel = {0: 3, 1: 2}
+        assert second == {vb: relabel[b] for vb, b in first.items()}
+
     def test_distinct_instances_build_separately(self, compiled_large):
         from repro.compiler.bitstream import CompiledApp
         from repro.runtime import policy as policy_mod
-        policy_mod._ADJACENCY_CACHE.clear()
+        policy_mod._clear_split_caches()
         clone = CompiledApp.from_dict(compiled_large.to_dict())
         n = compiled_large.num_blocks
+        quotas = [(0, n - 2), (1, 2)]
         before = policy_mod._adjacency_builds
-        original = split_virtual_blocks(compiled_large, [(0, n)])
-        cloned = split_virtual_blocks(clone, [(0, n)])
+        original = split_virtual_blocks(compiled_large, quotas)
+        cloned = split_virtual_blocks(clone, quotas)
         assert policy_mod._adjacency_builds == before + 2
         # equal artifacts split identically regardless of which
         # instance seeded the cache
@@ -138,15 +155,35 @@ class TestAdjacencyMemoization:
     def test_cache_is_bounded(self, compiled_small):
         from repro.compiler.bitstream import CompiledApp
         from repro.runtime import policy as policy_mod
-        policy_mod._ADJACENCY_CACHE.clear()
+        policy_mod._clear_split_caches()
         n = compiled_small.num_blocks
         keep_alive = []
         for _ in range(policy_mod._ADJACENCY_CACHE_MAX + 8):
             app = CompiledApp.from_dict(compiled_small.to_dict())
             keep_alive.append(app)
-            split_virtual_blocks(app, [(0, n)])
+            split_virtual_blocks(app, [(0, n - 1), (1, 1)],
+                                 kernel="scalar")
         assert len(policy_mod._ADJACENCY_CACHE) \
             == policy_mod._ADJACENCY_CACHE_MAX
+
+    def test_split_caches_are_bounded(self, compiled_small):
+        from repro.compiler.bitstream import CompiledApp
+        from repro.runtime import policy as policy_mod
+        policy_mod._clear_split_caches()
+        n = compiled_small.num_blocks
+        keep_alive = []
+        for _ in range(policy_mod._SPLIT_ARRAYS_CACHE_MAX + 8):
+            app = CompiledApp.from_dict(compiled_small.to_dict())
+            keep_alive.append(app)
+            split_virtual_blocks(app, [(0, n - 1), (1, 1)])
+        assert len(policy_mod._SPLIT_ARRAYS_CACHE) \
+            == policy_mod._SPLIT_ARRAYS_CACHE_MAX
+        app = keep_alive[0]
+        for caps in range(policy_mod._SPLIT_RESULT_CACHE_MAX + 8):
+            split_virtual_blocks(
+                app, [(0, n - 1), (1, 1 + caps)])
+        assert len(policy_mod._SPLIT_RESULT_CACHE) \
+            == policy_mod._SPLIT_RESULT_CACHE_MAX
 
 
 class TestAblationPolicies:

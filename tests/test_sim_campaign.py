@@ -261,3 +261,89 @@ class TestSummaryShape:
         expected = {f.name for f in
                     dataclasses.fields(SummaryMetrics)}
         assert set(result["summary"]) == expected
+
+
+class _FakePool:
+    """In-process stand-in for ProcessPoolExecutor: records that the
+    pool path was taken and runs the worker protocol inline (same
+    initializer + map surface, no fork cost)."""
+
+    created = 0
+    last_workers = None
+
+    def __init__(self, max_workers, mp_context=None,
+                 initializer=None, initargs=()):
+        _FakePool.created += 1
+        _FakePool.last_workers = max_workers
+        if initializer is not None:
+            initializer(*initargs)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class _PoolBomb:
+    """A pool that must never be constructed."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("ProcessPoolExecutor spawned for a sweep "
+                             "that should have run inline")
+
+
+def _grid(n):
+    return [CampaignConfig(name=f"pool-{i}", num_requests=6,
+                           seed=100 + i) for i in range(n)]
+
+
+class TestPoolThreshold:
+    """The pr9 regression fix: jobs>1 must not pay pool startup for
+    sweeps too small (or too warm) to earn it back."""
+
+    def test_small_grid_never_spawns_pool(self, apps, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor",
+                            _PoolBomb)
+        monkeypatch.setattr(campaign_mod, "_usable_cpus", lambda: 8)
+        configs = _grid(campaign_mod.POOL_MIN_MISSES - 1)
+        runner = CampaignRunner(cache=CampaignCache(), apps=apps)
+        results = runner.run_many(configs, jobs=4)
+        assert len(results) == len(configs)
+
+    def test_warm_sweep_never_spawns_pool(self, apps, monkeypatch):
+        configs = _grid(campaign_mod.POOL_MIN_MISSES + 2)
+        runner = CampaignRunner(cache=CampaignCache(), apps=apps)
+        cold = runner.run_many(configs, jobs=1)
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor",
+                            _PoolBomb)
+        monkeypatch.setattr(campaign_mod, "_usable_cpus", lambda: 8)
+        warm = runner.run_many(configs, jobs=4)
+        assert canonical_json(cold) == canonical_json(warm)
+
+    def test_single_cpu_box_never_spawns_pool(self, apps, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor",
+                            _PoolBomb)
+        monkeypatch.setattr(campaign_mod, "_usable_cpus", lambda: 1)
+        configs = _grid(campaign_mod.POOL_MIN_MISSES + 2)
+        runner = CampaignRunner(cache=CampaignCache(), apps=apps)
+        assert len(runner.run_many(configs, jobs=4)) == len(configs)
+
+    def test_pool_engages_above_threshold_byte_identical(
+            self, apps, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "ProcessPoolExecutor",
+                            _FakePool)
+        monkeypatch.setattr(campaign_mod, "_usable_cpus", lambda: 8)
+        _FakePool.created = 0
+        configs = _grid(campaign_mod.POOL_MIN_MISSES)
+        pooled = CampaignRunner(cache=CampaignCache(), apps=apps)
+        par = pooled.run_many(configs, jobs=4)
+        assert _FakePool.created == 1
+        assert _FakePool.last_workers == 4
+        assert set(pooled.last_walls) == {c.name for c in configs}
+        inline = CampaignRunner(cache=CampaignCache(), apps=apps)
+        seq = inline.run_many(configs, jobs=1)
+        assert canonical_json(seq) == canonical_json(par)
